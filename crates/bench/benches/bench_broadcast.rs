@@ -1,0 +1,61 @@
+//! Theorem 6 / Lemma 12 / Theorem 15 harness: one-way epidemic wall time
+//! across families and sizes (the timing complement of
+//! `popele-lab broadcast`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use popele_bench::{bench_graph, BENCH_SIZES};
+use popele_dynamics::broadcast::broadcast_time_from;
+use popele_engine::EdgeScheduler;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_epidemic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast/epidemic");
+    for family in ["clique", "cycle", "star", "torus"] {
+        for n in BENCH_SIZES {
+            let g = bench_graph(family, n);
+            group.bench_with_input(
+                BenchmarkId::new(family, n),
+                &g,
+                |b, g| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(broadcast_time_from(g, 0, seed))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scheduler_throughput(c: &mut Criterion) {
+    // The scheduler is the innermost loop of every experiment; track its
+    // raw sampling rate.
+    let mut group = c.benchmark_group("broadcast/scheduler");
+    let g = bench_graph("gnp", 64);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("pairs-10k", |b| {
+        let mut sched = EdgeScheduler::new(&g, 7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                let (u, v) = sched.next_pair();
+                acc += u64::from(u) ^ u64::from(v);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_epidemic, bench_scheduler_throughput
+}
+criterion_main!(benches);

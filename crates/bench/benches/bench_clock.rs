@@ -1,0 +1,29 @@
+//! Lemmas 26–29 harness: streak-clock sampling throughput, the timing
+//! complement of `popele-lab clocks`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popele_core::clock::sample_interactions_per_tick;
+use popele_math::rng::small_rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tick_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clocks/tick");
+    for h in [2u8, 6, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            let mut rng = small_rng(3);
+            b.iter(|| black_box(sample_interactions_per_tick(h, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_tick_sampling
+}
+criterion_main!(benches);

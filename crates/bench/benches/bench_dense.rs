@@ -1,0 +1,57 @@
+//! Section 7 harness: influence tracking, interaction patterns and the
+//! constant-state separation on dense random graphs (Theorems 40/46,
+//! Lemmas 41–45), the timing complement of `popele-lab dense`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popele_bench::bench_graph;
+use popele_dynamics::influence::{record_schedule, InfluenceTracker, InteractionPattern};
+use popele_engine::EdgeScheduler;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_influence_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense/influence");
+    for n in [64u32, 256] {
+        let g = bench_graph("gnp", n);
+        let t = (0.2 * f64::from(n) * f64::from(n).ln()) as u64;
+        group.bench_with_input(BenchmarkId::new("track", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut tracker = InfluenceTracker::new(g.num_nodes());
+                let mut sched = EdgeScheduler::new(g, seed);
+                for _ in 0..t {
+                    let (u, v) = sched.next_pair();
+                    tracker.interact(u, v);
+                }
+                black_box(tracker.max_influence_size())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_unfolding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense/patterns");
+    let g = bench_graph("gnp", 64);
+    let t = 300usize;
+    let schedule = record_schedule(&g, t, 11);
+    group.bench_function("from-schedule", |b| {
+        b.iter(|| black_box(InteractionPattern::from_schedule(&schedule, 0, t)));
+    });
+    let pattern = InteractionPattern::from_schedule(&schedule, 0, t);
+    group.bench_function("unfold-fully", |b| {
+        b.iter(|| black_box(pattern.unfold_fully().num_nodes()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_influence_tracking, bench_pattern_unfolding
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Table 1 wall-time harness: time-to-stabilization of each protocol on
+//! each family (the timing complement of `popele-lab table1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popele_bench::bench_graph;
+use popele_core::params::{identifier_bits, FastParams};
+use popele_core::{FastProtocol, IdentifierProtocol, StarProtocol, TokenProtocol};
+use popele_engine::Executor;
+use popele_graph::families;
+use std::hint::black_box;
+use std::time::Duration;
+
+const MAX_STEPS: u64 = 2_000_000_000;
+
+fn bench_token(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/token");
+    for family in ["clique", "cycle", "star", "gnp"] {
+        let g = bench_graph(family, 32);
+        let p = TokenProtocol::all_candidates();
+        group.bench_with_input(BenchmarkId::from_parameter(family), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = Executor::new(g, &p, seed)
+                    .run_until_stable(MAX_STEPS)
+                    .expect("stabilizes");
+                black_box(out.stabilization_step)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_identifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/identifier");
+    for family in ["clique", "cycle", "star", "gnp"] {
+        let g = bench_graph(family, 32);
+        let p = IdentifierProtocol::new(identifier_bits(g.num_nodes(), false));
+        group.bench_with_input(BenchmarkId::from_parameter(family), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = Executor::new(g, &p, seed)
+                    .run_until_stable(MAX_STEPS)
+                    .expect("stabilizes");
+                black_box(out.stabilization_step)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/fast");
+    for family in ["clique", "cycle", "star", "gnp"] {
+        let g = bench_graph(family, 32);
+        // Coarse B(G) guess: m·(D + ln n); only its log2 matters.
+        let b_guess = g.num_edges() as f64
+            * (f64::from(popele_graph::properties::diameter_double_sweep(&g))
+                + f64::from(g.num_nodes()).ln());
+        let params = FastParams::practical(b_guess, g.max_degree(), g.num_edges(), g.num_nodes());
+        let p = FastProtocol::new(params);
+        group.bench_with_input(BenchmarkId::from_parameter(family), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = Executor::new(g, &p, seed)
+                    .run_until_stable(MAX_STEPS)
+                    .expect("stabilizes");
+                black_box(out.stabilization_step)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_star_trivial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/star-trivial");
+    for n in [64u32, 1024] {
+        let g = families::star(n);
+        let p = StarProtocol::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = Executor::new(g, &p, seed)
+                    .run_until_stable(10)
+                    .expect("one interaction");
+                black_box(out.stabilization_step)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_token,
+    bench_identifier,
+    bench_fast,
+    bench_star_trivial
+}
+criterion_main!(benches);

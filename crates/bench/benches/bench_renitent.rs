@@ -1,0 +1,66 @@
+//! Section 6 harness: renitent constructions and isolation times
+//! (Lemmas 37–38, Theorem 39), the timing complement of
+//! `popele-lab renitent`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popele_dynamics::isolation::isolation_time;
+use popele_graph::renitent::{cycle_cover, lemma38, theorem39_graph};
+use popele_graph::families;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_isolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("renitent/isolation");
+    for n in [32u32, 64] {
+        let (g, cover) = cycle_cover(n);
+        group.bench_with_input(
+            BenchmarkId::new("cycle", n),
+            &(g, cover),
+            |b, (g, cover)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(isolation_time(g, cover, seed, u64::MAX))
+                });
+            },
+        );
+    }
+    for ell in [4u32, 16] {
+        let base = families::clique(6);
+        let (g, cover) = lemma38(&base, 0, ell);
+        group.bench_with_input(
+            BenchmarkId::new("lemma38-ell", ell),
+            &(g, cover),
+            |b, (g, cover)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(isolation_time(g, cover, seed, u64::MAX))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("renitent/construction");
+    group.bench_function("theorem39-n16-n2.7", |b| {
+        b.iter(|| black_box(theorem39_graph(16, (16f64).powf(2.7))));
+    });
+    group.bench_function("lemma38-k6-ell32", |b| {
+        let base = families::clique(6);
+        b.iter(|| black_box(lemma38(&base, 0, 32)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_isolation, bench_construction
+}
+criterion_main!(benches);

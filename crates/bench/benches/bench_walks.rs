@@ -1,0 +1,57 @@
+//! Lemma 17–19 / Proposition 20 harness: hitting-time computations
+//! (exact linear solves and simulations), the timing complement of
+//! `popele-lab walks`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popele_bench::bench_graph;
+use popele_dynamics::walks::{
+    classic_hitting_times, classic_worst_hitting, simulate_meeting_time,
+    simulate_population_hitting,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_exact_hitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walks/exact-hitting");
+    for family in ["clique", "cycle", "gnp"] {
+        let g = bench_graph(family, 32);
+        group.bench_with_input(BenchmarkId::new("single-target", family), &g, |b, g| {
+            b.iter(|| black_box(classic_hitting_times(g, 0)));
+        });
+    }
+    let g = bench_graph("cycle", 32);
+    group.bench_function("worst-case-cycle32", |b| {
+        b.iter(|| black_box(classic_worst_hitting(&g)));
+    });
+    group.finish();
+}
+
+fn bench_simulated_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walks/simulated");
+    let g = bench_graph("cycle", 32);
+    group.bench_function("population-hitting", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(simulate_population_hitting(&g, 0, 16, seed))
+        });
+    });
+    group.bench_function("meeting-time", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(simulate_meeting_time(&g, 0, 16, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_exact_hitting, bench_simulated_walks
+}
+criterion_main!(benches);

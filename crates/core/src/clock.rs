@@ -1,0 +1,332 @@
+//! The space-efficient streak clock (Section 5.1, Lemmas 26–29).
+//!
+//! Each node keeps a counter `streak ∈ {0, …, h}`. On every interaction
+//! the node increments the counter if it acted as **initiator** and resets
+//! it to 0 otherwise; reaching `h` *completes a streak* (a clock tick) and
+//! resets the counter. Because the scheduler assigns roles by fair coin
+//! flips, the number `K` of interactions per tick is the waiting time for
+//! `h` consecutive heads: `E[K] = 2^{h+1} − 2` (Lemma 27a), sandwiched
+//! between `Geom(2^{−h})` and `Geom(2^{−h−1}) + h` (Lemma 26). A node of
+//! degree `d` interacts with probability `d/m` per step, so ticks arrive
+//! every `Θ(2^h·m/d)` **steps** (Lemma 27b) — high-degree nodes tick
+//! faster, which is what lets the fast protocol elect a `Θ(Δ)`-degree
+//! leader.
+
+use rand::{Rng, RngExt};
+
+/// The streak-counter clock: `h + 1` local states.
+///
+/// # Examples
+///
+/// ```
+/// use popele_core::clock::StreakClock;
+///
+/// let mut c = StreakClock::new(2);
+/// assert!(!c.on_interaction(true));  // streak 1
+/// assert!(c.on_interaction(true));   // streak 2 = h → tick, reset
+/// assert!(!c.on_interaction(true));  // streak 1 again
+/// assert!(!c.on_interaction(false)); // responder → reset
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreakClock {
+    streak: u8,
+    h: u8,
+}
+
+impl StreakClock {
+    /// Creates a clock with streak length `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ h ≤ 60`.
+    #[must_use]
+    pub fn new(h: u8) -> Self {
+        assert!((1..=60).contains(&h), "streak length must be in 1..=60");
+        Self { streak: 0, h }
+    }
+
+    /// Current streak value.
+    #[must_use]
+    pub fn streak(&self) -> u8 {
+        self.streak
+    }
+
+    /// Streak length parameter `h`.
+    #[must_use]
+    pub fn h(&self) -> u8 {
+        self.h
+    }
+
+    /// Updates the clock for one interaction of its node; returns `true`
+    /// when this interaction completes a streak (a tick).
+    pub fn on_interaction(&mut self, was_initiator: bool) -> bool {
+        if was_initiator {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        if self.streak == self.h {
+            self.streak = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Expected interactions per tick, `E[K] = 2^{h+1} − 2` (Lemma 27a).
+    #[must_use]
+    pub fn expected_interactions_per_tick(&self) -> f64 {
+        (2u64 << self.h) as f64 - 2.0
+    }
+
+    /// Expected scheduler **steps** per tick for a degree-`d` node on an
+    /// `m`-edge graph: `E[X(d)] = E[K]·m/d` (Lemma 27b, Wald's identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn expected_steps_per_tick(&self, d: u32, m: usize) -> f64 {
+        assert!(d > 0, "degree must be positive");
+        self.expected_interactions_per_tick() * m as f64 / f64::from(d)
+    }
+}
+
+/// Samples `K`, the number of fair coin flips until `h` consecutive heads
+/// (the per-tick interaction count of Lemma 26).
+pub fn sample_interactions_per_tick<R: Rng + ?Sized>(h: u8, rng: &mut R) -> u64 {
+    let mut clock = StreakClock::new(h);
+    let mut flips = 0u64;
+    loop {
+        flips += 1;
+        if clock.on_interaction(rng.random::<bool>()) {
+            return flips;
+        }
+    }
+}
+
+/// The **exact** survival function `f(k) = Pr[K ≥ k]` of the per-tick
+/// interaction count, evaluated for `k = 0..=k_max` via the Appendix B
+/// recurrence (Lemma 55):
+///
+/// ```text
+/// f(k) = 1                           for k ≤ h,
+/// f(h + 1) = 1 − 2^{−h}              (all-heads opening run),
+/// f(k + 1) = f(k) − f(k − h)/2^{h+1} for k ≥ h + 1.
+/// ```
+///
+/// **Erratum note.** The paper states the identity
+/// `Pr[K = k] = f(k − h)/2^{h+1}` "for k ≥ h", but at `k = h` there is no
+/// tail flip preceding the winning run: `Pr[K = h] = 2^{−h}`, not
+/// `2^{−h−1}`. The identity (and hence the recurrence) holds for
+/// `k ≥ h + 1`; we use the corrected base case. The Lemma 56/57 sandwich
+/// `(1 − 2^{−h})^k ≤ f(k) ≤ (1 − 2^{−h−1})^{k−h}` — the inequality
+/// Lemma 26's stochastic domination rests on — still holds for the true
+/// distribution, and is asserted against these exact values in tests.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ h ≤ 60`.
+#[must_use]
+pub fn tick_survival_exact(h: u8, k_max: usize) -> Vec<f64> {
+    assert!((1..=60).contains(&h), "streak length must be in 1..=60");
+    let h = usize::from(h);
+    let denom = (2u64 << h) as f64; // 2^{h+1}
+    let mut f = Vec::with_capacity(k_max + 1);
+    for k in 0..=k_max {
+        if k <= h {
+            f.push(1.0);
+        } else if k == h + 1 {
+            f.push(1.0 - 0.5f64.powi(h as i32));
+        } else {
+            // f(k) = f(k−1) − f(k−1−h)/2^{h+1} for k − 1 ≥ h + 1.
+            let value = f[k - 1] - f[k - 1 - h] / denom;
+            f.push(value.max(0.0));
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popele_math::dist::Geometric;
+    use popele_math::rng::small_rng;
+    use popele_math::stats::Welford;
+
+    #[test]
+    fn tick_requires_h_consecutive_initiations() {
+        let mut c = StreakClock::new(3);
+        assert!(!c.on_interaction(true));
+        assert!(!c.on_interaction(true));
+        assert!(!c.on_interaction(false)); // reset at streak 2
+        assert!(!c.on_interaction(true));
+        assert!(!c.on_interaction(true));
+        assert!(c.on_interaction(true)); // third in a row → tick
+        assert_eq!(c.streak(), 0);
+    }
+
+    #[test]
+    fn h_one_ticks_every_initiation() {
+        let mut c = StreakClock::new(1);
+        assert!(c.on_interaction(true));
+        assert!(!c.on_interaction(false));
+        assert!(c.on_interaction(true));
+    }
+
+    #[test]
+    fn expected_interactions_formula() {
+        assert_eq!(StreakClock::new(1).expected_interactions_per_tick(), 2.0);
+        assert_eq!(StreakClock::new(2).expected_interactions_per_tick(), 6.0);
+        assert_eq!(StreakClock::new(3).expected_interactions_per_tick(), 14.0);
+        assert_eq!(StreakClock::new(10).expected_interactions_per_tick(), 2046.0);
+    }
+
+    #[test]
+    fn lemma27a_empirical_mean() {
+        // E[K] = 2^{h+1} − 2 for h = 4 is 30.
+        let mut rng = small_rng(7);
+        let mut w = Welford::new();
+        for _ in 0..40_000 {
+            w.push(sample_interactions_per_tick(4, &mut rng) as f64);
+        }
+        assert!((w.mean() - 30.0).abs() < 0.6, "mean {}", w.mean());
+    }
+
+    #[test]
+    fn lemma26_stochastic_sandwich() {
+        // Geom(2^{−h}) ⪯ K ⪯ Geom(2^{−h−1}) + h: compare empirical
+        // survival functions at several thresholds.
+        let h = 3u8;
+        let mut rng = small_rng(13);
+        let trials = 30_000usize;
+        let samples: Vec<u64> = (0..trials)
+            .map(|_| sample_interactions_per_tick(h, &mut rng))
+            .collect();
+        let lower = Geometric::new(1.0 / f64::from(1u32 << h));
+        let upper = Geometric::new(1.0 / f64::from(1u32 << (h + 1)));
+        let lower_samples: Vec<u64> = (0..trials).map(|_| lower.sample(&mut rng)).collect();
+        let upper_samples: Vec<u64> = (0..trials)
+            .map(|_| upper.sample(&mut rng) + u64::from(h))
+            .collect();
+        let survival = |xs: &[u64], t: u64| xs.iter().filter(|&&x| x >= t).count() as f64 / xs.len() as f64;
+        for t in [5u64, 10, 20, 40, 80] {
+            let s_k = survival(&samples, t);
+            let s_lo = survival(&lower_samples, t);
+            let s_hi = survival(&upper_samples, t);
+            assert!(
+                s_lo <= s_k + 0.02,
+                "t={t}: Geom lower bound violated ({s_lo} > {s_k})"
+            );
+            assert!(
+                s_k <= s_hi + 0.02,
+                "t={t}: Geom upper bound violated ({s_k} > {s_hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_survival_matches_base_cases() {
+        // h = 1: K ~ Geom(1/2) exactly, so f(k) = (1/2)^{k−1} for k ≥ 1.
+        let f = tick_survival_exact(1, 10);
+        for k in 1..=10usize {
+            let expected = 0.5f64.powi(k as i32 - 1);
+            assert!(
+                (f[k] - expected).abs() < 1e-12,
+                "h=1, k={k}: {} vs {expected}",
+                f[k]
+            );
+        }
+    }
+
+    #[test]
+    fn exact_survival_mean_matches_lemma27a() {
+        // E[K] = Σ_{k≥1} Pr[K ≥ k]; truncating far past the mean loses
+        // a negligible tail.
+        for h in [2u8, 3, 4, 5] {
+            let horizon = 200 * (1usize << h);
+            let f = tick_survival_exact(h, horizon);
+            let mean: f64 = f[1..].iter().sum();
+            let expected = (2u64 << h) as f64 - 2.0;
+            assert!(
+                (mean - expected).abs() < 1e-6,
+                "h={h}: exact mean {mean} vs 2^{{h+1}}−2 = {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemmas_56_57_sandwich_exact_survival() {
+        // (1 − 2^{−h})^k ≤ f(k) ≤ (1 − 2^{−h−1})^{k−h} for k ≥ h.
+        for h in [2u8, 4, 6] {
+            let f = tick_survival_exact(h, 400);
+            let lo_base = 1.0 - 0.5f64.powi(i32::from(h));
+            let hi_base = 1.0 - 0.5f64.powi(i32::from(h) + 1);
+            for (k, &fk) in f.iter().enumerate().skip(usize::from(h)) {
+                let lower = lo_base.powi(k as i32);
+                let upper = hi_base.powi(k as i32 - i32::from(h));
+                assert!(fk >= lower - 1e-12, "h={h} k={k}: {fk} < lower {lower}");
+                assert!(fk <= upper + 1e-12, "h={h} k={k}: {fk} > upper {upper}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_matches_exact_distribution() {
+        // Empirical survival of the sampler vs the Appendix B recurrence.
+        let h = 3u8;
+        let f = tick_survival_exact(h, 120);
+        let mut rng = small_rng(29);
+        let trials = 60_000usize;
+        let mut counts = vec![0u32; 121];
+        for _ in 0..trials {
+            let k = sample_interactions_per_tick(h, &mut rng) as usize;
+            if k <= 120 {
+                counts[k] += 1;
+            }
+        }
+        // Empirical Pr[K ≥ k] by reverse cumulative sum.
+        let mut tail = 0u32;
+        let mut empirical = vec![0.0; 121];
+        for k in (0..=120).rev() {
+            tail += counts[k];
+            empirical[k] = f64::from(tail) / trials as f64;
+        }
+        for k in [1usize, 5, 14, 30, 60] {
+            assert!(
+                (empirical[k] - f[k]).abs() < 0.01,
+                "k={k}: empirical {} vs exact {}",
+                empirical[k],
+                f[k]
+            );
+        }
+    }
+
+    #[test]
+    fn steps_per_tick_scales_inversely_with_degree() {
+        let c = StreakClock::new(5);
+        let high = c.expected_steps_per_tick(100, 1000);
+        let low = c.expected_steps_per_tick(10, 1000);
+        assert!((low / high - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=60")]
+    fn rejects_zero_h() {
+        let _ = StreakClock::new(0);
+    }
+
+    #[test]
+    fn clock_state_space_is_h_plus_one() {
+        // streak ranges over {0, …, h−1} after the completion reset — the
+        // transient value h is collapsed to 0 — so h distinct stored
+        // values; with the h parameter fixed the clock contributes h + 1
+        // states counting the tick signal. Verify streak stays < h.
+        let mut c = StreakClock::new(4);
+        let mut rng = small_rng(3);
+        for _ in 0..1000 {
+            c.on_interaction(rng.random::<bool>());
+            assert!(c.streak() < 4);
+        }
+    }
+}

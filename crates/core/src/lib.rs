@@ -1,0 +1,57 @@
+//! Leader-election protocols from *Near-Optimal Leader Election in
+//! Population Protocols on Graphs* (PODC 2022).
+//!
+//! This crate is the primary contribution of the reproduction: every
+//! protocol the paper analyses, implemented against the
+//! [`popele_engine::Protocol`] abstraction with an exact stabilization
+//! oracle each:
+//!
+//! * [`token`] — the 6-state token-based protocol of Beauquier, Blanchard
+//!   and Burman, the paper's constant-state baseline (Theorem 16,
+//!   `O(H(G)·n·log n)` expected steps);
+//! * [`identifier`] — the time-efficient polynomial-state protocol
+//!   (Theorem 21, `O(B(G) + n·log n)` expected steps with `O(n⁴)` states):
+//!   identifier generation by initiator/responder coin flips, broadcast of
+//!   the maximum, and the token protocol as an always-correct backup;
+//! * [`clock`] — the space-efficient streak clock (Section 5.1,
+//!   Lemmas 26–29): `h + 1` states generating ticks every `Θ(2^h·m/d)`
+//!   steps at a degree-`d` node;
+//! * [`fast`] — the paper's main protocol (Theorem 24,
+//!   `O(B(G)·log n)` steps with `O(log n · h(G))` states): a level-based
+//!   tournament among high-degree nodes driven by streak clocks, with the
+//!   token protocol as a backup phase;
+//! * [`star`] — the trivial 3-state protocol electing a leader in one
+//!   interaction on stars (Table 1, "Stars" row);
+//! * [`params`] — derivation of the protocols' parameters (`h`, `L`, `α`,
+//!   `k`) from measured graph statistics, in both *paper* (faithful
+//!   constants) and *practical* (simulation-sized constants) flavours.
+//!
+//! # Examples
+//!
+//! ```
+//! use popele_core::token::TokenProtocol;
+//! use popele_engine::Executor;
+//! use popele_graph::families;
+//!
+//! let g = families::cycle(16);
+//! let protocol = TokenProtocol::all_candidates();
+//! let mut exec = Executor::new(&g, &protocol, 99);
+//! let outcome = exec.run_until_stable(50_000_000).expect("token protocol always stabilizes");
+//! assert_eq!(outcome.leader_count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod fast;
+pub mod identifier;
+pub mod majority;
+pub mod params;
+pub mod star;
+pub mod token;
+
+pub use fast::FastProtocol;
+pub use identifier::IdentifierProtocol;
+pub use majority::MajorityProtocol;
+pub use star::StarProtocol;
+pub use token::TokenProtocol;

@@ -1,0 +1,175 @@
+//! Parameter derivation for the paper's protocols.
+//!
+//! The fast protocol of Theorem 24 is *non-uniform*: its state space and
+//! transition function depend on high-level structural quantities of the
+//! interaction graph (the broadcast time `B(G)`, the maximum degree `Δ`,
+//! `m` and `n`) which all nodes receive identically at initialization
+//! (Section 2.2). This module derives those parameters from measured
+//! graph statistics.
+//!
+//! Two flavours are provided:
+//!
+//! * [`FastParams::paper`] — the constants exactly as in Section 5.2:
+//!   `h = 8 + ⌈log₂(B(G)·Δ/m)⌉` and `L = ⌈2τ·log₂ n⌉`. These are sized
+//!   for the high-probability union bounds of the proofs and put
+//!   `≈ 2⁹·B(G)` steps between clock ticks — faithful, but *hundreds of
+//!   times slower* than necessary in simulation.
+//! * [`FastParams::practical`] — the same formulas with the proof
+//!   slack removed (`h = max(1, ⌈log₂(B(G)·Δ/m)⌉)`, `L = ⌈log₂ n⌉`,
+//!   `α = 4`). The asymptotic shape `O(B(G)·log n)` is unchanged; only
+//!   the constant shrinks. Failures (several nodes surviving to the
+//!   maximum level) are handled by the always-correct backup phase, so
+//!   correctness never depends on the parameter choice.
+
+/// Parameters of the fast space-efficient protocol (Theorem 24).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastParams {
+    /// Streak length `h` of the local clocks.
+    pub h: u8,
+    /// Elimination-phase entry level `L`.
+    pub big_l: u32,
+    /// Level-cap multiplier: nodes reaching `α·L` switch to the backup.
+    pub alpha: u32,
+}
+
+impl FastParams {
+    /// Explicit constructor (mainly for tests and ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ h ≤ 60`, `big_l ≥ 1`, `alpha ≥ 2`.
+    #[must_use]
+    pub fn new(h: u8, big_l: u32, alpha: u32) -> Self {
+        assert!((1..=60).contains(&h), "h must be in 1..=60");
+        assert!(big_l >= 1, "L must be at least 1");
+        assert!(alpha >= 2, "α must be at least 2");
+        Self { h, big_l, alpha }
+    }
+
+    /// The paper's constants (Section 5.2) with failure parameter `τ`:
+    /// `h = 8 + ⌈log₂(B(G)·Δ/m)⌉`, `L = ⌈2τ·log₂ n⌉`, `α = 8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate inputs (`n < 2`, `m == 0`, `Δ == 0`,
+    /// non-positive `b_estimate`, `tau == 0`).
+    #[must_use]
+    pub fn paper(b_estimate: f64, max_degree: u32, m: usize, n: u32, tau: u32) -> Self {
+        assert!(n >= 2 && m > 0 && max_degree > 0 && tau > 0);
+        assert!(b_estimate > 0.0, "broadcast estimate must be positive");
+        let ratio = (b_estimate * f64::from(max_degree) / m as f64).max(1.0);
+        let h = 8 + ratio.log2().ceil() as i64;
+        let big_l = (2.0 * f64::from(tau) * f64::from(n).log2()).ceil() as u32;
+        Self::new(h.clamp(1, 60) as u8, big_l.max(1), 8)
+    }
+
+    /// Simulation-sized constants preserving the asymptotic shape:
+    /// `h = max(1, ⌈log₂(B(G)·Δ/m)⌉)`, `L = ⌈log₂ n⌉`, `α = 4`.
+    ///
+    /// # Panics
+    ///
+    /// As [`FastParams::paper`].
+    #[must_use]
+    pub fn practical(b_estimate: f64, max_degree: u32, m: usize, n: u32) -> Self {
+        assert!(n >= 2 && m > 0 && max_degree > 0);
+        assert!(b_estimate > 0.0, "broadcast estimate must be positive");
+        let ratio = (b_estimate * f64::from(max_degree) / m as f64).max(1.0);
+        let h = ratio.log2().ceil().max(1.0) as i64;
+        let big_l = f64::from(n).log2().ceil() as u32;
+        Self::new(h.clamp(1, 60) as u8, big_l.max(1), 4)
+    }
+
+    /// The maximum level `α·L` at which nodes switch to the backup phase.
+    #[must_use]
+    pub fn max_level(&self) -> u32 {
+        self.alpha * self.big_l
+    }
+
+    /// The state-space size `h(G)·L` style bound of Theorem 24 for this
+    /// parameterization: streak states × level states × status ×
+    /// backup-token states.
+    #[must_use]
+    pub fn state_space_bound(&self) -> u64 {
+        let streaks = u64::from(self.h) + 1;
+        let levels = u64::from(self.max_level()) + 1;
+        // status ∈ {leader, follower}; backup ∈ {off} ∪ 6 token states.
+        streaks * levels * 2 * 7
+    }
+}
+
+/// Identifier length for the Theorem 21 protocol.
+///
+/// `paper = true` gives `k = ⌈4·log₂ n⌉` (general graphs; use
+/// `⌈3·log₂ n⌉` for regular graphs per the theorem), capped at 62 bits;
+/// `paper = false` gives the simulation-sized `k = 2·⌈log₂ n⌉` whose
+/// collision probability `n/2^k ≤ 1/n` already makes ties negligible.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn identifier_bits(n: u32, paper: bool) -> u32 {
+    assert!(n >= 2, "need at least two nodes");
+    let log_n = f64::from(n).log2().ceil() as u32;
+    let k = if paper { 4 * log_n } else { 2 * log_n };
+    k.clamp(1, 62)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_match_formulas() {
+        // Clique-ish inputs: B ≈ n log n, Δ = n−1, m = n(n−1)/2.
+        let n = 256u32;
+        let m = 256 * 255 / 2;
+        let b = 256.0 * 8.0 * std::f64::consts::LN_2; // ≈ n ln n
+        let p = FastParams::paper(b, 255, m, n, 1);
+        // ratio = B·Δ/m ≈ 2·B/n ≈ 11.09 → ⌈log₂⌉ = 4 → h = 12.
+        assert_eq!(p.h, 12);
+        assert_eq!(p.big_l, 16); // 2·1·log₂ 256
+        assert_eq!(p.alpha, 8);
+        assert_eq!(p.max_level(), 128);
+    }
+
+    #[test]
+    fn practical_smaller_than_paper() {
+        let p = FastParams::paper(1000.0, 10, 500, 64, 2);
+        let q = FastParams::practical(1000.0, 10, 500, 64);
+        assert!(q.h < p.h);
+        assert!(q.big_l <= p.big_l);
+        assert_eq!(q.h, 5); // log2(1000·10/500) = log2(20) → ⌈4.32⌉ = 5
+        assert_eq!(q.big_l, 6);
+    }
+
+    #[test]
+    fn ratio_below_one_clamps() {
+        // Very fast broadcast relative to m/Δ: h floors at its minimum.
+        let p = FastParams::practical(1.0, 1, 1000, 16);
+        assert_eq!(p.h, 1);
+        let q = FastParams::paper(1.0, 1, 1000, 16, 1);
+        assert_eq!(q.h, 8);
+    }
+
+    #[test]
+    fn state_space_bound_counts_components() {
+        let p = FastParams::new(2, 3, 2);
+        // (h+1)·(αL+1)·2·7 = 3·7·2·7 = 294.
+        assert_eq!(p.state_space_bound(), 294);
+    }
+
+    #[test]
+    fn identifier_bits_flavours() {
+        assert_eq!(identifier_bits(256, true), 32);
+        assert_eq!(identifier_bits(256, false), 16);
+        assert_eq!(identifier_bits(1 << 20, true), 62); // capped
+        assert_eq!(identifier_bits(2, false), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "α must be at least 2")]
+    fn alpha_one_rejected() {
+        let _ = FastParams::new(1, 1, 1);
+    }
+}

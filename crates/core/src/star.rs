@@ -1,0 +1,185 @@
+//! The trivial 3-state protocol for star graphs (Table 1, "Stars" row).
+//!
+//! Section 1.3 of the paper observes that on stars a constant-state
+//! protocol elects a leader in a **single interaction**: every interaction
+//! involves the centre, so the first interaction breaks all symmetry.
+//!
+//! Rules (initiator, responder):
+//!
+//! * `(Init, Init) → (Leader, Follower)`
+//! * `(Leader, Init) → (Leader, Follower)` and symmetrically
+//! * `(Follower, Init) → (Follower, Follower)` and symmetrically
+//!
+//! `Init` outputs *follower*, so after the first interaction exactly one
+//! node outputs leader.
+//!
+//! # Stability on stars (oracle proof)
+//!
+//! A new leader can only arise from an `(Init, Init)` interaction. On a
+//! star every edge contains the centre, and after the first interaction
+//! the centre is never `Init` again, so no second leader can ever appear;
+//! leaders are never demoted. Hence on stars *exactly one leader output ⟺
+//! stable and correct*, and [`LeaderCountOracle`] is exact. **On graphs
+//! with an edge between two non-centre nodes this equivalence fails** —
+//! the protocol is only intended for stars, and [`StarProtocol::new`]
+//! documents this contract.
+
+use popele_engine::{LeaderCountOracle, Protocol, Role};
+use popele_graph::NodeId;
+
+/// The three local states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StarState {
+    /// Initial, undecided state (outputs follower).
+    Init,
+    /// Elected leader.
+    Leader,
+    /// Decided follower.
+    Follower,
+}
+
+/// The 3-state single-interaction protocol for star graphs.
+///
+/// # Examples
+///
+/// ```
+/// use popele_core::star::StarProtocol;
+/// use popele_engine::Executor;
+/// use popele_graph::families;
+///
+/// let g = families::star(100);
+/// let out = Executor::new(&g, &StarProtocol::new(), 1)
+///     .run_until_stable(10)
+///     .unwrap();
+/// assert_eq!(out.stabilization_step, 1); // one interaction!
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StarProtocol;
+
+impl StarProtocol {
+    /// Creates the protocol. Correct (and its oracle exact) on star
+    /// graphs; see the module docs for why it must not be used elsewhere.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Protocol for StarProtocol {
+    type State = StarState;
+    type Oracle = LeaderCountOracle;
+
+    fn initial_state(&self, _node: NodeId) -> StarState {
+        StarState::Init
+    }
+
+    fn transition(&self, a: &StarState, b: &StarState) -> (StarState, StarState) {
+        use StarState::{Follower, Init, Leader};
+        match (a, b) {
+            (Init, Init) => (Leader, Follower),
+            (Leader, Init) => (Leader, Follower),
+            (Init, Leader) => (Follower, Leader),
+            (Follower, Init) => (Follower, Follower),
+            (Init, Follower) => (Follower, Follower),
+            (x, y) => (*x, *y),
+        }
+    }
+
+    fn output(&self, state: &StarState) -> Role {
+        match state {
+            StarState::Leader => Role::Leader,
+            _ => Role::Follower,
+        }
+    }
+
+    fn oracle(&self) -> LeaderCountOracle {
+        LeaderCountOracle::new()
+    }
+
+    fn state_space_bound(&self) -> Option<u64> {
+        Some(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popele_engine::exhaustive::{validate_oracle_on_execution, DEFAULT_CONFIG_LIMIT};
+    use popele_engine::Executor;
+    use popele_graph::families;
+
+    #[test]
+    fn one_interaction_on_any_star() {
+        for n in [2u32, 3, 10, 100, 1000] {
+            let g = families::star(n);
+            let out = Executor::new(&g, &StarProtocol::new(), u64::from(n))
+                .run_until_stable(10)
+                .unwrap();
+            assert_eq!(out.stabilization_step, 1, "star n={n}");
+            assert_eq!(out.leader_count, 1);
+        }
+    }
+
+    #[test]
+    fn leader_is_centre_or_first_leaf() {
+        // The first interaction is centre↔some leaf; the initiator wins.
+        let g = families::star(50);
+        let p = StarProtocol::new();
+        let mut exec = Executor::new(&g, &p, 7);
+        let (initiator, _) = exec.step();
+        assert_eq!(exec.leader(), Some(initiator));
+    }
+
+    #[test]
+    fn oracle_exact_on_tiny_stars() {
+        for n in [2u32, 3, 4] {
+            let steps = validate_oracle_on_execution(
+                &StarProtocol::new(),
+                &families::star(n),
+                3,
+                50,
+                DEFAULT_CONFIG_LIMIT,
+            );
+            assert_eq!(steps, 1);
+        }
+    }
+
+    #[test]
+    fn later_interactions_change_nothing_observable() {
+        let g = families::star(10);
+        let p = StarProtocol::new();
+        let mut exec = Executor::new(&g, &p, 5);
+        exec.run_until_stable(10).unwrap();
+        let leader = exec.leader();
+        exec.run_steps(1000);
+        assert_eq!(exec.leader(), leader);
+        assert_eq!(exec.leader_count(), 1);
+    }
+
+    #[test]
+    fn transition_table_complete() {
+        use StarState::{Follower, Init, Leader};
+        let p = StarProtocol::new();
+        assert_eq!(p.transition(&Init, &Init), (Leader, Follower));
+        assert_eq!(p.transition(&Leader, &Init), (Leader, Follower));
+        assert_eq!(p.transition(&Init, &Leader), (Follower, Leader));
+        assert_eq!(p.transition(&Follower, &Init), (Follower, Follower));
+        assert_eq!(p.transition(&Init, &Follower), (Follower, Follower));
+        // Decided pairs are inert.
+        assert_eq!(p.transition(&Leader, &Follower), (Leader, Follower));
+        assert_eq!(p.transition(&Follower, &Leader), (Follower, Leader));
+        assert_eq!(p.transition(&Follower, &Follower), (Follower, Follower));
+        assert_eq!(p.transition(&Leader, &Leader), (Leader, Leader));
+    }
+
+    #[test]
+    fn uses_three_states() {
+        let g = families::star(20);
+        let p = StarProtocol::new();
+        let mut exec = Executor::new(&g, &p, 2);
+        exec.enable_state_census();
+        exec.run_steps(500);
+        let out = exec.outcome();
+        assert!(out.distinct_states.unwrap() <= 3);
+    }
+}

@@ -1,0 +1,416 @@
+//! One-way epidemics: broadcast and propagation times (Section 3.2).
+//!
+//! The infection process: a source node holds a message; whenever the
+//! scheduler samples a pair with exactly one informed endpoint, the other
+//! endpoint becomes informed. `T(v)` is the step at which all nodes are
+//! informed, and `B(G) = max_v E[T(v)]` is the worst-case expected
+//! broadcast time — the quantity parameterizing the paper's upper bounds.
+
+use popele_engine::EdgeScheduler;
+use popele_graph::traversal::bfs_distances;
+use popele_graph::{Graph, NodeId};
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Summary;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Simulates one epidemic from `source` and returns `T(source)` for the
+/// sampled schedule: the number of steps until all nodes are informed.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (the epidemic would never finish)
+/// or `source` is out of range.
+#[must_use]
+pub fn broadcast_time_from(g: &Graph, source: NodeId, seed: u64) -> u64 {
+    assert!(source < g.num_nodes(), "source out of range");
+    let n = g.num_nodes() as usize;
+    let mut informed = vec![false; n];
+    informed[source as usize] = true;
+    let mut count = 1usize;
+    let mut sched = EdgeScheduler::new(g, seed);
+    // Disconnection guard: the expected completion time is far below
+    // n·m·(1 + ln n); bail out at a generous multiple.
+    let guard = 1000 * (g.num_edges() as u64) * (n as u64 + 64)
+        * (1 + (n as f64).ln().ceil() as u64);
+    while count < n {
+        let (u, v) = sched.next_pair();
+        let (iu, iv) = (u as usize, v as usize);
+        if informed[iu] != informed[iv] {
+            informed[iu] = true;
+            informed[iv] = true;
+            count += 1;
+        }
+        assert!(
+            sched.steps() < guard,
+            "epidemic did not finish; is the graph connected?"
+        );
+    }
+    sched.steps()
+}
+
+/// Simulates one epidemic from `source` and returns the first step at
+/// which a node at BFS distance exactly `k` from `source` is informed
+/// (the distance-`k` propagation time `T_k(source)` of Section 3.2).
+///
+/// Returns `None` if no node is at distance `k`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or the graph is disconnected.
+#[must_use]
+pub fn propagation_time(g: &Graph, source: NodeId, k: u32, seed: u64) -> Option<u64> {
+    assert!(source < g.num_nodes(), "source out of range");
+    let dist = bfs_distances(g, source);
+    if !dist.iter().any(|&d| d == k) {
+        return None;
+    }
+    if k == 0 {
+        return Some(0);
+    }
+    let n = g.num_nodes() as usize;
+    let mut informed = vec![false; n];
+    informed[source as usize] = true;
+    let mut sched = EdgeScheduler::new(g, seed);
+    let guard = 1000 * (g.num_edges() as u64) * (n as u64 + 64)
+        * (1 + (n as f64).ln().ceil() as u64);
+    loop {
+        let (u, v) = sched.next_pair();
+        let (iu, iv) = (u as usize, v as usize);
+        if informed[iu] != informed[iv] {
+            let newly = if informed[iu] { iv } else { iu };
+            informed[iu] = true;
+            informed[iv] = true;
+            if dist[newly] == k {
+                return Some(sched.steps());
+            }
+        }
+        assert!(
+            sched.steps() < guard,
+            "propagation did not reach distance {k}; is the graph connected?"
+        );
+    }
+}
+
+/// How sources are chosen when estimating `B(G)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceStrategy {
+    /// Use every node as a source (exact maximization; `O(n)` sources).
+    All,
+    /// Use the listed nodes.
+    Explicit(Vec<NodeId>),
+    /// Use extremal-degree nodes plus evenly spaced ids, up to the count.
+    ///
+    /// In the population model low-degree nodes interact rarely, so the
+    /// worst-case source is typically a minimum-degree node; including a
+    /// spread of ids guards against asymmetric graphs.
+    Heuristic(usize),
+}
+
+/// Options for [`estimate_broadcast_time`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastConfig {
+    /// Source-selection strategy.
+    pub sources: SourceStrategy,
+    /// Epidemics simulated per source.
+    pub trials_per_source: usize,
+    /// Worker threads; `0` = one per core.
+    pub threads: usize,
+}
+
+impl Default for BroadcastConfig {
+    fn default() -> Self {
+        Self {
+            sources: SourceStrategy::Heuristic(8),
+            trials_per_source: 8,
+            threads: 0,
+        }
+    }
+}
+
+/// Monte-Carlo estimate of the worst-case expected broadcast time `B(G)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BroadcastEstimate {
+    /// `max_v mean(T(v))` over the evaluated sources — the `B(G)` estimate.
+    pub b_estimate: f64,
+    /// The source attaining the maximum.
+    pub worst_source: NodeId,
+    /// Per-source summaries `(source, summary of T(source))`.
+    pub per_source: Vec<(NodeId, Summary)>,
+}
+
+/// Estimates `B(G) = max_v E[T(v)]` by simulating epidemics from a set of
+/// sources.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected, a source is out of range, or
+/// `trials_per_source == 0`.
+#[must_use]
+pub fn estimate_broadcast_time(
+    g: &Graph,
+    master_seed: u64,
+    config: &BroadcastConfig,
+) -> BroadcastEstimate {
+    assert!(config.trials_per_source > 0, "need at least one trial");
+    let sources: Vec<NodeId> = match &config.sources {
+        SourceStrategy::All => g.nodes().collect(),
+        SourceStrategy::Explicit(list) => {
+            assert!(!list.is_empty(), "explicit source list must be nonempty");
+            list.clone()
+        }
+        SourceStrategy::Heuristic(count) => heuristic_sources(g, *count),
+    };
+    let seq = SeedSeq::new(master_seed);
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        config.threads
+    };
+    let threads = threads.min(sources.len());
+
+    let evaluate = |idx: usize| -> (NodeId, Summary) {
+        let src = sources[idx];
+        let child = SeedSeq::new(seq.child(idx as u64));
+        let summary: Summary = (0..config.trials_per_source)
+            .map(|t| broadcast_time_from(g, src, child.child(t as u64)) as f64)
+            .collect();
+        (src, summary)
+    };
+
+    let per_source: Vec<(NodeId, Summary)> = if threads <= 1 {
+        (0..sources.len()).map(evaluate).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let results = parking_lot::Mutex::new(vec![None; sources.len()]);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= sources.len() {
+                        break;
+                    }
+                    let r = evaluate(idx);
+                    results.lock()[idx] = Some(r);
+                });
+            }
+        })
+        .expect("broadcast worker panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("all sources evaluated"))
+            .collect()
+    };
+
+    let (worst_source, best) = per_source
+        .iter()
+        .map(|(src, s)| (*src, s.mean()))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .expect("at least one source");
+    BroadcastEstimate {
+        b_estimate: best,
+        worst_source,
+        per_source: per_source.clone(),
+    }
+}
+
+fn heuristic_sources(g: &Graph, count: usize) -> Vec<NodeId> {
+    let count = count.clamp(1, g.num_nodes() as usize);
+    let mut sources = Vec::with_capacity(count + 2);
+    let min_deg_node = g
+        .nodes()
+        .min_by_key(|&v| g.degree(v))
+        .expect("nonempty graph");
+    let max_deg_node = g
+        .nodes()
+        .max_by_key(|&v| g.degree(v))
+        .expect("nonempty graph");
+    sources.push(min_deg_node);
+    sources.push(max_deg_node);
+    let n = g.num_nodes();
+    for i in 0..count {
+        sources.push(((i as u64 * u64::from(n)) / count as u64) as NodeId);
+    }
+    sources.sort_unstable();
+    sources.dedup();
+    sources
+}
+
+/// Lemma 8 upper bound: `B(G) ≤ m·max(6 ln n, D) + 2`.
+#[must_use]
+pub fn upper_bound_diameter(m: usize, n: u32, diameter: u32) -> f64 {
+    let ln_n = f64::from(n).ln();
+    m as f64 * (6.0 * ln_n).max(f64::from(diameter)) + 2.0
+}
+
+/// Lemma 10 upper bound: `B(G) ≤ 2·λ₀·m·log n / β + 2` with the smallest
+/// admissible constant `λ₀ = 2`.
+///
+/// # Panics
+///
+/// Panics if `beta <= 0`.
+#[must_use]
+pub fn upper_bound_expansion(m: usize, n: u32, beta: f64) -> f64 {
+    assert!(beta > 0.0, "edge expansion must be positive");
+    let lambda0 = 2.0;
+    2.0 * lambda0 * m as f64 * f64::from(n).ln() / beta + 2.0
+}
+
+/// Theorem 6 combined upper bound:
+/// `B(G) ∈ O(m·min(log n / β, log n + D))`, evaluated with the explicit
+/// constants of Lemmas 8 and 10.
+#[must_use]
+pub fn upper_bound_theorem6(m: usize, n: u32, diameter: u32, beta: f64) -> f64 {
+    let by_diameter = upper_bound_diameter(m, n, diameter);
+    if beta > 0.0 {
+        by_diameter.min(upper_bound_expansion(m, n, beta))
+    } else {
+        by_diameter
+    }
+}
+
+/// Lemma 12 lower bound: `B(G) ≥ (m/Δ)·ln(n−1)`.
+///
+/// # Panics
+///
+/// Panics if `max_degree == 0` or `n < 2`.
+#[must_use]
+pub fn lower_bound_degree(m: usize, n: u32, max_degree: u32) -> f64 {
+    assert!(max_degree > 0 && n >= 2);
+    m as f64 / f64::from(max_degree) * f64::from(n - 1).ln()
+}
+
+/// Lemma 14 threshold: with probability ≥ 1 − 1/n, propagation to distance
+/// `k ≥ ln n` takes at least `k·m/(Δ·e³)` steps.
+#[must_use]
+pub fn lemma14_threshold(k: u32, m: usize, max_degree: u32) -> f64 {
+    f64::from(k) * m as f64 / (f64::from(max_degree) * std::f64::consts::E.powi(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popele_graph::families;
+    use popele_graph::properties::diameter;
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let g = families::cycle(16);
+        let t = broadcast_time_from(&g, 0, 1);
+        // Information must traverse at least ⌈n/2⌉ hops; each hop needs
+        // ≥ 1 step, and every node interacts.
+        assert!(t >= 15);
+    }
+
+    #[test]
+    fn broadcast_deterministic_per_seed() {
+        let g = families::torus(4, 4);
+        assert_eq!(
+            broadcast_time_from(&g, 3, 9),
+            broadcast_time_from(&g, 3, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn broadcast_detects_disconnected() {
+        let g = popele_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let _ = broadcast_time_from(&g, 0, 0);
+    }
+
+    #[test]
+    fn propagation_time_monotone_in_k() {
+        let g = families::path(20);
+        let t5 = propagation_time(&g, 0, 5, 7).unwrap();
+        let t15 = propagation_time(&g, 0, 15, 7).unwrap();
+        assert!(t5 <= t15, "t5={t5} t15={t15}");
+        assert_eq!(propagation_time(&g, 0, 0, 7), Some(0));
+        assert_eq!(propagation_time(&g, 0, 25, 7), None);
+    }
+
+    #[test]
+    fn estimate_on_clique_matches_coupon_collector_scale() {
+        // On K_n broadcast is Θ(n log n); for n = 24, roughly
+        // n·H_{n-1} ≈ 24·3.7 ≈ 90 steps. Check the estimate is in a broad
+        // envelope around that.
+        let g = families::clique(24);
+        let est = estimate_broadcast_time(
+            &g,
+            5,
+            &BroadcastConfig {
+                sources: SourceStrategy::Explicit(vec![0]),
+                trials_per_source: 40,
+                threads: 1,
+            },
+        );
+        assert!(est.b_estimate > 40.0, "estimate {}", est.b_estimate);
+        assert!(est.b_estimate < 300.0, "estimate {}", est.b_estimate);
+    }
+
+    #[test]
+    fn estimate_respects_bounds_on_cycle() {
+        let g = families::cycle(32);
+        let est = estimate_broadcast_time(
+            &g,
+            11,
+            &BroadcastConfig {
+                sources: SourceStrategy::Heuristic(4),
+                trials_per_source: 10,
+                threads: 2,
+            },
+        );
+        let d = diameter(&g);
+        let upper = upper_bound_diameter(g.num_edges(), g.num_nodes(), d);
+        let lower = lower_bound_degree(g.num_edges(), g.num_nodes(), g.max_degree());
+        assert!(est.b_estimate <= upper, "{} > {}", est.b_estimate, upper);
+        assert!(
+            est.b_estimate >= lower * 0.5,
+            "{} < {}",
+            est.b_estimate,
+            lower
+        );
+    }
+
+    #[test]
+    fn estimate_parallel_matches_sequential() {
+        let g = families::clique(12);
+        let cfg = |threads| BroadcastConfig {
+            sources: SourceStrategy::Explicit(vec![0, 5]),
+            trials_per_source: 4,
+            threads,
+        };
+        let a = estimate_broadcast_time(&g, 3, &cfg(1));
+        let b = estimate_broadcast_time(&g, 3, &cfg(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heuristic_sources_include_extremes() {
+        let g = families::star(20);
+        let sources = heuristic_sources(&g, 4);
+        assert!(sources.contains(&0), "max-degree centre included");
+        assert!(sources.len() >= 2);
+        assert!(sources.iter().all(|&s| s < 20));
+    }
+
+    #[test]
+    fn theorem6_picks_smaller_bound() {
+        // Clique: expansion bound wins by far.
+        let both = upper_bound_theorem6(435, 30, 1, 15.0);
+        assert!(both <= upper_bound_diameter(435, 30, 1));
+        assert!(both <= upper_bound_expansion(435, 30, 15.0));
+        // β = 0 falls back to the diameter bound.
+        assert_eq!(
+            upper_bound_theorem6(10, 5, 2, 0.0),
+            upper_bound_diameter(10, 5, 2)
+        );
+    }
+
+    #[test]
+    fn lemma14_threshold_scales_linearly_in_k() {
+        let a = lemma14_threshold(10, 100, 2);
+        let b = lemma14_threshold(20, 100, 2);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,571 @@
+//! Influencer sets and interaction patterns (Section 7 machinery).
+//!
+//! * [`InfluenceTracker`] — maintains the influencer sets `I_t(v)` of
+//!   Section 3.2 for **all** nodes simultaneously (bitset rows), used to
+//!   validate Lemma 41 (influencer sets grow slowly on dense graphs) and
+//!   Lemma 42 (many nodes stay untouched for `Ω(n log n)` steps);
+//! * [`InteractionPattern`] — the *multigraph of influencers* `J_t(v)`
+//!   of Section 7.2, built backwards from a recorded schedule, with
+//!   internal-interaction counting (Lemma 44) and the mechanical
+//!   tree-unfolding surgery of Lemma 45 (the paper's Figure 1).
+
+use popele_graph::{Graph, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// Tracks the influencer sets `I_t(v)` for all nodes under a schedule.
+///
+/// `I_0(v) = {v}`; when `(u, v)` interact both sets become their union.
+/// Row `v` of the internal bit matrix stores `I_t(v)`.
+#[derive(Debug, Clone)]
+pub struct InfluenceTracker {
+    n: usize,
+    words: usize,
+    /// Row-major bitset: row v = influencers of v.
+    bits: Vec<u64>,
+    /// |I_t(v)| per node, maintained incrementally.
+    sizes: Vec<u32>,
+    steps: u64,
+}
+
+impl InfluenceTracker {
+    /// Creates the tracker with `I_0(v) = {v}` for an `n`-node graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "need at least one node");
+        let n = n as usize;
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        for v in 0..n {
+            bits[v * words + v / 64] |= 1u64 << (v % 64);
+        }
+        Self {
+            n,
+            words,
+            bits,
+            sizes: vec![1; n],
+            steps: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Steps processed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Processes one interaction: both endpoints learn each other's
+    /// influencers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or equal endpoints.
+    pub fn interact(&mut self, u: NodeId, v: NodeId) {
+        let (u, v) = (u as usize, v as usize);
+        assert!(u < self.n && v < self.n && u != v, "invalid pair");
+        self.steps += 1;
+        let w = self.words;
+        let (lo, hi) = (u.min(v), u.max(v));
+        let (head, tail) = self.bits.split_at_mut(hi * w);
+        let row_lo = &mut head[lo * w..lo * w + w];
+        let row_hi = &mut tail[..w];
+        let mut count = 0u32;
+        for (a, b) in row_lo.iter_mut().zip(row_hi.iter_mut()) {
+            let union = *a | *b;
+            *a = union;
+            *b = union;
+            count += union.count_ones();
+        }
+        self.sizes[u] = count;
+        self.sizes[v] = count;
+    }
+
+    /// `|I_t(v)|` — the number of influencers of `v`.
+    #[must_use]
+    pub fn influence_size(&self, v: NodeId) -> u32 {
+        self.sizes[v as usize]
+    }
+
+    /// Whether `u ∈ I_t(v)` (can `u` have influenced `v`?).
+    #[must_use]
+    pub fn is_influencer(&self, u: NodeId, v: NodeId) -> bool {
+        let (u, v) = (u as usize, v as usize);
+        self.bits[v * self.words + u / 64] & (1u64 << (u % 64)) != 0
+    }
+
+    /// The largest influencer-set size over all nodes.
+    #[must_use]
+    pub fn max_influence_size(&self) -> u32 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Counts, under a seeded schedule, how many nodes of `g` have not
+/// interacted at all after `t` steps (the quantity `X(t)` of Lemma 42,
+/// equivalently `|S(t)|` of Lemma 43).
+#[must_use]
+pub fn untouched_after(g: &Graph, t: u64, seed: u64) -> usize {
+    let mut sched = popele_engine::EdgeScheduler::new(g, seed);
+    let mut touched = vec![false; g.num_nodes() as usize];
+    for _ in 0..t {
+        let (u, v) = sched.next_pair();
+        touched[u as usize] = true;
+        touched[v as usize] = true;
+    }
+    touched.iter().filter(|&&x| !x).count()
+}
+
+/// One timestamped, directed interaction `(initiator, responder)` of an
+/// interaction pattern. Node ids are *pattern-local* (unfolding introduces
+/// fresh copies that do not exist in the original graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimedEdge {
+    /// Initiator (pattern-local id).
+    pub initiator: u64,
+    /// Responder (pattern-local id).
+    pub responder: u64,
+    /// Timestamp; all timestamps in a pattern are distinct.
+    pub time: u64,
+}
+
+/// The multigraph of influencers `J_{t₀}(v)` of Section 7.2: the set of
+/// timestamped interactions that (transitively) influence the state of a
+/// root node `v` at time `t₀`, plus the Lemma 45 unfolding surgery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteractionPattern {
+    root: u64,
+    /// Edges sorted by ascending timestamp.
+    edges: Vec<TimedEdge>,
+    /// Maps pattern-local ids to the original graph node they are copies
+    /// of (fresh unfolding copies map to their original too).
+    origin: HashMap<u64, NodeId>,
+    next_fresh: u64,
+}
+
+impl InteractionPattern {
+    /// Extracts `J_{t₀}(root)` from the first `t0` interactions of a
+    /// recorded schedule: processing the schedule backwards, an
+    /// interaction joins the pattern iff it touches a node already known
+    /// to influence the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 > schedule.len()`.
+    #[must_use]
+    pub fn from_schedule(schedule: &[(NodeId, NodeId)], root: NodeId, t0: usize) -> Self {
+        assert!(t0 <= schedule.len(), "t0 exceeds schedule length");
+        let mut members: HashSet<NodeId> = HashSet::from([root]);
+        let mut edges: Vec<TimedEdge> = Vec::new();
+        for (idx, &(u, v)) in schedule[..t0].iter().enumerate().rev() {
+            if members.contains(&u) || members.contains(&v) {
+                members.insert(u);
+                members.insert(v);
+                edges.push(TimedEdge {
+                    initiator: u64::from(u),
+                    responder: u64::from(v),
+                    // Timestamps are 1-based like the paper's steps.
+                    time: idx as u64 + 1,
+                });
+            }
+        }
+        edges.reverse();
+        let origin = members.iter().map(|&v| (u64::from(v), v)).collect();
+        let next_fresh = members
+            .iter()
+            .map(|&v| u64::from(v) + 1)
+            .max()
+            .unwrap_or(1);
+        Self {
+            root: u64::from(root),
+            edges,
+            origin,
+            next_fresh,
+        }
+    }
+
+    /// The root node (pattern-local id).
+    #[must_use]
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// The interactions, in ascending timestamp order.
+    #[must_use]
+    pub fn edges(&self) -> &[TimedEdge] {
+        &self.edges
+    }
+
+    /// Number of distinct nodes appearing in the pattern (including the
+    /// root).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        let mut nodes: HashSet<u64> = HashSet::from([self.root]);
+        for e in &self.edges {
+            nodes.insert(e.initiator);
+            nodes.insert(e.responder);
+        }
+        nodes.len()
+    }
+
+    /// The original graph node that pattern node `id` is a copy of.
+    #[must_use]
+    pub fn origin_of(&self, id: u64) -> Option<NodeId> {
+        self.origin.get(&id).copied()
+    }
+
+    /// Counts **internal interactions**: replaying the backwards
+    /// construction, an interaction is internal if *both* endpoints were
+    /// already members of the pattern when it was added. Internal
+    /// interactions are exactly the cycle-creating ones (Lemma 44).
+    #[must_use]
+    pub fn internal_interactions(&self) -> usize {
+        let mut members: HashSet<u64> = HashSet::from([self.root]);
+        let mut internal = 0usize;
+        for e in self.edges.iter().rev() {
+            let iu = members.contains(&e.initiator);
+            let iv = members.contains(&e.responder);
+            if iu && iv {
+                internal += 1;
+            }
+            members.insert(e.initiator);
+            members.insert(e.responder);
+        }
+        internal
+    }
+
+    /// Replays the pattern through a protocol: all pattern nodes start in
+    /// `initial(origin)` and the interactions apply in timestamp order.
+    /// Returns the final state of every pattern node.
+    #[must_use]
+    pub fn replay<S: Clone, F, T>(&self, initial: F, transition: T) -> HashMap<u64, S>
+    where
+        F: Fn(NodeId) -> S,
+        T: Fn(&S, &S) -> (S, S),
+    {
+        let mut states: HashMap<u64, S> = HashMap::new();
+        let state_of = |states: &mut HashMap<u64, S>, id: u64| {
+            if !states.contains_key(&id) {
+                let origin = self.origin_of(id).expect("pattern node has an origin");
+                states.insert(id, initial(origin));
+            }
+        };
+        state_of(&mut states, self.root);
+        for e in &self.edges {
+            state_of(&mut states, e.initiator);
+            state_of(&mut states, e.responder);
+            let a = states[&e.initiator].clone();
+            let b = states[&e.responder].clone();
+            let (na, nb) = transition(&a, &b);
+            states.insert(e.initiator, na);
+            states.insert(e.responder, nb);
+        }
+        states
+    }
+
+    /// Lemma 45 surgery: removes the **earliest** internal interaction by
+    /// splitting it against fresh copies of the two participants'
+    /// influence trees (the construction of the paper's Figure 1).
+    ///
+    /// Returns `None` if the pattern has no internal interaction (it is
+    /// already a forest). The result has one fewer internal interaction
+    /// and at most twice as many nodes, and replays to the **same root
+    /// state** for any deterministic protocol (validated in tests).
+    #[must_use]
+    pub fn unfold_once(&self) -> Option<InteractionPattern> {
+        // Find the earliest internal interaction. Membership is defined by
+        // the backwards construction, so compute membership sets first.
+        let mut members: HashSet<u64> = HashSet::from([self.root]);
+        let mut internal_flags = vec![false; self.edges.len()];
+        for (i, e) in self.edges.iter().enumerate().rev() {
+            internal_flags[i] = members.contains(&e.initiator) && members.contains(&e.responder);
+            members.insert(e.initiator);
+            members.insert(e.responder);
+        }
+        let idx = internal_flags.iter().position(|&f| f)?;
+        let pivot = self.edges[idx];
+        let r = pivot.time;
+        let (u, w) = (pivot.initiator, pivot.responder);
+
+        // Influence trees I(u), I(w): interactions with time < r that
+        // transitively influence u (resp. w). Because `pivot` is the
+        // earliest internal interaction these are edge- and node-disjoint
+        // trees.
+        let influence_tree = |target: u64| -> Vec<TimedEdge> {
+            let mut tree_members: HashSet<u64> = HashSet::from([target]);
+            let mut tree: Vec<TimedEdge> = Vec::new();
+            for e in self.edges[..idx].iter().rev() {
+                if tree_members.contains(&e.initiator) || tree_members.contains(&e.responder) {
+                    tree_members.insert(e.initiator);
+                    tree_members.insert(e.responder);
+                    tree.push(*e);
+                }
+            }
+            tree.reverse();
+            tree
+        };
+        let tree_u = influence_tree(u);
+        let tree_w = influence_tree(w);
+
+        let mut next_fresh = self.next_fresh;
+        let mut origin = self.origin.clone();
+
+        // Fresh copies of the trees' nodes (the copied root becomes u'/w').
+        let mut copy_tree = |tree: &[TimedEdge], copied_root: u64, shift: u64| -> (u64, Vec<TimedEdge>) {
+            let mut rename: HashMap<u64, u64> = HashMap::new();
+            let mut fresh = |old: u64, next_fresh: &mut u64, origin: &mut HashMap<u64, NodeId>| -> u64 {
+                *rename.entry(old).or_insert_with(|| {
+                    let id = *next_fresh;
+                    *next_fresh += 1;
+                    let org = self.origin[&old];
+                    origin.insert(id, org);
+                    id
+                })
+            };
+            let root_copy = fresh(copied_root, &mut next_fresh, &mut origin);
+            let edges = tree
+                .iter()
+                .map(|e| TimedEdge {
+                    initiator: fresh(e.initiator, &mut next_fresh, &mut origin),
+                    responder: fresh(e.responder, &mut next_fresh, &mut origin),
+                    time: e.time + shift,
+                })
+                .collect();
+            (root_copy, edges)
+        };
+
+        // Step 1: drop the pivot; shift all strictly-later timestamps by
+        // 2r + 1 so the window (r, 3r] is free for the copies.
+        let mut new_edges: Vec<TimedEdge> = Vec::new();
+        for e in &self.edges {
+            if e.time == r {
+                continue; // the pivot
+            }
+            let mut e = *e;
+            if e.time > r {
+                e.time += 2 * r + 1;
+            }
+            new_edges.push(e);
+        }
+
+        // Step 2: copies I(u') with timestamps shifted +r and I(w')
+        // shifted +2r.
+        let (u_copy, edges_u) = copy_tree(&tree_u, u, r);
+        let (w_copy, edges_w) = copy_tree(&tree_w, w, 2 * r);
+        new_edges.extend(edges_u);
+        new_edges.extend(edges_w);
+
+        // Step 3: the replacement interactions. The pivot had `u` as
+        // initiator and `w` as responder, so `u` must interact with a copy
+        // of `w` as initiator, and a copy of `u` initiates towards `w`.
+        new_edges.push(TimedEdge {
+            initiator: u,
+            responder: w_copy,
+            time: 3 * r,
+        });
+        new_edges.push(TimedEdge {
+            initiator: u_copy,
+            responder: w,
+            time: 3 * r + 1,
+        });
+
+        new_edges.sort_by_key(|e| e.time);
+        Some(InteractionPattern {
+            root: self.root,
+            edges: new_edges,
+            origin,
+            next_fresh,
+        })
+    }
+
+    /// Repeatedly applies [`Self::unfold_once`] until no internal
+    /// interaction remains; the result is a tree-like (forest) pattern
+    /// (the fully unfolded pattern of Theorem 40's proof).
+    #[must_use]
+    pub fn unfold_fully(&self) -> InteractionPattern {
+        let mut current = self.clone();
+        while let Some(next) = current.unfold_once() {
+            current = next;
+        }
+        current
+    }
+}
+
+/// Records the first `t` sampled pairs of a seeded schedule on `g`
+/// (helper for building interaction patterns in experiments and tests).
+#[must_use]
+pub fn record_schedule(g: &Graph, t: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut sched = popele_engine::EdgeScheduler::new(g, seed);
+    (0..t).map(|_| sched.next_pair()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popele_graph::families;
+
+    #[test]
+    fn tracker_initial_state() {
+        let t = InfluenceTracker::new(10);
+        for v in 0..10 {
+            assert_eq!(t.influence_size(v), 1);
+            assert!(t.is_influencer(v, v));
+        }
+        assert_eq!(t.max_influence_size(), 1);
+    }
+
+    #[test]
+    fn tracker_union_on_interaction() {
+        let mut t = InfluenceTracker::new(4);
+        t.interact(0, 1);
+        assert_eq!(t.influence_size(0), 2);
+        assert_eq!(t.influence_size(1), 2);
+        assert!(t.is_influencer(0, 1) && t.is_influencer(1, 0));
+        t.interact(1, 2);
+        assert_eq!(t.influence_size(2), 3);
+        assert!(t.is_influencer(0, 2));
+        // 0's own set unchanged by the second interaction.
+        assert_eq!(t.influence_size(0), 2);
+        assert_eq!(t.steps(), 2);
+    }
+
+    #[test]
+    fn tracker_works_past_word_boundary() {
+        let mut t = InfluenceTracker::new(130);
+        t.interact(0, 129);
+        assert!(t.is_influencer(129, 0));
+        assert!(t.is_influencer(0, 129));
+        assert_eq!(t.influence_size(0), 2);
+    }
+
+    #[test]
+    fn untouched_decreases_with_time() {
+        let g = families::clique(40);
+        let early = untouched_after(&g, 5, 3);
+        let late = untouched_after(&g, 200, 3);
+        assert!(early >= late);
+        assert_eq!(untouched_after(&g, 0, 3), 40);
+    }
+
+    #[test]
+    fn pattern_from_schedule_collects_influences() {
+        // Schedule on a path 0-1-2-3: (0,1), (1,2), (2,3).
+        // J for root 3 at t0=3: edge (2,3) joins; then (1,2) (touches 2);
+        // then (0,1) (touches 1) — all three.
+        let schedule = vec![(0u32, 1u32), (1, 2), (2, 3)];
+        let p = InteractionPattern::from_schedule(&schedule, 3, 3);
+        assert_eq!(p.edges().len(), 3);
+        assert_eq!(p.num_nodes(), 4);
+        assert_eq!(p.internal_interactions(), 0);
+    }
+
+    #[test]
+    fn pattern_ignores_unrelated_interactions() {
+        // (0,1) cannot influence root 3 because no later interaction
+        // carries it over.
+        let schedule = vec![(0u32, 1u32), (2, 3)];
+        let p = InteractionPattern::from_schedule(&schedule, 3, 2);
+        assert_eq!(p.edges().len(), 1);
+        assert_eq!(p.num_nodes(), 2);
+    }
+
+    #[test]
+    fn internal_interaction_detected() {
+        // Triangle: (0,1), (1,2), (0,2), root 2 at t=3.
+        // Backwards: (0,2) joins (touches 2) → members {0,2};
+        // (1,2) joins, internal? members has 2, not 1 → not internal;
+        // (0,1): 0,1 both members now → internal.
+        let schedule = vec![(0u32, 1u32), (1, 2), (0, 2)];
+        let p = InteractionPattern::from_schedule(&schedule, 2, 3);
+        assert_eq!(p.edges().len(), 3);
+        assert_eq!(p.internal_interactions(), 1);
+    }
+
+    #[test]
+    fn replay_reproduces_execution_state() {
+        // Replaying the pattern must give the root the same state as a
+        // full forward execution of the schedule.
+        let g = families::clique(6);
+        let schedule = record_schedule(&g, 40, 77);
+        // Simple protocol: state = max tag seen; initial tag = node id.
+        let transition = |a: &u32, b: &u32| -> (u32, u32) {
+            let m = *a.max(b);
+            (m, m)
+        };
+        // Forward execution.
+        let mut states: Vec<u32> = (0..6).collect();
+        for &(u, v) in &schedule {
+            let (na, nb) = transition(&states[u as usize], &states[v as usize]);
+            states[u as usize] = na;
+            states[v as usize] = nb;
+        }
+        for root in 0..6u32 {
+            let p = InteractionPattern::from_schedule(&schedule, root, schedule.len());
+            let final_states = p.replay(|v| v, transition);
+            assert_eq!(
+                final_states[&u64::from(root)], states[root as usize],
+                "root {root}"
+            );
+        }
+    }
+
+    #[test]
+    fn unfold_preserves_root_state_and_reduces_internal() {
+        let g = families::clique(5);
+        let schedule = record_schedule(&g, 30, 9);
+        let transition = |a: &u64, b: &u64| -> (u64, u64) {
+            // Non-commutative-ish deterministic rule to catch ordering or
+            // role (initiator/responder) mistakes in the surgery.
+            let x = a.wrapping_mul(3).wrapping_add(*b);
+            let y = b.wrapping_mul(5).wrapping_add(a >> 1);
+            (x, y)
+        };
+        let p = InteractionPattern::from_schedule(&schedule, 0, schedule.len());
+        let before_internal = p.internal_interactions();
+        assert!(before_internal > 0, "need an internal interaction to test");
+        let root_before = p.replay(|v| u64::from(v), transition)[&p.root()];
+
+        let q = p.unfold_once().expect("has internal interaction");
+        assert_eq!(q.internal_interactions(), before_internal - 1);
+        assert!(q.num_nodes() <= 2 * p.num_nodes(), "Lemma 45 size bound");
+        let root_after = q.replay(|v| u64::from(v), transition)[&q.root()];
+        assert_eq!(root_before, root_after, "unfolding must preserve the root state");
+    }
+
+    #[test]
+    fn unfold_fully_leaves_forest() {
+        let g = families::clique(5);
+        let schedule = record_schedule(&g, 25, 4);
+        let p = InteractionPattern::from_schedule(&schedule, 1, schedule.len());
+        let q = p.unfold_fully();
+        assert_eq!(q.internal_interactions(), 0);
+        assert!(q.unfold_once().is_none());
+        // Root state preserved through the whole cascade.
+        let transition = |a: &u64, b: &u64| (*a + *b, *b + 1);
+        let before = p.replay(|v| u64::from(v), transition)[&p.root()];
+        let after = q.replay(|v| u64::from(v), transition)[&q.root()];
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn timestamps_stay_distinct_after_unfold() {
+        let g = families::clique(5);
+        let schedule = record_schedule(&g, 30, 15);
+        let p = InteractionPattern::from_schedule(&schedule, 2, schedule.len());
+        if let Some(q) = p.unfold_once() {
+            let mut times: Vec<u64> = q.edges().iter().map(|e| e.time).collect();
+            let len = times.len();
+            times.sort_unstable();
+            times.dedup();
+            assert_eq!(times.len(), len, "duplicate timestamps after unfold");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Isolation times of `(K, ℓ)`-covers (Section 6.1).
+//!
+//! The isolation time `Y(C)` of a cover `C = {V₀, …, V_{K−1}}` is the
+//! first step at which some node of some `Vᵢ` is influenced by a node
+//! outside `B_ℓ(Vᵢ)`. A cover is `t`-isolating if `Pr[Y(C) ≥ t] ≥ 1/2`;
+//! `f`-renitent graphs (those with `f(n)`-isolating covers) admit the
+//! `Ω(f)` lower bound of Theorem 34.
+//!
+//! Instead of maintaining full influencer sets (`O(n)` per step), we run a
+//! *contamination* process per cover set: nodes outside `B_ℓ(Vᵢ)` start
+//! `i`-contaminated; contamination spreads on every interaction; `Y(C)` is
+//! the first step an `i`-contaminated node lies in `Vᵢ`. Node `v` is
+//! `i`-contaminated at step `t` iff `I_t(v) ⊄ B_ℓ(Vᵢ)`, so this matches
+//! the definition with O(K) work per step.
+
+use popele_engine::EdgeScheduler;
+use popele_graph::renitent::Cover;
+use popele_graph::Graph;
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Summary;
+
+/// Incremental contamination process for a `(K, ℓ)`-cover.
+///
+/// Node `v` is *`i`-contaminated* at step `t` iff `I_t(v) ⊄ B_ℓ(Vᵢ)`;
+/// feeding every scheduled interaction to [`ContaminationTracker::interact`]
+/// maintains this in O(1) per step. [`ContaminationTracker::violated`]
+/// flips to `true` exactly at the isolation time `Y(C)` — when some node
+/// of some `Vᵢ` first becomes `i`-contaminated.
+///
+/// Exposed so experiments can co-observe a protocol execution and the
+/// isolation event on the *same* schedule (the Theorem 34 demo drives an
+/// [`popele_engine::Executor`] and mirrors each sampled pair here).
+#[derive(Debug, Clone)]
+pub struct ContaminationTracker {
+    membership: Vec<u32>,
+    contaminated: Vec<u32>,
+    violated: bool,
+}
+
+impl ContaminationTracker {
+    /// Initializes the process: nodes outside `B_ℓ(Vᵢ)` start
+    /// `i`-contaminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover has more than 32 sets or references nodes
+    /// outside the graph.
+    #[must_use]
+    pub fn new(g: &Graph, cover: &Cover) -> Self {
+        let k = cover.k();
+        assert!(k <= 32, "contamination masks support at most 32 cover sets");
+        let n = g.num_nodes() as usize;
+        let mut membership = vec![0u32; n];
+        let mut contaminated = vec![0u32; n];
+        for (i, set) in cover.sets().iter().enumerate() {
+            for &v in set {
+                assert!((v as usize) < n, "cover node out of range");
+                membership[v as usize] |= 1 << i;
+            }
+            let ball = cover.neighbourhood(g, i);
+            let mut in_ball = vec![false; n];
+            for &v in &ball {
+                in_ball[v as usize] = true;
+            }
+            for v in 0..n {
+                if !in_ball[v] {
+                    contaminated[v] |= 1 << i;
+                }
+            }
+        }
+        let violated = membership
+            .iter()
+            .zip(&contaminated)
+            .any(|(m, c)| m & c != 0);
+        Self {
+            membership,
+            contaminated,
+            violated,
+        }
+    }
+
+    /// Processes one interaction.
+    pub fn interact(&mut self, u: popele_graph::NodeId, v: popele_graph::NodeId) {
+        let (iu, iv) = (u as usize, v as usize);
+        let union = self.contaminated[iu] | self.contaminated[iv];
+        self.contaminated[iu] = union;
+        self.contaminated[iv] = union;
+        if (self.membership[iu] | self.membership[iv]) & union != 0 {
+            self.violated = true;
+        }
+    }
+
+    /// Whether the isolation event has occurred (`t ≥ Y(C)`).
+    #[must_use]
+    pub fn violated(&self) -> bool {
+        self.violated
+    }
+}
+
+/// Measures the isolation time `Y(C)` under one seeded schedule.
+///
+/// Returns `None` if no contamination reached any cover set within
+/// `max_steps` (i.e. `Y(C) > max_steps`).
+///
+/// # Panics
+///
+/// Panics if the cover has more than 32 sets or references nodes outside
+/// the graph.
+#[must_use]
+pub fn isolation_time(g: &Graph, cover: &Cover, seed: u64, max_steps: u64) -> Option<u64> {
+    let mut tracker = ContaminationTracker::new(g, cover);
+    if tracker.violated() {
+        return Some(0);
+    }
+    let mut sched = EdgeScheduler::new(g, seed);
+    while sched.steps() < max_steps {
+        let (u, v) = sched.next_pair();
+        tracker.interact(u, v);
+        if tracker.violated() {
+            return Some(sched.steps());
+        }
+    }
+    None
+}
+
+/// Monte-Carlo summary of `Y(C)` over `trials` schedules, plus the
+/// empirical `t`-isolation check used by the renitence experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolationEstimate {
+    /// Summary of observed isolation times (censored trials excluded).
+    pub times: Summary,
+    /// Trials whose isolation time exceeded the step cap.
+    pub censored: usize,
+    /// Total trials.
+    pub trials: usize,
+}
+
+impl IsolationEstimate {
+    /// Empirical `Pr[Y(C) ≥ t]`, counting censored trials as `≥ t` when
+    /// the cap is at least `t`.
+    #[must_use]
+    pub fn survival_at(&self, t: f64) -> f64 {
+        let above = self
+            .times
+            .sorted_values()
+            .iter()
+            .filter(|&&y| y >= t)
+            .count()
+            + self.censored;
+        above as f64 / self.trials as f64
+    }
+}
+
+/// Estimates the distribution of `Y(C)` over independent schedules.
+#[must_use]
+pub fn estimate_isolation(
+    g: &Graph,
+    cover: &Cover,
+    trials: usize,
+    max_steps: u64,
+    master_seed: u64,
+) -> IsolationEstimate {
+    let seq = SeedSeq::new(master_seed);
+    let mut times = Summary::new();
+    let mut censored = 0usize;
+    for i in 0..trials {
+        match isolation_time(g, cover, seq.child(i as u64), max_steps) {
+            Some(t) => times.push(t as f64),
+            None => censored += 1,
+        }
+    }
+    IsolationEstimate {
+        times,
+        censored,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popele_graph::renitent::{cycle_cover, lemma38, Cover};
+    use popele_graph::families;
+
+    #[test]
+    fn isolation_positive_on_cycle_cover() {
+        let (g, cover) = cycle_cover(32);
+        let t = isolation_time(&g, &cover, 5, u64::MAX).unwrap();
+        assert!(t > 0, "isolation cannot be instantaneous for a valid cover");
+        // Contamination must cross ≥ ℓ/2 edges in sequence; with ℓ = 4 it
+        // takes at least ℓ steps.
+        assert!(t >= u64::from(cover.ell()));
+    }
+
+    #[test]
+    fn isolation_scales_with_ell_on_lemma38() {
+        // Larger ℓ → longer paths → larger isolation times (Lemma 38).
+        let base = families::clique(4);
+        let (g_small, c_small) = lemma38(&base, 0, 2);
+        let (g_large, c_large) = lemma38(&base, 0, 8);
+        let est_small = estimate_isolation(&g_small, &c_small, 10, u64::MAX, 1);
+        let est_large = estimate_isolation(&g_large, &c_large, 10, u64::MAX, 1);
+        assert_eq!(est_small.censored, 0);
+        assert_eq!(est_large.censored, 0);
+        assert!(
+            est_large.times.mean() > est_small.times.mean(),
+            "ℓ=8 mean {} should exceed ℓ=2 mean {}",
+            est_large.times.mean(),
+            est_small.times.mean()
+        );
+    }
+
+    #[test]
+    fn degenerate_cover_isolates_instantly() {
+        // A cover whose set already intersects the contaminated region:
+        // sets far apart but radius 0 and a "set" next to everything.
+        let g = families::clique(6);
+        // In a clique with ℓ = 0, B_0(V_i) = V_i, so any node outside V_i
+        // is contaminated for i; nodes of V_i are clean at step 0 but the
+        // first interaction between V_0 and its complement contaminates.
+        let cover = Cover::new(vec![vec![0, 1, 2], vec![3, 4, 5]], 0);
+        let t = isolation_time(&g, &cover, 3, u64::MAX).unwrap();
+        assert!(t >= 1);
+        assert!(t <= 20, "clique contaminates almost immediately, got {t}");
+    }
+
+    #[test]
+    fn censoring_reported() {
+        let (g, cover) = cycle_cover(64);
+        let est = estimate_isolation(&g, &cover, 5, 3, 1);
+        assert_eq!(est.censored, 5);
+        assert_eq!(est.survival_at(3.0), 1.0);
+    }
+
+    #[test]
+    fn survival_counts_correctly() {
+        let est = IsolationEstimate {
+            times: Summary::from_slice(&[10.0, 20.0, 30.0]),
+            censored: 1,
+            trials: 4,
+        };
+        assert_eq!(est.survival_at(15.0), 0.75);
+        assert_eq!(est.survival_at(5.0), 1.0);
+        assert_eq!(est.survival_at(40.0), 0.25);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, cover) = cycle_cover(24);
+        assert_eq!(
+            isolation_time(&g, &cover, 42, u64::MAX),
+            isolation_time(&g, &cover, 42, u64::MAX)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Information-propagation dynamics in the stochastic population model.
+//!
+//! Implements Section 3 of *Near-Optimal Leader Election in Population
+//! Protocols on Graphs* (PODC 2022) and the dynamical machinery of its
+//! lower-bound sections:
+//!
+//! * [`broadcast`] — one-way epidemics: broadcast times `T(v)`, the
+//!   worst-case expected broadcast time `B(G)`, distance-`k` propagation
+//!   times `T_k(G)`, and the analytic bounds of Theorem 6 and Lemma 12;
+//! * [`walks`] — random walks in the population model and classic random
+//!   walks: exact hitting times by linear solve (Lemma 17 territory),
+//!   simulated hitting and meeting times (Lemmas 18–19);
+//! * [`influence`] — influencer sets `I_t(v)` (Lemma 41), the multigraph
+//!   of influencers with internal-interaction counting (Lemma 44), and the
+//!   mechanical interaction-pattern unfolding of Lemma 45 / Figure 1;
+//! * [`isolation`] — isolation times `Y(C)` of `(K, ℓ)`-covers
+//!   (Section 6.1), measured by a constant-work-per-step contamination
+//!   process.
+//!
+//! # Examples
+//!
+//! ```
+//! use popele_dynamics::broadcast;
+//! use popele_graph::families;
+//!
+//! let g = families::clique(32);
+//! // One epidemic from node 0 under a seeded schedule.
+//! let t = broadcast::broadcast_time_from(&g, 0, 42);
+//! assert!(t >= 31); // every other node must interact at least once
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod influence;
+pub mod isolation;
+pub mod walks;

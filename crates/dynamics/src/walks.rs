@@ -1,0 +1,521 @@
+//! Random walks: classic and population-model variants (Section 4.1).
+//!
+//! In the **classic** random walk, the walk at node `u` moves to a uniform
+//! neighbour each step. In the **population-model** walk, the scheduler
+//! samples an edge each step and the walk moves only if the sampled edge is
+//! incident to its position — so a walk at a degree-`d` node moves with
+//! probability `d/m` per step.
+//!
+//! Both walks have hitting times that solve a linear system; we compute
+//! them exactly with Gaussian elimination for small graphs, and by
+//! simulation for large ones. The token-based protocol of Theorem 16
+//! stabilizes in `O(H(G)·n·log n)` steps where `H(G)` is the classic
+//! worst-case hitting time; Lemma 17 relates the two models via
+//! `H_P(G) ≤ 27·n·H(G)`.
+
+use popele_engine::EdgeScheduler;
+use popele_graph::{Graph, NodeId};
+use popele_math::linalg::Matrix;
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Summary;
+use rand::RngExt;
+
+/// Exact expected hitting times `H(u, target)` of the **classic** random
+/// walk, for every start `u`, by solving `(I − P_{-target}) h = 1`.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected, `target` out of range, or
+/// `n > 500` (dense solve would be slow).
+#[must_use]
+pub fn classic_hitting_times(g: &Graph, target: NodeId) -> Vec<f64> {
+    hitting_times_impl(g, target, WalkModel::Classic)
+}
+
+/// Exact expected hitting times of the **population-model** walk.
+///
+/// The walk at `u` stays put with probability `1 − deg(u)/m` and moves to
+/// each neighbour with probability `1/m`; eliminating the self-loop gives
+/// `h(u) = m/deg(u) + mean_{w ∈ N(u)} h(w)`.
+///
+/// # Panics
+///
+/// As [`classic_hitting_times`].
+#[must_use]
+pub fn population_hitting_times(g: &Graph, target: NodeId) -> Vec<f64> {
+    hitting_times_impl(g, target, WalkModel::Population)
+}
+
+/// Which random-walk dynamics to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkModel {
+    /// Move to a uniform neighbour each step.
+    Classic,
+    /// Move only when the scheduler samples an incident edge.
+    Population,
+}
+
+fn hitting_times_impl(g: &Graph, target: NodeId, model: WalkModel) -> Vec<f64> {
+    assert!(target < g.num_nodes(), "target out of range");
+    let n = g.num_nodes() as usize;
+    assert!(n <= 500, "exact hitting times limited to n ≤ 500");
+    assert!(
+        popele_graph::properties::is_connected(g),
+        "hitting times need a connected graph"
+    );
+    if n == 1 {
+        return vec![0.0];
+    }
+    // Unknowns: h(u) for u != target, indexed by skipping target.
+    let index = |u: usize| -> usize {
+        if u < target as usize {
+            u
+        } else {
+            u - 1
+        }
+    };
+    let mut a = Matrix::zeros(n - 1, n - 1);
+    let mut b = vec![0.0; n - 1];
+    let m = g.num_edges() as f64;
+    for u in 0..n {
+        if u == target as usize {
+            continue;
+        }
+        let row = index(u);
+        let deg = f64::from(g.degree(u as NodeId));
+        a[(row, row)] = 1.0;
+        // h(u) = c_u + (1/deg) Σ_{w ∈ N(u)} h(w), with h(target) = 0.
+        b[row] = match model {
+            WalkModel::Classic => 1.0,
+            WalkModel::Population => m / deg,
+        };
+        for &w in g.neighbors(u as NodeId) {
+            if w == target {
+                continue;
+            }
+            a[(row, index(w as usize))] -= 1.0 / deg;
+        }
+    }
+    let h = a.solve(&b).expect("hitting-time system is nonsingular");
+    // Re-insert the target with hitting time 0.
+    let mut out = Vec::with_capacity(n);
+    for u in 0..n {
+        if u == target as usize {
+            out.push(0.0);
+        } else {
+            out.push(h[index(u)]);
+        }
+    }
+    out
+}
+
+/// Worst-case expected hitting time `H(G) = max_{u,v} H(u, v)` of the
+/// classic walk (`n` linear solves).
+///
+/// # Panics
+///
+/// As [`classic_hitting_times`].
+#[must_use]
+pub fn classic_worst_hitting(g: &Graph) -> f64 {
+    worst_hitting(g, WalkModel::Classic)
+}
+
+/// Worst-case expected hitting time `H_P(G)` of the population-model walk.
+///
+/// # Panics
+///
+/// As [`classic_hitting_times`].
+#[must_use]
+pub fn population_worst_hitting(g: &Graph) -> f64 {
+    worst_hitting(g, WalkModel::Population)
+}
+
+fn worst_hitting(g: &Graph, model: WalkModel) -> f64 {
+    let mut worst = 0.0f64;
+    for target in g.nodes() {
+        let h = hitting_times_impl(g, target, model);
+        for v in h {
+            worst = worst.max(v);
+        }
+    }
+    worst
+}
+
+/// Simulates the population-model walk from `start` until it first reaches
+/// `target`; returns the number of scheduler steps.
+///
+/// # Panics
+///
+/// Panics if endpoints are out of range or the walk runs `10⁹` steps
+/// without hitting (disconnected graph).
+#[must_use]
+pub fn simulate_population_hitting(
+    g: &Graph,
+    start: NodeId,
+    target: NodeId,
+    seed: u64,
+) -> u64 {
+    assert!(start < g.num_nodes() && target < g.num_nodes());
+    if start == target {
+        return 0;
+    }
+    let mut sched = EdgeScheduler::new(g, seed);
+    let mut pos = start;
+    loop {
+        let (u, v) = sched.next_pair();
+        if u == pos {
+            pos = v;
+        } else if v == pos {
+            pos = u;
+        }
+        if pos == target {
+            return sched.steps();
+        }
+        assert!(sched.steps() < 1_000_000_000, "walk did not hit target");
+    }
+}
+
+/// Simulates the classic random walk from `start` until it reaches
+/// `target`; returns the number of walk steps.
+///
+/// # Panics
+///
+/// As [`simulate_population_hitting`].
+#[must_use]
+pub fn simulate_classic_hitting(g: &Graph, start: NodeId, target: NodeId, seed: u64) -> u64 {
+    assert!(start < g.num_nodes() && target < g.num_nodes());
+    if start == target {
+        return 0;
+    }
+    let mut rng = popele_math::rng::small_rng(seed);
+    let mut pos = start;
+    let mut steps = 0u64;
+    loop {
+        let nbrs = g.neighbors(pos);
+        assert!(!nbrs.is_empty(), "walk stuck at isolated node");
+        pos = nbrs[rng.random_range(0..nbrs.len())];
+        steps += 1;
+        if pos == target {
+            return steps;
+        }
+        assert!(steps < 1_000_000_000, "walk did not hit target");
+    }
+}
+
+/// Simulates two population-model walks started at `a` and `b` until they
+/// **meet**: the scheduler samples the edge whose endpoints are exactly
+/// their current positions (the meeting notion of Section 4.1). Returns
+/// the meeting step.
+///
+/// # Panics
+///
+/// Panics if endpoints are out of range, equal, or no meeting occurs in
+/// `10⁹` steps.
+#[must_use]
+pub fn simulate_meeting_time(g: &Graph, a: NodeId, b: NodeId, seed: u64) -> u64 {
+    assert!(a < g.num_nodes() && b < g.num_nodes());
+    assert_ne!(a, b, "meeting time needs distinct walks");
+    let mut sched = EdgeScheduler::new(g, seed);
+    let (mut pa, mut pb) = (a, b);
+    loop {
+        let (u, v) = sched.next_pair();
+        // Meeting: sampled edge connects the two walks' positions.
+        if (u == pa && v == pb) || (u == pb && v == pa) {
+            return sched.steps();
+        }
+        // Both tokens sitting on a sampled endpoint move (they swap along
+        // the edge); a single token on one endpoint walks across.
+        let (na, nb) = (walk_step(pa, u, v), walk_step(pb, u, v));
+        pa = na;
+        pb = nb;
+    }
+}
+
+#[inline]
+fn walk_step(pos: NodeId, u: NodeId, v: NodeId) -> NodeId {
+    if pos == u {
+        v
+    } else if pos == v {
+        u
+    } else {
+        pos
+    }
+}
+
+/// Simulates the **classic** random walk from `start` until it has
+/// visited every node; returns the number of walk steps (one sample of
+/// the cover time `C(G)`, referenced by Section 1.3's refinement of the
+/// constant-state protocol's bound).
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or `start` out of range.
+#[must_use]
+pub fn simulate_classic_cover(g: &Graph, start: NodeId, seed: u64) -> u64 {
+    assert!(start < g.num_nodes());
+    let n = g.num_nodes() as usize;
+    let mut visited = vec![false; n];
+    visited[start as usize] = true;
+    let mut remaining = n - 1;
+    let mut pos = start;
+    let mut rng = popele_math::rng::small_rng(seed);
+    let mut steps = 0u64;
+    while remaining > 0 {
+        let nbrs = g.neighbors(pos);
+        assert!(!nbrs.is_empty(), "walk stuck at isolated node");
+        pos = nbrs[rng.random_range(0..nbrs.len())];
+        steps += 1;
+        if !visited[pos as usize] {
+            visited[pos as usize] = true;
+            remaining -= 1;
+        }
+        assert!(steps < 10_000_000_000, "cover walk ran away; disconnected?");
+    }
+    steps
+}
+
+/// Simulates the **population-model** walk from `start` until it has
+/// visited every node; returns the number of scheduler steps.
+///
+/// # Panics
+///
+/// As [`simulate_classic_cover`].
+#[must_use]
+pub fn simulate_population_cover(g: &Graph, start: NodeId, seed: u64) -> u64 {
+    assert!(start < g.num_nodes());
+    let n = g.num_nodes() as usize;
+    let mut visited = vec![false; n];
+    visited[start as usize] = true;
+    let mut remaining = n - 1;
+    let mut pos = start;
+    let mut sched = EdgeScheduler::new(g, seed);
+    while remaining > 0 {
+        let (u, v) = sched.next_pair();
+        pos = walk_step(pos, u, v);
+        if !visited[pos as usize] {
+            visited[pos as usize] = true;
+            remaining -= 1;
+        }
+        assert!(
+            sched.steps() < 10_000_000_000,
+            "cover walk ran away; disconnected?"
+        );
+    }
+    sched.steps()
+}
+
+/// Monte-Carlo summary of population-model hitting times from `start` to
+/// `target`.
+#[must_use]
+pub fn population_hitting_summary(
+    g: &Graph,
+    start: NodeId,
+    target: NodeId,
+    trials: usize,
+    master_seed: u64,
+) -> Summary {
+    let seq = SeedSeq::new(master_seed);
+    (0..trials)
+        .map(|i| simulate_population_hitting(g, start, target, seq.child(i as u64)) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popele_graph::families;
+
+    #[test]
+    fn classic_hitting_on_path_matches_theory() {
+        // On the path 0–1–2, hitting time from 0 to 2 is 4 (= (n-1)² for
+        // endpoint-to-endpoint on a path with n = 3).
+        let g = families::path(3);
+        let h = classic_hitting_times(&g, 2);
+        assert!((h[0] - 4.0).abs() < 1e-9, "h(0→2) = {}", h[0]);
+        assert!((h[1] - 3.0).abs() < 1e-9, "h(1→2) = {}", h[1]);
+        assert_eq!(h[2], 0.0);
+    }
+
+    #[test]
+    fn classic_hitting_on_clique() {
+        // On K_n hitting time between distinct nodes is n − 1.
+        let g = families::clique(7);
+        let h = classic_hitting_times(&g, 0);
+        for v in 1..7 {
+            assert!((h[v] - 6.0).abs() < 1e-9, "h({v}→0) = {}", h[v]);
+        }
+    }
+
+    #[test]
+    fn classic_worst_hitting_cycle() {
+        // H(C_n) = max_k k(n−k) = ⌊n²/4⌋ for the cycle.
+        let g = families::cycle(8);
+        let h = classic_worst_hitting(&g);
+        assert!((h - 16.0).abs() < 1e-9, "H(C_8) = {h}");
+    }
+
+    #[test]
+    fn population_hitting_scales_with_m_over_deg() {
+        // On a regular graph the population walk is the classic walk slowed
+        // down by a factor m/d: H_P = (m/d)·H.
+        let g = families::cycle(8);
+        let classic = classic_hitting_times(&g, 0);
+        let pop = population_hitting_times(&g, 0);
+        let factor = g.num_edges() as f64 / 2.0;
+        for v in 1..8 {
+            assert!(
+                (pop[v] - factor * classic[v]).abs() < 1e-6,
+                "v={v}: {} vs {}",
+                pop[v],
+                factor * classic[v]
+            );
+        }
+    }
+
+    #[test]
+    fn lemma17_bound_holds_exactly() {
+        // Lemma 17: H_P(G) ≤ 27·n·H(G). Verify on several families.
+        for g in [
+            families::clique(10),
+            families::cycle(12),
+            families::star(10),
+            families::lollipop(6, 6),
+        ] {
+            let hp = population_worst_hitting(&g);
+            let h = classic_worst_hitting(&g);
+            let n = f64::from(g.num_nodes());
+            assert!(
+                hp <= 27.0 * n * h + 1e-6,
+                "H_P = {hp}, 27nH = {}",
+                27.0 * n * h
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_hitting_matches_exact_population() {
+        let g = families::cycle(6);
+        let exact = population_hitting_times(&g, 3)[0];
+        let summary = population_hitting_summary(&g, 0, 3, 400, 13);
+        let mean = summary.mean();
+        assert!(
+            (mean - exact).abs() / exact < 0.2,
+            "simulated {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn simulated_classic_matches_exact() {
+        let g = families::path(4);
+        let exact = classic_hitting_times(&g, 3)[0]; // = 9
+        let seq = SeedSeq::new(17);
+        let mean: f64 = (0..400)
+            .map(|i| simulate_classic_hitting(&g, 0, 3, seq.child(i)) as f64)
+            .sum::<f64>()
+            / 400.0;
+        assert!(
+            (mean - exact).abs() / exact < 0.2,
+            "simulated {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn meeting_time_bounded_by_lemma18() {
+        // Lemma 18: M(u, v) ≤ 2·H_P(G). Check the empirical mean respects
+        // a generous version of the bound.
+        let g = families::cycle(6);
+        let hp = population_worst_hitting(&g);
+        let seq = SeedSeq::new(23);
+        let mean: f64 = (0..300)
+            .map(|i| simulate_meeting_time(&g, 0, 3, seq.child(i)) as f64)
+            .sum::<f64>()
+            / 300.0;
+        assert!(
+            mean <= 2.0 * hp * 1.3,
+            "mean meeting {mean} vs 2·H_P = {}",
+            2.0 * hp
+        );
+    }
+
+    #[test]
+    fn hitting_zero_for_same_node() {
+        let g = families::clique(4);
+        assert_eq!(simulate_population_hitting(&g, 2, 2, 0), 0);
+        assert_eq!(simulate_classic_hitting(&g, 1, 1, 0), 0);
+    }
+
+    #[test]
+    fn star_hitting_asymmetry() {
+        // Star: leaf→centre takes 1 classic step; centre→specific-leaf
+        // takes n−1 expected steps; leaf→leaf takes 2(n−1)… verify
+        // centre/leaf asymmetry qualitatively.
+        let g = families::star(10);
+        let to_centre = classic_hitting_times(&g, 0);
+        let to_leaf = classic_hitting_times(&g, 1);
+        assert!((to_centre[5] - 1.0).abs() < 1e-9);
+        assert!(to_leaf[0] > 5.0);
+        assert!(to_leaf[5] > to_leaf[0]);
+    }
+
+    #[test]
+    fn single_node_trivial() {
+        let g = popele_graph::Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(classic_hitting_times(&g, 0), vec![0.0]);
+    }
+
+    #[test]
+    fn classic_cover_time_on_clique_is_coupon_collector() {
+        // C(K_n) from any start = (n−1)·H_{n−1} exactly (each step is a
+        // uniform draw among the other n−1 nodes).
+        let n = 12u32;
+        let g = families::clique(n);
+        let seq = SeedSeq::new(31);
+        let mean: f64 = (0..1500)
+            .map(|i| simulate_classic_cover(&g, 0, seq.child(i)) as f64)
+            .sum::<f64>()
+            / 1500.0;
+        let harmonic: f64 = (1..n as u64).map(|i| 1.0 / i as f64).sum();
+        let expected = f64::from(n - 1) * harmonic;
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "measured {mean} vs (n−1)H_{{n−1}} = {expected}"
+        );
+    }
+
+    #[test]
+    fn cover_time_dominates_worst_hitting() {
+        // C(G) ≥ H(G) − o(·): covering all nodes includes hitting the
+        // worst-case target. Check the empirical mean dominates a healthy
+        // fraction of exact H(G) on a path (worst start = endpoint).
+        let g = families::path(10);
+        let h = classic_worst_hitting(&g);
+        let seq = SeedSeq::new(37);
+        let mean: f64 = (0..400)
+            .map(|i| simulate_classic_cover(&g, 0, seq.child(i)) as f64)
+            .sum::<f64>()
+            / 400.0;
+        assert!(mean >= 0.8 * h, "cover {mean} vs worst hitting {h}");
+    }
+
+    #[test]
+    fn population_cover_scales_like_m_over_classic() {
+        // On regular graphs the population walk moves every m/d steps on
+        // average, so cover times scale by ≈ m/d.
+        let g = families::cycle(10);
+        let seq = SeedSeq::new(41);
+        let classic: f64 = (0..300)
+            .map(|i| simulate_classic_cover(&g, 0, seq.child(i)) as f64)
+            .sum::<f64>()
+            / 300.0;
+        let population: f64 = (0..300)
+            .map(|i| simulate_population_cover(&g, 0, seq.child(1000 + i)) as f64)
+            .sum::<f64>()
+            / 300.0;
+        let factor = g.num_edges() as f64 / 2.0;
+        let ratio = population / (classic * factor);
+        assert!(
+            (ratio - 1.0).abs() < 0.15,
+            "population/classic·(m/d) = {ratio}"
+        );
+    }
+}

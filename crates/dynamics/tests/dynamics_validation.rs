@@ -1,0 +1,171 @@
+//! Cross-validation of the dynamics implementations against exact
+//! values, brute-force re-implementations, and the paper's asymptotic
+//! claims at small scale.
+
+use popele_dynamics::broadcast::{broadcast_time_from, estimate_broadcast_time, BroadcastConfig, SourceStrategy};
+use popele_dynamics::influence::InfluenceTracker;
+use popele_dynamics::walks::{
+    classic_hitting_times, population_hitting_times, simulate_population_hitting,
+};
+use popele_engine::EdgeScheduler;
+use popele_graph::{families, random};
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Welford;
+use std::collections::HashSet;
+
+/// On a single edge (K2) broadcast completes at the first interaction.
+#[test]
+fn broadcast_on_single_edge_is_one_step() {
+    let g = families::clique(2);
+    for seed in 0..20 {
+        assert_eq!(broadcast_time_from(&g, 0, seed), 1);
+    }
+}
+
+/// Broadcast from a star centre is a coupon collector over the leaves:
+/// E[T] = m·H_{n−1} exactly (each step informs a uniform leaf).
+#[test]
+fn star_centre_broadcast_is_coupon_collector() {
+    let n = 20u32;
+    let g = families::star(n);
+    let m = g.num_edges() as f64;
+    let seq = SeedSeq::new(3);
+    let mut w = Welford::new();
+    for t in 0..2000 {
+        w.push(broadcast_time_from(&g, 0, seq.child(t)) as f64);
+    }
+    let harmonic: f64 = (1..n as u64).map(|i| 1.0 / i as f64).sum();
+    let expected = m * harmonic;
+    assert!(
+        (w.mean() - expected).abs() < 0.05 * expected,
+        "measured {} vs m·H_{{n−1}} = {expected}",
+        w.mean()
+    );
+}
+
+/// The influence tracker agrees with a brute-force set implementation on
+/// a shared schedule.
+#[test]
+fn influence_tracker_matches_naive_sets() {
+    let g = random::erdos_renyi_connected(24, 0.3, 5, 100);
+    let mut sched = EdgeScheduler::new(&g, 7);
+    let n = g.num_nodes() as usize;
+    let mut tracker = InfluenceTracker::new(g.num_nodes());
+    let mut naive: Vec<HashSet<u32>> = (0..n as u32).map(|v| HashSet::from([v])).collect();
+    for _ in 0..600 {
+        let (u, v) = sched.next_pair();
+        tracker.interact(u, v);
+        let union: HashSet<u32> = naive[u as usize]
+            .union(&naive[v as usize])
+            .copied()
+            .collect();
+        naive[u as usize] = union.clone();
+        naive[v as usize] = union;
+        for w in 0..n as u32 {
+            assert_eq!(
+                tracker.influence_size(w) as usize,
+                naive[w as usize].len(),
+                "size mismatch at node {w}"
+            );
+            for x in 0..n as u32 {
+                assert_eq!(
+                    tracker.is_influencer(x, w),
+                    naive[w as usize].contains(&x),
+                    "membership mismatch ({x} in I({w}))"
+                );
+            }
+        }
+    }
+}
+
+/// Simulated population hitting times agree with the exact linear solve
+/// on an irregular graph (where the classic and population walks differ
+/// by more than a constant factor).
+#[test]
+fn simulated_hitting_matches_exact_on_lollipop() {
+    let g = families::lollipop(5, 4);
+    let exact = population_hitting_times(&g, 8); // tip of the path
+    let seq = SeedSeq::new(17);
+    let mut w = Welford::new();
+    for t in 0..800 {
+        w.push(simulate_population_hitting(&g, 0, 8, seq.child(t)) as f64);
+    }
+    let e = exact[0];
+    assert!(
+        (w.mean() - e).abs() < 0.1 * e,
+        "simulated {} vs exact {e}",
+        w.mean()
+    );
+}
+
+/// Population hitting times dominate classic hitting times node-by-node
+/// (the population walk only moves when its edge is drawn).
+#[test]
+fn population_slower_than_classic_everywhere() {
+    for g in [
+        families::cycle(12),
+        families::star(12),
+        families::lollipop(6, 6),
+        random::erdos_renyi_connected(16, 0.4, 9, 100),
+    ] {
+        let classic = classic_hitting_times(&g, 0);
+        let population = population_hitting_times(&g, 0);
+        for v in 1..g.num_nodes() {
+            assert!(
+                population[v as usize] >= classic[v as usize],
+                "node {v} on {g}"
+            );
+        }
+    }
+}
+
+/// Lemma 11: on dense G(n, ½), B(G) is O(n log n) — the ratio stays
+/// bounded across a size sweep.
+#[test]
+fn dense_gnp_broadcast_quasilinear() {
+    let seq = SeedSeq::new(23);
+    let mut ratios = Vec::new();
+    for (i, n) in [32u32, 64, 128].into_iter().enumerate() {
+        let g = random::erdos_renyi_connected(n, 0.5, seq.child(i as u64), 100);
+        let est = estimate_broadcast_time(
+            &g,
+            seq.child(100 + i as u64),
+            &BroadcastConfig {
+                sources: SourceStrategy::Heuristic(2),
+                trials_per_source: 6,
+                threads: 1,
+            },
+        );
+        ratios.push(est.b_estimate / (f64::from(n) * f64::from(n).ln()));
+    }
+    for r in &ratios {
+        assert!(*r < 4.0, "B/(n ln n) = {r} too large for dense G(n,p)");
+        assert!(*r > 0.2, "B/(n ln n) = {r} implausibly small");
+    }
+}
+
+/// Monotonicity: broadcast time from the worst source upper-bounds the
+/// per-source means reported by the estimator.
+#[test]
+fn estimator_max_is_max_of_sources() {
+    let g = families::lollipop(8, 8);
+    let est = estimate_broadcast_time(
+        &g,
+        3,
+        &BroadcastConfig {
+            sources: SourceStrategy::All,
+            trials_per_source: 4,
+            threads: 2,
+        },
+    );
+    let max_mean = est
+        .per_source
+        .iter()
+        .map(|(_, s)| s.mean())
+        .fold(0.0f64, f64::max);
+    assert_eq!(est.b_estimate, max_mean);
+    assert!(est
+        .per_source
+        .iter()
+        .any(|&(src, _)| src == est.worst_source));
+}

@@ -1,0 +1,349 @@
+//! Protocol executor: applies a protocol under the uniform edge scheduler
+//! and detects stabilization via the protocol's oracle.
+
+use crate::protocol::{Protocol, Role, StabilityOracle};
+use crate::scheduler::EdgeScheduler;
+use popele_graph::{Graph, NodeId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Result of a stabilized execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// The first step `t` at which the configuration was stable and
+    /// correct (`0` if the initial configuration already is).
+    pub stabilization_step: u64,
+    /// Number of leader-output nodes at stabilization (always 1 when the
+    /// oracle is correct; reported for auditability).
+    pub leader_count: usize,
+    /// The elected leader.
+    pub leader: Option<NodeId>,
+    /// Number of distinct states observed over the whole execution, if the
+    /// state census was enabled.
+    pub distinct_states: Option<usize>,
+}
+
+/// Error: the execution did not stabilize within the step budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotStabilized {
+    /// The step budget that was exhausted.
+    pub max_steps: u64,
+}
+
+impl fmt::Display for NotStabilized {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution did not stabilize within {} steps", self.max_steps)
+    }
+}
+
+impl std::error::Error for NotStabilized {}
+
+/// Runs one execution of a [`Protocol`] on a [`Graph`].
+///
+/// The executor owns the configuration (`Vec<State>`), the scheduler, and
+/// the protocol's stability oracle. See the crate-level docs for an
+/// example.
+pub struct Executor<'a, P: Protocol> {
+    graph: &'a Graph,
+    protocol: &'a P,
+    scheduler: EdgeScheduler,
+    states: Vec<P::State>,
+    oracle: P::Oracle,
+    census: Option<HashSet<P::State>>,
+}
+
+impl<'a, P: Protocol> Executor<'a, P> {
+    /// Creates an executor with every node in its initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges.
+    #[must_use]
+    pub fn new(graph: &'a Graph, protocol: &'a P, seed: u64) -> Self {
+        let states: Vec<P::State> = graph
+            .nodes()
+            .map(|v| protocol.initial_state(v))
+            .collect();
+        let mut oracle = protocol.oracle();
+        oracle.recompute(protocol, &states);
+        Self {
+            graph,
+            protocol,
+            scheduler: EdgeScheduler::new(graph, seed),
+            states,
+            oracle,
+            census: None,
+        }
+    }
+
+    /// Enables the distinct-state census (costs one hash per changed state
+    /// per step; off by default).
+    pub fn enable_state_census(&mut self) {
+        let mut set = HashSet::new();
+        for s in &self.states {
+            set.insert(s.clone());
+        }
+        self.census = Some(set);
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Current configuration.
+    #[must_use]
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Steps executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.scheduler.steps()
+    }
+
+    /// Applies one interaction and returns the sampled `(initiator,
+    /// responder)` pair.
+    pub fn step(&mut self) -> (NodeId, NodeId) {
+        let (u, v) = self.scheduler.next_pair();
+        let (iu, iv) = (u as usize, v as usize);
+        let (new_u, new_v) = self
+            .protocol
+            .transition(&self.states[iu], &self.states[iv]);
+        self.oracle.apply(
+            self.protocol,
+            (&self.states[iu], &self.states[iv]),
+            (&new_u, &new_v),
+        );
+        if let Some(census) = &mut self.census {
+            census.insert(new_u.clone());
+            census.insert(new_v.clone());
+        }
+        self.states[iu] = new_u;
+        self.states[iv] = new_v;
+        (u, v)
+    }
+
+    /// Runs exactly `k` interactions.
+    pub fn run_steps(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Runs until the oracle reports a stable, correct configuration or
+    /// the step budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotStabilized`] if `max_steps` interactions pass without
+    /// stabilization.
+    pub fn run_until_stable(&mut self, max_steps: u64) -> Result<Outcome, NotStabilized> {
+        while !self.oracle.is_stable() {
+            if self.steps() >= max_steps {
+                return Err(NotStabilized { max_steps });
+            }
+            self.step();
+        }
+        Ok(self.outcome())
+    }
+
+    /// Whether the oracle currently reports stability.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.oracle.is_stable()
+    }
+
+    /// Immutable access to the oracle.
+    #[must_use]
+    pub fn oracle(&self) -> &P::Oracle {
+        &self.oracle
+    }
+
+    /// Current number of leader-output nodes (O(n) scan).
+    #[must_use]
+    pub fn leader_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| self.protocol.output(s) == Role::Leader)
+            .count()
+    }
+
+    /// The unique leader if exactly one node outputs leader.
+    #[must_use]
+    pub fn leader(&self) -> Option<NodeId> {
+        let mut found = None;
+        for (v, s) in self.states.iter().enumerate() {
+            if self.protocol.output(s) == Role::Leader {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(v as NodeId);
+            }
+        }
+        found
+    }
+
+    /// Snapshot of the current outcome (regardless of stability).
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        Outcome {
+            stabilization_step: self.steps(),
+            leader_count: self.leader_count(),
+            leader: self.leader(),
+            distinct_states: self.census.as_ref().map(HashSet::len),
+        }
+    }
+
+    /// Resets to the initial configuration with a new seed.
+    pub fn reset(&mut self, seed: u64) {
+        for (v, s) in self.states.iter_mut().enumerate() {
+            *s = self.protocol.initial_state(v as NodeId);
+        }
+        self.scheduler.reset(seed);
+        self.oracle.recompute(self.protocol, &self.states);
+        if self.census.is_some() {
+            let mut set = HashSet::new();
+            for s in &self.states {
+                set.insert(s.clone());
+            }
+            self.census = Some(set);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LeaderCountOracle;
+    use popele_graph::families;
+
+    /// Initiator absorbs the responder's leadership.
+    #[derive(Clone, Copy)]
+    struct Absorb;
+
+    impl Protocol for Absorb {
+        type State = bool;
+        type Oracle = LeaderCountOracle;
+
+        fn initial_state(&self, _node: NodeId) -> bool {
+            true
+        }
+
+        fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+            if *a && *b {
+                (true, false)
+            } else {
+                (*a, *b)
+            }
+        }
+
+        fn output(&self, s: &bool) -> Role {
+            if *s {
+                Role::Leader
+            } else {
+                Role::Follower
+            }
+        }
+
+        fn oracle(&self) -> LeaderCountOracle {
+            LeaderCountOracle::new()
+        }
+
+        fn state_space_bound(&self) -> Option<u64> {
+            Some(2)
+        }
+    }
+
+    #[test]
+    fn absorb_stabilizes_on_clique() {
+        let g = families::clique(16);
+        let mut exec = Executor::new(&g, &Absorb, 5);
+        let out = exec.run_until_stable(1_000_000).unwrap();
+        assert_eq!(out.leader_count, 1);
+        assert!(out.leader.is_some());
+        assert!(out.stabilization_step > 0);
+        assert!(exec.is_stable());
+    }
+
+    #[test]
+    fn absorb_stabilizes_on_larger_clique() {
+        // Absorb only merges *adjacent* leaders, so it stabilizes on
+        // cliques (where all pairs are adjacent) but can deadlock on
+        // sparse graphs — hence clique-only engine tests.
+        let g = families::clique(40);
+        let mut exec = Executor::new(&g, &Absorb, 6);
+        let out = exec.run_until_stable(10_000_000).unwrap();
+        assert_eq!(out.leader_count, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let g = families::clique(30);
+        let mut exec = Executor::new(&g, &Absorb, 5);
+        let err = exec.run_until_stable(1).unwrap_err();
+        assert_eq!(err, NotStabilized { max_steps: 1 });
+        assert!(format!("{err}").contains("did not stabilize"));
+    }
+
+    #[test]
+    fn deterministic_outcome_per_seed() {
+        let g = families::clique(16);
+        let out1 = Executor::new(&g, &Absorb, 77).run_until_stable(1 << 24).unwrap();
+        let out2 = Executor::new(&g, &Absorb, 77).run_until_stable(1 << 24).unwrap();
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn census_counts_states() {
+        let g = families::clique(8);
+        let mut exec = Executor::new(&g, &Absorb, 1);
+        exec.enable_state_census();
+        let out = exec.run_until_stable(1 << 20).unwrap();
+        assert_eq!(out.distinct_states, Some(2));
+    }
+
+    #[test]
+    fn reset_restores_initial_configuration() {
+        let g = families::clique(8);
+        let mut exec = Executor::new(&g, &Absorb, 1);
+        exec.run_until_stable(1 << 20).unwrap();
+        assert_eq!(exec.leader_count(), 1);
+        exec.reset(2);
+        assert_eq!(exec.steps(), 0);
+        assert_eq!(exec.leader_count(), 8);
+        let out = exec.run_until_stable(1 << 20).unwrap();
+        assert_eq!(out.leader_count, 1);
+    }
+
+    #[test]
+    fn leader_helper_finds_unique() {
+        let g = families::clique(4);
+        let mut exec = Executor::new(&g, &Absorb, 3);
+        assert_eq!(exec.leader(), None); // four leaders initially
+        exec.run_until_stable(1 << 20).unwrap();
+        let leader = exec.leader().unwrap();
+        assert_eq!(exec.states()[leader as usize], true);
+    }
+
+    #[test]
+    fn single_node_with_edgeless_graph_panics() {
+        // Executor requires at least one edge (the scheduler cannot run).
+        let g = popele_graph::Graph::from_edges(1, &[]).unwrap();
+        let result = std::panic::catch_unwind(|| Executor::new(&g, &Absorb, 0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn step_returns_sampled_pair() {
+        let g = families::cycle(5);
+        let mut exec = Executor::new(&g, &Absorb, 9);
+        for _ in 0..100 {
+            let (u, v) = exec.step();
+            assert!(g.has_edge(u, v));
+        }
+        assert_eq!(exec.steps(), 100);
+    }
+}

@@ -1,0 +1,66 @@
+//! Stochastic population-protocol execution engine.
+//!
+//! Implements the model of Section 2.2 of *Near-Optimal Leader Election in
+//! Population Protocols on Graphs* (PODC 2022): a scheduler samples, in
+//! every discrete step, an ordered pair of adjacent nodes uniformly at
+//! random among all `2m` ordered pairs of a connected interaction graph;
+//! the two nodes interact through a state-transition function.
+//!
+//! * [`Protocol`] — the protocol abstraction (states, transition function,
+//!   output map) together with a per-protocol [`StabilityOracle`] that
+//!   detects — in O(1) per interaction — the exact step at which the
+//!   configuration becomes stable and correct;
+//! * [`EdgeScheduler`] — the uniform ordered-pair scheduler;
+//! * [`Executor`] — applies a protocol under a scheduler and reports the
+//!   stabilization step, the elected leader, and (optionally) a census of
+//!   distinct states for space-complexity measurements;
+//! * [`exhaustive`] — a brute-force reachability checker implementing the
+//!   *definition* of stability (every reachable configuration has the same
+//!   output) on tiny instances, used to validate the incremental oracles;
+//! * [`monte_carlo`] — a multi-threaded harness running many independent
+//!   seeded trials.
+//!
+//! # Examples
+//!
+//! A two-state protocol where the initiator absorbs the responder's
+//! leadership (stabilizes on cliques, where all leaders stay adjacent):
+//!
+//! ```
+//! use popele_engine::{Executor, LeaderCountOracle, Protocol, Role};
+//! use popele_graph::families;
+//!
+//! #[derive(Clone, Copy)]
+//! struct Absorb;
+//!
+//! impl Protocol for Absorb {
+//!     type State = bool; // true = leader
+//!     type Oracle = LeaderCountOracle;
+//!
+//!     fn initial_state(&self, _node: u32) -> bool { true }
+//!     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+//!         if *a && *b { (true, false) } else { (*a, *b) }
+//!     }
+//!     fn output(&self, s: &bool) -> Role {
+//!         if *s { Role::Leader } else { Role::Follower }
+//!     }
+//!     fn oracle(&self) -> LeaderCountOracle { LeaderCountOracle::new() }
+//! }
+//!
+//! let g = families::clique(20);
+//! let mut exec = Executor::new(&g, &Absorb, 7);
+//! let outcome = exec.run_until_stable(1_000_000).unwrap();
+//! assert_eq!(outcome.leader_count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod executor;
+mod protocol;
+mod scheduler;
+
+pub mod exhaustive;
+pub mod monte_carlo;
+
+pub use executor::{Executor, NotStabilized, Outcome};
+pub use protocol::{LeaderCountOracle, Protocol, Role, StabilityOracle};
+pub use scheduler::EdgeScheduler;

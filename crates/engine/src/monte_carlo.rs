@@ -1,0 +1,253 @@
+//! Multi-threaded Monte-Carlo harness.
+//!
+//! Runs many independent executions of a protocol on a graph, each with a
+//! deterministically derived seed, and aggregates stabilization times.
+//! Trial `i` of a given master seed always produces the same result
+//! regardless of thread count, so experiment outputs are reproducible.
+
+use crate::executor::Executor;
+use crate::protocol::Protocol;
+use popele_graph::{Graph, NodeId};
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Summary;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Result of one Monte-Carlo trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialResult {
+    /// Seed index of the trial.
+    pub trial: usize,
+    /// Stabilization step, or `None` if the budget was exhausted.
+    pub stabilization_step: Option<u64>,
+    /// Elected leader (when stabilized).
+    pub leader: Option<NodeId>,
+    /// Distinct states observed, when the census was requested.
+    pub distinct_states: Option<usize>,
+}
+
+/// Options for [`run_trials`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrialOptions {
+    /// Number of independent executions.
+    pub trials: usize,
+    /// Per-trial step budget.
+    pub max_steps: u64,
+    /// Whether to record the distinct-state census (slower).
+    pub census: bool,
+    /// Worker threads; `0` = one per available core.
+    pub threads: usize,
+}
+
+impl Default for TrialOptions {
+    fn default() -> Self {
+        Self {
+            trials: 16,
+            max_steps: u64::MAX,
+            census: false,
+            threads: 0,
+        }
+    }
+}
+
+/// Runs `options.trials` independent executions of `protocol` on `graph`.
+///
+/// Results are returned in trial order. Each trial uses child seed `i` of
+/// `master_seed`, so results are independent of the thread count.
+#[must_use]
+pub fn run_trials<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    master_seed: u64,
+    options: TrialOptions,
+) -> Vec<TrialResult> {
+    let seq = SeedSeq::new(master_seed);
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        options.threads
+    };
+    let threads = threads.min(options.trials.max(1));
+
+    let run_one = |trial: usize| -> TrialResult {
+        let mut exec = Executor::new(graph, protocol, seq.child(trial as u64));
+        if options.census {
+            exec.enable_state_census();
+        }
+        match exec.run_until_stable(options.max_steps) {
+            Ok(outcome) => TrialResult {
+                trial,
+                stabilization_step: Some(outcome.stabilization_step),
+                leader: outcome.leader,
+                distinct_states: outcome.distinct_states,
+            },
+            Err(_) => TrialResult {
+                trial,
+                stabilization_step: None,
+                leader: None,
+                distinct_states: exec.outcome().distinct_states,
+            },
+        }
+    };
+
+    if threads <= 1 {
+        return (0..options.trials).map(run_one).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results = parking_lot::Mutex::new(vec![
+        TrialResult {
+            trial: 0,
+            stabilization_step: None,
+            leader: None,
+            distinct_states: None,
+        };
+        options.trials
+    ]);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let trial = next.fetch_add(1, Ordering::Relaxed);
+                if trial >= options.trials {
+                    break;
+                }
+                let result = run_one(trial);
+                results.lock()[trial] = result;
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results.into_inner()
+}
+
+/// Aggregate view over a batch of trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialStats {
+    /// Summary of stabilization steps over *successful* trials.
+    pub steps: Summary,
+    /// Number of trials that hit the step budget.
+    pub timeouts: usize,
+    /// Maximum distinct-state count observed (if censused).
+    pub max_distinct_states: Option<usize>,
+}
+
+impl TrialStats {
+    /// Aggregates a batch of trial results.
+    #[must_use]
+    pub fn from_results(results: &[TrialResult]) -> Self {
+        let steps: Summary = results
+            .iter()
+            .filter_map(|r| r.stabilization_step)
+            .map(|s| s as f64)
+            .collect();
+        let timeouts = results
+            .iter()
+            .filter(|r| r.stabilization_step.is_none())
+            .count();
+        let max_distinct_states = results.iter().filter_map(|r| r.distinct_states).max();
+        Self {
+            steps,
+            timeouts,
+            max_distinct_states,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{LeaderCountOracle, Role};
+    use popele_graph::families;
+
+    #[derive(Clone, Copy)]
+    struct Absorb;
+
+    impl Protocol for Absorb {
+        type State = bool;
+        type Oracle = LeaderCountOracle;
+
+        fn initial_state(&self, _node: NodeId) -> bool {
+            true
+        }
+
+        fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+            if *a && *b {
+                (true, false)
+            } else {
+                (*a, *b)
+            }
+        }
+
+        fn output(&self, s: &bool) -> Role {
+            if *s {
+                Role::Leader
+            } else {
+                Role::Follower
+            }
+        }
+
+        fn oracle(&self) -> LeaderCountOracle {
+            LeaderCountOracle::new()
+        }
+    }
+
+    #[test]
+    fn trials_all_stabilize() {
+        let g = families::clique(12);
+        let results = run_trials(
+            &g,
+            &Absorb,
+            42,
+            TrialOptions {
+                trials: 8,
+                max_steps: 1 << 22,
+                census: true,
+                threads: 2,
+            },
+        );
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            assert!(r.stabilization_step.is_some());
+            assert!(r.leader.is_some());
+            assert_eq!(r.distinct_states, Some(2));
+        }
+        let stats = TrialStats::from_results(&results);
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(stats.steps.len(), 8);
+        assert_eq!(stats.max_distinct_states, Some(2));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = families::cycle(10);
+        let opts = |threads| TrialOptions {
+            trials: 6,
+            max_steps: 1 << 22,
+            census: false,
+            threads,
+        };
+        let seq = run_trials(&g, &Absorb, 7, opts(1));
+        let par = run_trials(&g, &Absorb, 7, opts(4));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let g = families::clique(32);
+        let results = run_trials(
+            &g,
+            &Absorb,
+            1,
+            TrialOptions {
+                trials: 3,
+                max_steps: 2,
+                census: false,
+                threads: 1,
+            },
+        );
+        let stats = TrialStats::from_results(&results);
+        assert_eq!(stats.timeouts, 3);
+        assert!(stats.steps.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! The uniform ordered-pair scheduler of the stochastic population model.
+
+use popele_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples, per step, an ordered pair `(u, v)` of adjacent nodes uniformly
+/// at random among all `2m` ordered pairs (Section 2.2 of the paper).
+///
+/// The first component is the **initiator**, the second the **responder**.
+///
+/// # Examples
+///
+/// ```
+/// use popele_engine::EdgeScheduler;
+/// use popele_graph::families;
+///
+/// let g = families::cycle(5);
+/// let mut sched = EdgeScheduler::new(&g, 42);
+/// let (u, v) = sched.next_pair();
+/// assert!(g.has_edge(u, v));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdgeScheduler {
+    edges: Vec<(NodeId, NodeId)>,
+    rng: SmallRng,
+    steps: u64,
+}
+
+impl EdgeScheduler {
+    /// Creates a scheduler for `graph` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges (no interaction is possible).
+    #[must_use]
+    pub fn new(graph: &Graph, seed: u64) -> Self {
+        assert!(
+            graph.num_edges() > 0,
+            "scheduler requires a graph with at least one edge"
+        );
+        Self {
+            edges: graph.edges().to_vec(),
+            rng: SmallRng::seed_from_u64(seed),
+            steps: 0,
+        }
+    }
+
+    /// Samples the next ordered pair `(initiator, responder)`.
+    pub fn next_pair(&mut self) -> (NodeId, NodeId) {
+        self.steps += 1;
+        // One draw covers both the edge index and the orientation bit.
+        let r = self.rng.random_range(0..2 * self.edges.len());
+        let (u, v) = self.edges[r >> 1];
+        if r & 1 == 0 {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Number of pairs sampled so far (the model's time step `t`).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of undirected edges `m` of the underlying graph.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Resets the step counter and reseeds the RNG.
+    pub fn reset(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popele_graph::families;
+    use std::collections::HashMap;
+
+    #[test]
+    fn pairs_are_adjacent() {
+        let g = families::torus(4, 4);
+        let mut s = EdgeScheduler::new(&g, 1);
+        for _ in 0..1000 {
+            let (u, v) = s.next_pair();
+            assert!(g.has_edge(u, v), "sampled non-edge ({u}, {v})");
+        }
+        assert_eq!(s.steps(), 1000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = families::clique(6);
+        let mut a = EdgeScheduler::new(&g, 9);
+        let mut b = EdgeScheduler::new(&g, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_pair(), b.next_pair());
+        }
+    }
+
+    #[test]
+    fn reset_reproduces_stream() {
+        let g = families::cycle(5);
+        let mut s = EdgeScheduler::new(&g, 3);
+        let first: Vec<_> = (0..20).map(|_| s.next_pair()).collect();
+        s.reset(3);
+        assert_eq!(s.steps(), 0);
+        let second: Vec<_> = (0..20).map(|_| s.next_pair()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn ordered_pairs_roughly_uniform() {
+        // On a triangle there are 6 ordered pairs; each should get ~1/6 of
+        // the samples.
+        let g = families::cycle(3);
+        let mut s = EdgeScheduler::new(&g, 7);
+        let trials = 60_000;
+        let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for _ in 0..trials {
+            *counts.entry(s.next_pair()).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (&pair, &c) in &counts {
+            let freq = f64::from(c) / f64::from(trials);
+            assert!(
+                (freq - 1.0 / 6.0).abs() < 0.01,
+                "pair {pair:?} frequency {freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn initiator_distribution_follows_degree() {
+        // In the population model a node is chosen (in either role) with
+        // probability deg(v)/m per step, and as initiator with
+        // deg(v)/(2m). On a star the centre initiates half the steps.
+        let g = families::star(9);
+        let mut s = EdgeScheduler::new(&g, 11);
+        let trials = 40_000;
+        let mut centre_initiates = 0u32;
+        for _ in 0..trials {
+            if s.next_pair().0 == 0 {
+                centre_initiates += 1;
+            }
+        }
+        let freq = f64::from(centre_initiates) / f64::from(trials);
+        assert!((freq - 0.5).abs() < 0.01, "centre initiator freq {freq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn rejects_edgeless_graph() {
+        let g = popele_graph::Graph::from_edges(2, &[]).unwrap();
+        let _ = EdgeScheduler::new(&g, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Statistical validation of the scheduler against the model's exact
+//! predictions (Section 2.2 of the paper).
+
+use popele_engine::EdgeScheduler;
+use popele_graph::{families, random};
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Welford;
+
+/// Per-node interaction rate is `deg(v)/m` per step: on a star, the
+/// centre is in every interaction and each leaf in `1/m` of them.
+#[test]
+fn interaction_rate_proportional_to_degree() {
+    let g = families::star(21); // centre degree 20, m = 20
+    let mut sched = EdgeScheduler::new(&g, 5);
+    let steps = 100_000u32;
+    let mut hits = vec![0u32; 21];
+    for _ in 0..steps {
+        let (u, v) = sched.next_pair();
+        hits[u as usize] += 1;
+        hits[v as usize] += 1;
+    }
+    assert_eq!(hits[0], steps, "the centre participates in every step");
+    for leaf in 1..21 {
+        let rate = f64::from(hits[leaf]) / f64::from(steps);
+        assert!(
+            (rate - 0.05).abs() < 0.01,
+            "leaf {leaf} rate {rate}, expected deg/m = 1/20"
+        );
+    }
+}
+
+/// Each participant is initiator in exactly half of its interactions.
+#[test]
+fn roles_are_fair_coin_flips() {
+    let g = random::erdos_renyi_connected(30, 0.3, 7, 100);
+    let mut sched = EdgeScheduler::new(&g, 9);
+    let mut initiated = vec![0u32; 30];
+    let mut participated = vec![0u32; 30];
+    for _ in 0..200_000 {
+        let (u, v) = sched.next_pair();
+        initiated[u as usize] += 1;
+        participated[u as usize] += 1;
+        participated[v as usize] += 1;
+    }
+    for v in 0..30 {
+        let frac = f64::from(initiated[v]) / f64::from(participated[v]);
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "node {v} initiator fraction {frac}"
+        );
+    }
+}
+
+/// Lemma 5: the expected number of steps until a fixed sequence of `k`
+/// edges is sampled *in order* is exactly `k·m`.
+#[test]
+fn edge_sequence_expectation_is_km() {
+    let g = families::cycle(12); // m = 12
+    let seq = SeedSeq::new(11);
+    // The path 0-1-2-3 as an ordered edge sequence of length 3.
+    let rho = [(0u32, 1u32), (1, 2), (2, 3)];
+    let trials = 3000;
+    let mut w = Welford::new();
+    for t in 0..trials {
+        let mut sched = EdgeScheduler::new(&g, seq.child(t));
+        let mut next = 0usize;
+        loop {
+            let (u, v) = sched.next_pair();
+            let (a, b) = (u.min(v), u.max(v));
+            if (a, b) == rho[next] {
+                next += 1;
+                if next == rho.len() {
+                    break;
+                }
+            }
+            assert!(sched.steps() < 1_000_000, "runaway sampling");
+        }
+        w.push(sched.steps() as f64);
+    }
+    let expected = 3.0 * 12.0;
+    assert!(
+        (w.mean() - expected).abs() < 0.05 * expected,
+        "E[X(ρ)] measured {} vs k·m = {expected}",
+        w.mean()
+    );
+}
+
+/// Waiting time for a *specific ordered pair* is geometric with mean 2m.
+#[test]
+fn ordered_pair_waiting_time() {
+    let g = families::clique(6); // m = 15, 30 ordered pairs
+    let seq = SeedSeq::new(13);
+    let trials = 4000;
+    let mut w = Welford::new();
+    for t in 0..trials {
+        let mut sched = EdgeScheduler::new(&g, seq.child(t));
+        loop {
+            if sched.next_pair() == (2, 4) {
+                break;
+            }
+        }
+        w.push(sched.steps() as f64);
+    }
+    assert!(
+        (w.mean() - 30.0).abs() < 1.5,
+        "mean waiting time {} vs 2m = 30",
+        w.mean()
+    );
+}
+
+/// Different seeds give (near-)independent schedules: the first 32 pairs
+/// of two seeds differ somewhere.
+#[test]
+fn seeds_decorrelate_schedules() {
+    let g = families::torus(5, 5);
+    let collect = |seed: u64| -> Vec<(u32, u32)> {
+        let mut s = EdgeScheduler::new(&g, seed);
+        (0..32).map(|_| s.next_pair()).collect()
+    };
+    let a = collect(1);
+    for seed in 2..12 {
+        assert_ne!(a, collect(seed), "seed {seed} collided with seed 1");
+    }
+}

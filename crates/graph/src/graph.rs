@@ -1,0 +1,456 @@
+//! The core immutable undirected graph type.
+
+use std::fmt;
+
+/// Identifier of a node; nodes of an `n`-node graph are `0..n`.
+pub type NodeId = u32;
+
+/// Errors raised while building a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint is `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// Number of nodes the builder was created with.
+        num_nodes: u32,
+    },
+    /// An edge connects a node to itself.
+    SelfLoop(NodeId),
+    /// The same undirected edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The graph has zero nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use popele_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build()?;
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), popele_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: u32,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `num_nodes` nodes.
+    #[must_use]
+    pub fn new(num_nodes: u32) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range endpoints or self-loops.
+    /// Duplicate edges are detected at [`Self::build`] time.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if v >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(())
+    }
+
+    /// Number of edges added so far.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for a zero-node graph and
+    /// [`GraphError::DuplicateEdge`] if the same edge was added twice.
+    pub fn build(mut self) -> Result<Graph, GraphError> {
+        if self.num_nodes == 0 {
+            return Err(GraphError::Empty);
+        }
+        self.edges.sort_unstable();
+        for w in self.edges.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateEdge(w[0].0, w[0].1));
+            }
+        }
+        Ok(Graph::from_sorted_edges(self.num_nodes, self.edges))
+    }
+}
+
+/// An immutable, simple, undirected graph in CSR form.
+///
+/// Invariants: no self-loops, no parallel edges, canonical edge order
+/// (`u < v`, lexicographically sorted), adjacency lists sorted ascending.
+///
+/// # Examples
+///
+/// ```
+/// use popele_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.degree(0), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(3, 0));
+/// assert!(!g.has_edge(0, 2));
+/// # Ok::<(), popele_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_nodes: u32,
+    /// Canonical edge list: `u < v`, sorted.
+    edges: Vec<(NodeId, NodeId)>,
+    /// CSR offsets, length `num_nodes + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted adjacency lists, length `2m`.
+    adjacency: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same validation errors as [`GraphBuilder`].
+    pub fn from_edges(num_nodes: u32, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(num_nodes);
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        b.build()
+    }
+
+    /// Internal constructor from validated, canonically sorted edges.
+    fn from_sorted_edges(num_nodes: u32, edges: Vec<(NodeId, NodeId)>) -> Self {
+        let n = num_nodes as usize;
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut adjacency = vec![0u32; 2 * edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &edges {
+            adjacency[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            adjacency[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        for i in 0..n {
+            adjacency[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+        Self {
+            num_nodes,
+            edges,
+            offsets,
+            adjacency,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of edges `m`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical (sorted, `u < v`) edge list.
+    #[must_use]
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> u32 {
+        let v = v as usize;
+        assert!(v < self.num_nodes as usize, "node out of range");
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbours of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        assert!(v < self.num_nodes as usize, "node out of range");
+        &self.adjacency[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u >= self.num_nodes || v >= self.num_nodes || u == v {
+            return false;
+        }
+        // Search the shorter adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Maximum degree `Δ`.
+    #[must_use]
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_nodes).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree `δ`.
+    #[must_use]
+    pub fn min_degree(&self) -> u32 {
+        (0..self.num_nodes).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m/n`.
+    #[must_use]
+    pub fn avg_degree(&self) -> f64 {
+        2.0 * self.num_edges() as f64 / self.num_nodes as f64
+    }
+
+    /// Whether every node has the same degree.
+    #[must_use]
+    pub fn is_regular(&self) -> bool {
+        self.max_degree() == self.min_degree()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes
+    }
+
+    /// Disjoint union with another graph: nodes of `other` are relabelled to
+    /// `self.num_nodes()..`, and no edges connect the two parts.
+    ///
+    /// Returns the combined graph and the offset applied to `other`'s ids.
+    #[must_use]
+    pub fn disjoint_union(&self, other: &Graph) -> (Graph, u32) {
+        let offset = self.num_nodes;
+        let mut edges = self.edges.clone();
+        edges.extend(
+            other
+                .edges
+                .iter()
+                .map(|&(u, v)| (u + offset, v + offset)),
+        );
+        edges.sort_unstable();
+        (
+            Graph::from_sorted_edges(self.num_nodes + other.num_nodes, edges),
+            offset,
+        )
+    }
+
+    /// Returns a new graph with the given extra edges added.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`GraphBuilder`]; adding an existing edge is a
+    /// [`GraphError::DuplicateEdge`].
+    pub fn with_edges(&self, extra: &[(NodeId, NodeId)]) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::new(self.num_nodes);
+        for &(u, v) in self.edges.iter().chain(extra) {
+            b.add_edge(u, v)?;
+        }
+        b.build()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, Δ={}, δ={})",
+            self.num_nodes,
+            self.num_edges(),
+            self.max_degree(),
+            self.min_degree()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_basics() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.is_regular());
+        assert_eq!(g.avg_degree(), 2.0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(3, 0), (0, 4), (1, 0), (0, 2)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn has_edge_both_orders() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(GraphError::NodeOutOfRange {
+                node: 2,
+                num_nodes: 2
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_even_reversed() {
+        assert_eq!(
+            Graph::from_edges(3, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge(0, 1))
+        );
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Graph::from_edges(0, &[]), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn single_node_graph_ok() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn canonical_edge_list() {
+        let g = Graph::from_edges(4, &[(3, 2), (1, 0), (2, 0)]).unwrap();
+        assert_eq!(g.edges(), &[(0, 1), (0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn disjoint_union_relabels() {
+        let a = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let b = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let (u, offset) = a.disjoint_union(&b);
+        assert_eq!(offset, 2);
+        assert_eq!(u.num_nodes(), 5);
+        assert_eq!(u.num_edges(), 3);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(2, 3));
+        assert!(u.has_edge(3, 4));
+        assert!(!u.has_edge(1, 2));
+    }
+
+    #[test]
+    fn with_edges_adds() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let g2 = g.with_edges(&[(1, 2)]).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        assert!(g.with_edges(&[(0, 1)]).is_err());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(format!("{}", GraphError::SelfLoop(3)).contains("self-loop"));
+        assert!(format!("{}", GraphError::DuplicateEdge(1, 2)).contains("duplicate"));
+        assert!(format!("{}", GraphError::Empty).contains("at least one"));
+        assert!(format!(
+            "{}",
+            GraphError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 4
+            }
+        )
+        .contains("out of range"));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let s = format!("{g}");
+        assert!(s.contains("n=3") && s.contains("m=2"));
+    }
+}

@@ -1,0 +1,533 @@
+//! Renitent graphs and `(K, ℓ)`-covers (Section 6 of the paper).
+//!
+//! A `(K, ℓ)`-cover of `G` is a collection of `K` node sets whose
+//! `ℓ`-neighbourhoods are pairwise isomorphic, at least two of which have
+//! disjoint `ℓ`-neighbourhoods, and whose union covers `V(G)`. If
+//! information is unlikely to propagate across distance `ℓ` within `t`
+//! steps, the cover is `t`-isolating and Theorem 34 yields an `Ω(t)` lower
+//! bound for stable leader election.
+//!
+//! This module provides:
+//!
+//! * [`Cover`] — the cover data structure plus structural verification;
+//! * [`cycle_cover`] — the four-arc cover of a cycle (Lemma 37, showing
+//!   cycles are `Ω(n²)`-renitent);
+//! * [`lemma38`] — the general construction: four copies of a base graph
+//!   `H` joined into a ring by paths of length `2ℓ`, giving
+//!   `Ω(ℓ·m)`-renitent graphs with `B(G) ∈ Ω(ℓ·m)`;
+//! * [`theorem39_graph`] — for any target `T(n)` between `n log n` and
+//!   `n³`, a graph family on which both broadcast and stable leader
+//!   election take `Θ(T)` expected steps.
+
+use crate::families;
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::properties::diameter;
+use crate::traversal::ball;
+
+/// A `(K, ℓ)`-cover: `K` node sets together with the isolation radius `ℓ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    sets: Vec<Vec<NodeId>>,
+    ell: u32,
+}
+
+impl Cover {
+    /// Creates a cover from explicit sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sets are given or any set is empty.
+    #[must_use]
+    pub fn new(sets: Vec<Vec<NodeId>>, ell: u32) -> Self {
+        assert!(sets.len() >= 2, "a cover needs at least two sets");
+        assert!(sets.iter().all(|s| !s.is_empty()), "cover sets must be nonempty");
+        let sets = sets
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        Self { sets, ell }
+    }
+
+    /// The cover sets `V₀, …, V_{K−1}`.
+    #[must_use]
+    pub fn sets(&self) -> &[Vec<NodeId>] {
+        &self.sets
+    }
+
+    /// Number of sets `K`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Isolation radius `ℓ`.
+    #[must_use]
+    pub fn ell(&self) -> u32 {
+        self.ell
+    }
+
+    /// The `ℓ`-neighbourhood `B_ℓ(Vᵢ)` of set `i`, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn neighbourhood(&self, g: &Graph, i: usize) -> Vec<NodeId> {
+        ball(g, &self.sets[i], self.ell)
+    }
+
+    /// Structural verification of the three `(K, ℓ)`-cover properties on `g`.
+    ///
+    /// Property (1) — isomorphism of the neighbourhoods — is verified by
+    /// cheap invariants (equal set sizes, equal neighbourhood sizes, equal
+    /// induced edge counts and degree multisets) rather than a full
+    /// isomorphism test; the constructions in this module are isomorphic by
+    /// construction and carry explicit witness maps in their tests.
+    ///
+    /// Returns a list of violated properties (empty = cover is valid).
+    #[must_use]
+    pub fn verify(&self, g: &Graph) -> Vec<CoverViolation> {
+        let mut violations = Vec::new();
+
+        // Property (3): union covers V.
+        let mut covered = vec![false; g.num_nodes() as usize];
+        for set in &self.sets {
+            for &v in set {
+                if v >= g.num_nodes() {
+                    violations.push(CoverViolation::NodeOutOfRange(v));
+                    return violations;
+                }
+                covered[v as usize] = true;
+            }
+        }
+        if covered.iter().any(|&c| !c) {
+            violations.push(CoverViolation::NotCovering);
+        }
+
+        // Property (1) invariants.
+        let balls: Vec<Vec<NodeId>> = (0..self.sets.len())
+            .map(|i| self.neighbourhood(g, i))
+            .collect();
+        let set_size = self.sets[0].len();
+        if self.sets.iter().any(|s| s.len() != set_size) {
+            violations.push(CoverViolation::UnequalSetSizes);
+        }
+        let sig0 = induced_signature(g, &balls[0]);
+        for b in &balls[1..] {
+            if induced_signature(g, b) != sig0 {
+                violations.push(CoverViolation::NeighbourhoodsNotIsomorphic);
+                break;
+            }
+        }
+
+        // Property (2): some pair of ℓ-neighbourhoods disjoint.
+        let mut found_disjoint = false;
+        'outer: for i in 0..balls.len() {
+            for j in i + 1..balls.len() {
+                if sorted_disjoint(&balls[i], &balls[j]) {
+                    found_disjoint = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !found_disjoint {
+            violations.push(CoverViolation::NoDisjointPair);
+        }
+
+        violations
+    }
+
+    /// Returns the index pair of two sets with disjoint `ℓ`-neighbourhoods,
+    /// if any.
+    #[must_use]
+    pub fn disjoint_pair(&self, g: &Graph) -> Option<(usize, usize)> {
+        let balls: Vec<Vec<NodeId>> = (0..self.sets.len())
+            .map(|i| self.neighbourhood(g, i))
+            .collect();
+        for i in 0..balls.len() {
+            for j in i + 1..balls.len() {
+                if sorted_disjoint(&balls[i], &balls[j]) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A violated `(K, ℓ)`-cover property reported by [`Cover::verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverViolation {
+    /// A set references a node outside the graph.
+    NodeOutOfRange(NodeId),
+    /// The sets do not cover all of `V(G)` (property 3).
+    NotCovering,
+    /// The sets have different cardinalities (necessary for property 1).
+    UnequalSetSizes,
+    /// The `ℓ`-neighbourhood invariants differ (property 1 violated).
+    NeighbourhoodsNotIsomorphic,
+    /// No two `ℓ`-neighbourhoods are disjoint (property 2).
+    NoDisjointPair,
+}
+
+/// Cheap isomorphism-invariant signature of an induced subgraph: node
+/// count, induced edge count and sorted internal-degree multiset.
+fn induced_signature(g: &Graph, nodes: &[NodeId]) -> (usize, usize, Vec<u32>) {
+    let inside = |v: NodeId| nodes.binary_search(&v).is_ok();
+    let mut degrees = Vec::with_capacity(nodes.len());
+    let mut edges = 0usize;
+    for &v in nodes {
+        let d = g.neighbors(v).iter().filter(|&&w| inside(w)).count() as u32;
+        degrees.push(d);
+        edges += d as usize;
+    }
+    degrees.sort_unstable();
+    (nodes.len(), edges / 2, degrees)
+}
+
+fn sorted_disjoint(a: &[NodeId], b: &[NodeId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+/// Lemma 37: the four-arc `(4, ⌈n/4⌉−1)`-cover of the cycle `C_n`,
+/// witnessing that cycles are `Ω(n²)`-renitent.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 8` and `n % 4 == 0` (equal arcs keep property (1)
+/// exact).
+#[must_use]
+pub fn cycle_cover(n: u32) -> (Graph, Cover) {
+    assert!(n >= 8 && n % 4 == 0, "cycle cover requires n ≥ 8 divisible by 4");
+    let g = families::cycle(n);
+    let arc = n / 4;
+    let sets = (0..4)
+        .map(|i| (i * arc..(i + 1) * arc).collect())
+        .collect();
+    // With ℓ = arc − 1 the neighbourhoods of opposite arcs would just
+    // touch; use arc/2 so B_ℓ(V₀) ∩ B_ℓ(V₂) = ∅ strictly, matching the
+    // Lemma 37 proof which uses B_{ℓ−1} disjointness.
+    let ell = arc / 2;
+    (g, Cover::new(sets, ell))
+}
+
+/// Lemma 38: the four-copy ring construction.
+///
+/// Takes a connected base graph `H` with a designated `anchor` node and a
+/// radius `ell ≥ max(D(H), 1)`, and builds `G'`: four copies of `H` whose
+/// anchors are joined in a ring by paths with `2·ell` edges. The returned
+/// cover has `Vᵢ = V(Hᵢ) ∪ internal nodes of Pᵢ` and radius `ell`.
+///
+/// The resulting graph has `Θ(n)` nodes, `Θ(m)` edges and diameter
+/// `Θ(ell)`; it is `Ω(ell·m)`-renitent and `B(G') ∈ Ω(ell·m)`.
+///
+/// # Panics
+///
+/// Panics if `H` is disconnected, `anchor` is out of range, or
+/// `ell < max(D(H), 1)`.
+#[must_use]
+pub fn lemma38(base: &Graph, anchor: NodeId, ell: u32) -> (Graph, Cover) {
+    assert!(anchor < base.num_nodes(), "anchor out of range");
+    let d = diameter(base);
+    assert!(d != u32::MAX, "base graph must be connected");
+    assert!(ell >= d.max(1), "Lemma 38 requires ℓ ≥ max(D(H), 1)");
+
+    let nh = base.num_nodes();
+    let internal = 2 * ell - 1; // internal nodes per connecting path
+    let n = 4 * nh + 4 * internal;
+    let mut b = GraphBuilder::new(n);
+
+    // Four copies of H.
+    for copy in 0..4u32 {
+        let offset = copy * nh;
+        for &(u, v) in base.edges() {
+            b.add_edge(offset + u, offset + v).expect("valid by construction");
+        }
+    }
+    let anchor_of = |copy: u32| copy * nh + anchor;
+    let path_base = 4 * nh;
+    // Path P_i joins anchor_i to anchor_{(i+1) % 4} through `internal`
+    // fresh nodes.
+    for i in 0..4u32 {
+        let start = path_base + i * internal;
+        b.add_edge(anchor_of(i), start).expect("valid by construction");
+        for j in 0..internal - 1 {
+            b.add_edge(start + j, start + j + 1).expect("valid by construction");
+        }
+        b.add_edge(start + internal - 1, anchor_of((i + 1) % 4))
+            .expect("valid by construction");
+    }
+    let g = b.build().expect("valid by construction");
+
+    let sets = (0..4u32)
+        .map(|i| {
+            let mut set: Vec<NodeId> = (i * nh..(i + 1) * nh).collect();
+            let start = path_base + i * internal;
+            set.extend(start..start + internal);
+            set
+        })
+        .collect();
+    (g, Cover::new(sets, ell))
+}
+
+/// Section 6.2: the four-slab `(4, ℓ)`-cover of a 2-dimensional torus,
+/// witnessing that `k`-dimensional toroidal grids are
+/// `Ω(n^{1+1/k})`-renitent (here `k = 2`: isolation takes `Ω(n^{3/2})`
+/// steps).
+///
+/// The torus is cut into four vertical slabs of `side/4` columns each;
+/// slabs are isomorphic by translation and opposite slabs have disjoint
+/// `ℓ`-neighbourhoods for `ℓ = side/8`.
+///
+/// # Panics
+///
+/// Panics unless `side ≥ 16` and `side % 8 == 0`.
+#[must_use]
+pub fn torus_cover(side: u32) -> (Graph, Cover) {
+    assert!(
+        side >= 16 && side % 8 == 0,
+        "torus cover requires side ≥ 16 divisible by 8"
+    );
+    let g = families::torus(side, side);
+    let slab = side / 4;
+    // Node (r, c) has id r·side + c; slab i owns columns [i·slab, (i+1)·slab).
+    let sets = (0..4u32)
+        .map(|i| {
+            (0..side)
+                .flat_map(|r| (i * slab..(i + 1) * slab).map(move |c| r * side + c))
+                .collect()
+        })
+        .collect();
+    (g, Cover::new(sets, side / 8))
+}
+
+/// Theorem 39: for a target stabilization/broadcast time `T` (in steps, for
+/// the produced graph), builds a graph `G` with `Θ(base_n)` nodes on which
+/// stable leader election takes `Θ(T)` expected steps.
+///
+/// Follows the two cases of the paper's proof:
+/// * `T ∈ ω(n² log n)` — base `H` is a clique on `base_n` nodes and
+///   `ℓ = ⌈T/base_n²⌉`;
+/// * otherwise — base `H` is a star on `base_n` nodes plus
+///   `Θ(T/ℓ)` extra edges, with `ℓ = ⌈log base_n + T/(base_n·log base_n)⌉`.
+///
+/// Returns the graph with its `(4, ℓ)`-cover.
+///
+/// # Panics
+///
+/// Panics if `base_n < 4` or the target is below `base_n·log base_n`
+/// (Theorem 39 requires `n log n ≤ T(n) ≤ n³`).
+#[must_use]
+pub fn theorem39_graph(base_n: u32, target_steps: f64) -> (Graph, Cover) {
+    assert!(base_n >= 4, "base size must be at least 4");
+    let nf = f64::from(base_n);
+    let log_n = nf.ln().max(1.0);
+    assert!(
+        target_steps >= nf * log_n,
+        "Theorem 39 requires T(n) ≥ n log n"
+    );
+
+    if target_steps > nf * nf * log_n {
+        // Case 1: dense/long regime — clique base.
+        let ell = (target_steps / (nf * nf)).ceil() as u32;
+        let base = families::clique(base_n);
+        lemma38(&base, 0, ell.max(1))
+    } else {
+        // Case 2: star base plus Θ(T/ℓ) extra edges.
+        let ell = (log_n + target_steps / (nf * log_n)).ceil() as u32;
+        let extra_target = (target_steps / f64::from(ell)).ceil() as u64;
+        let base = star_with_extra_edges(base_n, extra_target);
+        lemma38(&base, 0, ell.max(2))
+    }
+}
+
+/// A star on `n` nodes with up to `extra` additional leaf-to-leaf edges
+/// added in a fixed deterministic (lexicographic) order.
+fn star_with_extra_edges(n: u32, extra: u64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v).expect("valid by construction");
+    }
+    let mut remaining = extra;
+    'outer: for u in 1..n {
+        for v in u + 1..n {
+            if remaining == 0 {
+                break 'outer;
+            }
+            b.add_edge(u, v).expect("valid by construction");
+            remaining -= 1;
+        }
+    }
+    b.build().expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{diameter, is_connected};
+    use crate::traversal::bfs_distances;
+
+    #[test]
+    fn cycle_cover_is_valid() {
+        let (g, cover) = cycle_cover(16);
+        assert_eq!(cover.k(), 4);
+        assert!(cover.verify(&g).is_empty(), "{:?}", cover.verify(&g));
+        assert!(cover.disjoint_pair(&g).is_some());
+    }
+
+    #[test]
+    fn cycle_cover_opposite_arcs_disjoint() {
+        let (g, cover) = cycle_cover(24);
+        let (i, j) = cover.disjoint_pair(&g).unwrap();
+        assert_eq!((j + 4 - i) % 4, 2, "disjoint pair should be opposite arcs");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn cycle_cover_rejects_bad_n() {
+        let _ = cycle_cover(10);
+    }
+
+    #[test]
+    fn lemma38_structure() {
+        let base = families::clique(5);
+        let ell = 3;
+        let (g, cover) = lemma38(&base, 0, ell);
+        // 4 copies of K5 plus 4 paths with 2ℓ−1 = 5 internal nodes.
+        assert_eq!(g.num_nodes(), 4 * 5 + 4 * 5);
+        assert_eq!(g.num_edges(), 4 * 10 + 4 * 6);
+        assert!(is_connected(&g));
+        assert!(cover.verify(&g).is_empty(), "{:?}", cover.verify(&g));
+    }
+
+    #[test]
+    fn lemma38_diameter_is_theta_ell() {
+        let base = families::clique(4);
+        for ell in [2u32, 4, 8] {
+            let (g, _) = lemma38(&base, 0, ell);
+            let d = diameter(&g);
+            // Two opposite anchors are 2·2ℓ/... around the ring: the far
+            // pair of copies is two paths away → diameter ≈ 2·(2ℓ)/2 + O(1).
+            assert!(d >= 2 * ell, "diameter {d} vs ell {ell}");
+            assert!(d <= 4 * ell + 4, "diameter {d} vs ell {ell}");
+        }
+    }
+
+    #[test]
+    fn lemma38_rotation_witness() {
+        // Explicit isomorphism witness: rotating copy i → copy i+1 maps
+        // distances from anchors consistently.
+        let base = families::cycle(6);
+        let (g, cover) = lemma38(&base, 0, 4);
+        let sets = cover.sets();
+        let d0 = bfs_distances(&g, sets[0][0]);
+        let d1 = bfs_distances(&g, sets[1][0]);
+        // Distance profile from the first node of each set within its own
+        // set must be identical under the rotation.
+        let profile = |dist: &[u32], set: &[NodeId]| {
+            let mut p: Vec<u32> = set.iter().map(|&v| dist[v as usize]).collect();
+            p.sort_unstable();
+            p
+        };
+        assert_eq!(profile(&d0, &sets[0]), profile(&d1, &sets[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ℓ ≥ max(D(H), 1)")]
+    fn lemma38_rejects_small_ell() {
+        let base = families::path(10); // diameter 9
+        let _ = lemma38(&base, 0, 4);
+    }
+
+    #[test]
+    fn theorem39_clique_regime() {
+        let n = 16u32;
+        let target = (n as f64).powi(3); // ω(n² log n) for this n
+        let (g, cover) = theorem39_graph(n, target);
+        assert!(is_connected(&g));
+        assert!(cover.verify(&g).is_empty(), "{:?}", cover.verify(&g));
+        // Base is a clique: m ≈ 4·C(16,2) plus path edges.
+        assert!(g.num_edges() >= 4 * 120);
+    }
+
+    #[test]
+    fn theorem39_star_regime() {
+        let n = 32u32;
+        let nf = n as f64;
+        let target = nf * nf.ln() * 4.0; // Θ(n log n) — star regime
+        let (g, cover) = theorem39_graph(n, target);
+        assert!(is_connected(&g));
+        assert!(cover.verify(&g).is_empty(), "{:?}", cover.verify(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "n log n")]
+    fn theorem39_rejects_small_target() {
+        let _ = theorem39_graph(32, 10.0);
+    }
+
+    #[test]
+    fn star_with_extra_edges_caps() {
+        let g = star_with_extra_edges(5, 1000);
+        // Star has 4 edges; leaves form K4 with 6 edges.
+        assert_eq!(g.num_edges(), 4 + 6);
+        let g2 = star_with_extra_edges(5, 2);
+        assert_eq!(g2.num_edges(), 6);
+    }
+
+    #[test]
+    fn verify_detects_bad_covers() {
+        let g = families::cycle(12);
+        // Not covering.
+        let c = Cover::new(vec![vec![0, 1], vec![6, 7]], 1);
+        assert!(c.verify(&g).contains(&CoverViolation::NotCovering));
+        // Unequal sizes.
+        let sets = vec![vec![0, 1, 2], (3..12).collect::<Vec<_>>()];
+        let c = Cover::new(sets, 0);
+        assert!(c.verify(&g).contains(&CoverViolation::UnequalSetSizes));
+        // No disjoint pair at huge radius.
+        let (g, _) = cycle_cover(16);
+        let sets = (0..4).map(|i| (i * 4..(i + 1) * 4).collect()).collect();
+        let c = Cover::new(sets, 8);
+        assert!(c.verify(&g).contains(&CoverViolation::NoDisjointPair));
+    }
+
+    #[test]
+    fn torus_cover_is_valid() {
+        for side in [16u32, 24] {
+            let (g, cover) = torus_cover(side);
+            assert_eq!(g.num_nodes(), side * side);
+            assert!(cover.verify(&g).is_empty(), "{:?}", cover.verify(&g));
+            let (i, j) = cover.disjoint_pair(&g).unwrap();
+            assert_eq!((j + 4 - i) % 4, 2, "opposite slabs should be disjoint");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 8")]
+    fn torus_cover_rejects_bad_side() {
+        let _ = torus_cover(20);
+    }
+
+    #[test]
+    fn verify_detects_out_of_range() {
+        let g = families::cycle(8);
+        let c = Cover::new(vec![vec![0], vec![99]], 1);
+        assert!(matches!(
+            c.verify(&g)[0],
+            CoverViolation::NodeOutOfRange(99)
+        ));
+    }
+}

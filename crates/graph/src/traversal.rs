@@ -1,0 +1,202 @@
+//! Breadth-first traversal primitives shared by the property computations
+//! and the dynamics crate.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `source`; unreachable nodes get [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use popele_graph::families;
+/// use popele_graph::traversal::bfs_distances;
+///
+/// let g = families::path(4);
+/// assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+/// ```
+#[must_use]
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    assert!(source < g.num_nodes(), "source out of range");
+    let mut dist = vec![UNREACHABLE; g.num_nodes() as usize];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::with_capacity(64);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances from a set of sources (distance to the nearest source).
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or contains an out-of-range node.
+#[must_use]
+pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    assert!(!sources.is_empty(), "need at least one source");
+    let mut dist = vec![UNREACHABLE; g.num_nodes() as usize];
+    let mut queue = VecDeque::with_capacity(sources.len());
+    for &s in sources {
+        assert!(s < g.num_nodes(), "source out of range");
+        if dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `source`: the largest finite BFS distance, or
+/// [`UNREACHABLE`] if some node is unreachable.
+#[must_use]
+pub fn eccentricity(g: &Graph, source: NodeId) -> u32 {
+    let dist = bfs_distances(g, source);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return UNREACHABLE;
+        }
+        ecc = ecc.max(d);
+    }
+    ecc
+}
+
+/// Connected components as a label vector: `labels[v]` is the component
+/// index of `v`, components numbered `0..count` in order of smallest member.
+#[must_use]
+pub fn connected_components(g: &Graph) -> (usize, Vec<u32>) {
+    let n = g.num_nodes() as usize;
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if labels[w as usize] == u32::MAX {
+                    labels[w as usize] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, labels)
+}
+
+/// Nodes within BFS distance `r` of any node in `set` — the
+/// `B_r(U)` neighbourhood of Section 2.1, returned sorted.
+///
+/// # Panics
+///
+/// Panics if `set` is empty or contains an out-of-range node.
+#[must_use]
+pub fn ball(g: &Graph, set: &[NodeId], r: u32) -> Vec<NodeId> {
+    let dist = multi_source_bfs(g, set);
+    let mut out: Vec<NodeId> = dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE && d <= r)
+        .map(|(v, _)| v as NodeId)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::graph::Graph;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = families::cycle(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(eccentricity(&g, 0), UNREACHABLE);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let g = families::path(7);
+        let d = multi_source_bfs(&g, &[0, 6]);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn multi_source_dedups_sources() {
+        let g = families::path(3);
+        let d = multi_source_bfs(&g, &[0, 0]);
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn eccentricity_path_endpoint() {
+        let g = families::path(5);
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = Graph::from_edges(5, &[(0, 1), (3, 4)]).unwrap();
+        let (count, labels) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[2], labels[3]);
+    }
+
+    #[test]
+    fn ball_grows_with_radius() {
+        let g = families::cycle(8);
+        assert_eq!(ball(&g, &[0], 0), vec![0]);
+        assert_eq!(ball(&g, &[0], 1), vec![0, 1, 7]);
+        assert_eq!(ball(&g, &[0], 2), vec![0, 1, 2, 6, 7]);
+        assert_eq!(ball(&g, &[0], 4).len(), 8);
+    }
+
+    #[test]
+    fn ball_of_set() {
+        let g = families::path(9);
+        assert_eq!(ball(&g, &[0, 8], 1), vec![0, 1, 7, 8]);
+    }
+}

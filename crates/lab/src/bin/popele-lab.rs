@@ -1,0 +1,91 @@
+//! Experiment CLI: regenerates the paper's tables.
+//!
+//! ```text
+//! popele-lab [EXPERIMENT ...] [--quick|--full] [--seed N] [--threads N] [--out DIR]
+//!
+//! EXPERIMENT ∈ {table1, broadcast, propagation, walks, clocks, renitent, dense, all}
+//! ```
+//!
+//! Tables are printed to stdout and written as CSV under `--out`
+//! (default `results/`).
+
+use popele_lab::{ExperimentId, RunConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: popele-lab [EXPERIMENT ...] [--quick|--full] [--seed N] [--threads N] [--out DIR]\n\
+         experiments: all {}",
+        ExperimentId::ALL
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = RunConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut selected: Vec<ExperimentId> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--full" => cfg.quick = false,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.master_seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.threads = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            "all" => selected.extend(ExperimentId::ALL),
+            name => match ExperimentId::parse(name) {
+                Some(id) => selected.push(id),
+                None => {
+                    eprintln!("unknown experiment: {name}");
+                    usage()
+                }
+            },
+        }
+    }
+    if selected.is_empty() {
+        selected.extend(ExperimentId::ALL);
+    }
+    selected.dedup();
+
+    println!(
+        "# popele-lab — mode: {}, seed: {}, experiments: {}",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.master_seed,
+        selected
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    for id in selected {
+        println!("\n################ {id} ################");
+        let started = std::time::Instant::now();
+        let tables = id.run(&cfg);
+        for table in &tables {
+            println!("\n{}", table.render());
+            match table.write_csv(&out_dir) {
+                Ok(path) => println!("   [csv] {}", path.display()),
+                Err(e) => eprintln!("   [csv] write failed: {e}"),
+            }
+        }
+        println!("# {id} finished in {:.1?}", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,227 @@
+//! Streak-clock statistics (Section 5.1, Lemmas 26–29).
+//!
+//! Regenerates three views of the clock subroutine:
+//!
+//! 1. **Lemma 27a** — the expected number of interactions per tick is
+//!    `2^{h+1} − 2`;
+//! 2. **Lemma 28** — the number of interactions for `ℓ ≥ ln n` ticks
+//!    concentrates in `[E[R]/2, 4·E[R]]`;
+//! 3. **Lemma 27b / 29** — measured on a star graph, a node of degree `d`
+//!    needs `E[K]·m/d` scheduler *steps* per tick: the centre ticks
+//!    `Θ(n)` times faster than a leaf, the asymmetry that drives the fast
+//!    protocol's degree filtering.
+
+use crate::report::{fmt_num, Table};
+use crate::RunConfig;
+use popele_core::clock::{sample_interactions_per_tick, StreakClock};
+use popele_engine::EdgeScheduler;
+use popele_graph::families;
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Summary;
+
+/// Runs the clock experiments.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    vec![
+        interactions_per_tick(cfg),
+        concentration(cfg),
+        steps_by_degree(cfg),
+    ]
+}
+
+fn interactions_per_tick(cfg: &RunConfig) -> Table {
+    let trials = cfg.trials(4_000, 40_000);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0xC10C);
+    let mut table = Table::new(
+        "Clock ticks: interactions per tick",
+        "Lemma 27a: E[K] = 2^{h+1} − 2; Lemma 26 sandwiches K between geometrics",
+        &["h", "E[K] paper", "mean K measured", "ratio", "p95 measured"],
+    );
+    for (i, h) in [2u8, 4, 6, 8].into_iter().enumerate() {
+        let mut rng = seq.child_rng(i as u64);
+        let samples: Summary = (0..trials)
+            .map(|_| sample_interactions_per_tick(h, &mut rng) as f64)
+            .collect();
+        let expected = StreakClock::new(h).expected_interactions_per_tick();
+        table.push_row(vec![
+            h.to_string(),
+            fmt_num(expected),
+            fmt_num(samples.mean()),
+            fmt_num(samples.mean() / expected),
+            fmt_num(samples.quantile(0.95)),
+        ]);
+    }
+    table
+}
+
+fn concentration(cfg: &RunConfig) -> Table {
+    let trials = cfg.trials(600, 6_000);
+    let h = 4u8;
+    let seq = SeedSeq::new(cfg.master_seed ^ 0xC20C);
+    // Lemma 28 tails at λ = 1/2 (lower, threshold E/4) and λ = 2 (upper,
+    // threshold 8E): Pr ≤ exp(−l·c(λ)) with c(λ) = λ − 1 − ln λ.
+    let c = |lambda: f64| lambda - 1.0 - lambda.ln();
+    let mut table = Table::new(
+        "Clock ticks: concentration of R over l ticks",
+        "Lemma 28: Pr[R ≤ λE/2] and Pr[R ≥ 4λE] decay like exp(−l·c(λ)); shown at λ = 1/2 and λ = 2",
+        &[
+            "l",
+            "E[R]",
+            "mean R",
+            "Pr[R ≤ E/4]",
+            "bound(1/2)",
+            "Pr[R ≥ 8E]",
+            "bound(2)",
+        ],
+    );
+    for (i, ell) in [4u64, 8, 16, 32].into_iter().enumerate() {
+        let mut rng = seq.child_rng(i as u64);
+        let expected = (f64::from(1u32 << (h + 1)) - 2.0) * ell as f64;
+        let mut below = 0usize;
+        let mut above = 0usize;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let r: u64 = (0..ell).map(|_| sample_interactions_per_tick(h, &mut rng)).sum();
+            let r = r as f64;
+            sum += r;
+            if r <= expected / 4.0 {
+                below += 1;
+            }
+            if r >= 8.0 * expected {
+                above += 1;
+            }
+        }
+        table.push_row(vec![
+            ell.to_string(),
+            fmt_num(expected),
+            fmt_num(sum / trials as f64),
+            fmt_num(below as f64 / trials as f64),
+            fmt_num((-(ell as f64) * c(0.5)).exp()),
+            fmt_num(above as f64 / trials as f64),
+            fmt_num((-(ell as f64) * c(2.0)).exp()),
+        ]);
+    }
+    table
+}
+
+fn steps_by_degree(cfg: &RunConfig) -> Table {
+    let n = *cfg.pick(&32u32, &128u32);
+    let ell = 8u64;
+    let h = 3u8;
+    let trials = cfg.trials(20, 100);
+    let g = families::star(n);
+    let m = g.num_edges();
+    let seq = SeedSeq::new(cfg.master_seed ^ 0xC30C);
+
+    // Measure steps for the centre (node 0) and one leaf (node 1) to
+    // complete `ell` streaks each, per Lemma 29.
+    let mut centre = Summary::new();
+    let mut leaf = Summary::new();
+    for i in 0..trials {
+        let mut sched = EdgeScheduler::new(&g, seq.child(i as u64));
+        let mut clocks = [StreakClock::new(h), StreakClock::new(h)];
+        let mut ticks = [0u64, 0u64];
+        let mut done = [None::<u64>, None::<u64>];
+        while done.iter().any(Option::is_none) {
+            let (a, b) = sched.next_pair();
+            for (node, clock_idx) in [(a, true), (b, false)] {
+                let idx = match node {
+                    0 => 0usize,
+                    1 => 1usize,
+                    _ => continue,
+                };
+                if done[idx].is_some() {
+                    continue;
+                }
+                if clocks[idx].on_interaction(clock_idx) && {
+                    ticks[idx] += 1;
+                    ticks[idx] == ell
+                } {
+                    done[idx] = Some(sched.steps());
+                }
+            }
+        }
+        centre.push(done[0].unwrap() as f64);
+        leaf.push(done[1].unwrap() as f64);
+    }
+
+    let clock = StreakClock::new(h);
+    let expect = |d: u32| clock.expected_steps_per_tick(d, m) * ell as f64;
+    let mut table = Table::new(
+        "Clock ticks: steps per tick by degree (star graph)",
+        "Lemma 27b/29: E[S(d, l)] = (2^{h+1}−2)·l·m/d — the centre ticks Θ(n) times faster",
+        &["node", "degree", "E[S] paper", "mean S measured", "ratio"],
+    );
+    table.push_row(vec![
+        "centre".into(),
+        (n - 1).to_string(),
+        fmt_num(expect(n - 1)),
+        fmt_num(centre.mean()),
+        fmt_num(centre.mean() / expect(n - 1)),
+    ]);
+    table.push_row(vec![
+        "leaf".into(),
+        "1".into(),
+        fmt_num(expect(1)),
+        fmt_num(leaf.mean()),
+        fmt_num(leaf.mean() / expect(1)),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_tables() {
+        let cfg = RunConfig::default();
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert!(t.num_rows() >= 2, "{} empty", t.title());
+        }
+    }
+
+    #[test]
+    fn tick_means_match_lemma27a() {
+        let cfg = RunConfig::default();
+        let t = interactions_per_tick(&cfg);
+        for row in 0..t.num_rows() {
+            let ratio: f64 = t.cell(row, 3).parse().unwrap();
+            assert!((ratio - 1.0).abs() < 0.1, "h row {row}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn concentration_tails_respect_lemma28() {
+        let cfg = RunConfig::default();
+        let t = concentration(&cfg);
+        for row in 0..t.num_rows() {
+            let below: f64 = t.cell(row, 3).parse().unwrap();
+            let below_bound: f64 = t.cell(row, 4).parse().unwrap();
+            let above: f64 = t.cell(row, 5).parse().unwrap();
+            let above_bound: f64 = t.cell(row, 6).parse().unwrap();
+            assert!(
+                below <= below_bound + 0.05,
+                "row {row}: lower tail {below} above Lemma 28 bound {below_bound}"
+            );
+            assert!(
+                above <= above_bound + 0.05,
+                "row {row}: upper tail {above} above Lemma 28 bound {above_bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn centre_ticks_much_faster_than_leaf() {
+        let cfg = RunConfig::default();
+        let t = steps_by_degree(&cfg);
+        let centre: f64 = t.cell(0, 3).parse().unwrap();
+        let leaf: f64 = t.cell(1, 3).parse().unwrap();
+        assert!(
+            leaf > 5.0 * centre,
+            "leaf {leaf} should be much slower than centre {centre}"
+        );
+    }
+}

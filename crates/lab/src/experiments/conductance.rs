@@ -1,0 +1,152 @@
+//! Conductance dependence on regular graphs (Corollary 25 and the
+//! "Regular" rows of Table 1).
+//!
+//! Corollary 25: on a regular graph with conductance `φ = β/Δ`, the fast
+//! protocol stabilizes in `O(φ⁻¹·n·log² n)` steps using
+//! `O(log n · (log log n − log φ))` states. We compare regular families
+//! spanning three conductance regimes at matched degree and size:
+//!
+//! * random 4-regular graphs — expanders, `φ = Θ(1)`;
+//! * hypercubes — `φ = Θ(1/log n)`;
+//! * 2-D tori — `φ = Θ(1/√n)`;
+//! * cycles — `φ = Θ(1/n)`;
+//!
+//! and check that `steps·φ/(n·log² n)` stays within a constant band while
+//! raw times differ by orders of magnitude — i.e. the `φ⁻¹` factor
+//! explains the spread, as the corollary predicts.
+
+use crate::report::{fmt_ci, fmt_num, Table};
+use crate::RunConfig;
+use popele_core::params::FastParams;
+use popele_core::FastProtocol;
+use popele_dynamics::broadcast::{estimate_broadcast_time, BroadcastConfig, SourceStrategy};
+use popele_engine::monte_carlo::TrialStats;
+use popele_graph::properties::conductance_bounds;
+use popele_graph::{families, random, Graph};
+use popele_math::rng::SeedSeq;
+
+/// Runs the conductance experiment.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    vec![corollary25_table(cfg)]
+}
+
+fn regular_cases(n: u32, seed: u64) -> Vec<(&'static str, Graph, &'static str)> {
+    let side = (f64::from(n).sqrt().round() as u32).max(4);
+    let dim = (32 - n.leading_zeros()).max(3) - 1;
+    vec![
+        (
+            "rand-4-regular",
+            random::random_regular_connected(n, 4, seed, 200),
+            "Θ(1)",
+        ),
+        ("hypercube", families::hypercube(dim), "Θ(1/log n)"),
+        ("torus", families::torus(side, side), "Θ(1/√n)"),
+        ("cycle", families::cycle(n), "Θ(1/n)"),
+    ]
+}
+
+fn corollary25_table(cfg: &RunConfig) -> Table {
+    let n = *cfg.pick(&64u32, &256u32);
+    let trials = cfg.trials(6, 15);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0xC02);
+    let mut table = Table::new(
+        "Corollary 25: fast protocol vs conductance on regular graphs",
+        "steps·φ/(n·log₂²n) should sit in a constant band while raw times spread by φ⁻¹; φ estimated spectrally (Cheeger midpoint)",
+        &[
+            "family", "n", "φ est", "paper φ", "B(G)", "fast steps mean±ci",
+            "steps·φ/(n·log²n)",
+        ],
+    );
+    for (i, (label, g, phi_paper)) in regular_cases(n, seq.child(0)).into_iter().enumerate() {
+        let (phi_lo, phi_hi) = conductance_bounds(&g);
+        let phi = (phi_lo * phi_hi).sqrt().max(1e-9); // geometric midpoint
+        let child = seq.child(10 + i as u64);
+        let b = estimate_broadcast_time(
+            &g,
+            child,
+            &BroadcastConfig {
+                sources: SourceStrategy::Heuristic(2),
+                trials_per_source: 4,
+                threads: cfg.threads,
+            },
+        )
+        .b_estimate;
+        let p = FastProtocol::new(FastParams::practical(
+            b,
+            g.max_degree(),
+            g.num_edges(),
+            g.num_nodes(),
+        ));
+        let stats: TrialStats = crate::experiments::protocol_stats(
+            &g,
+            &p,
+            child ^ 0xFEED,
+            trials,
+            cfg.threads,
+            false,
+        );
+        let nf = f64::from(g.num_nodes());
+        let log2n = nf.log2();
+        table.push_row(vec![
+            label.to_string(),
+            g.num_nodes().to_string(),
+            fmt_num(phi),
+            phi_paper.to_string(),
+            fmt_num(b),
+            fmt_ci(stats.steps.mean(), stats.steps.ci95_halfwidth()),
+            fmt_num(stats.steps.mean() * phi / (nf * log2n * log2n)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_times_in_constant_band() {
+        let cfg = RunConfig::default();
+        let t = corollary25_table(&cfg);
+        let mut normalized = Vec::new();
+        let mut raw_means = Vec::new();
+        for row in 0..t.num_rows() {
+            normalized.push(t.cell(row, 6).parse::<f64>().unwrap());
+            raw_means.push(
+                t.cell(row, 5)
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .parse::<f64>()
+                    .unwrap(),
+            );
+        }
+        // Raw times must spread widely (expander ≪ cycle)...
+        let raw_spread = raw_means.iter().cloned().fold(0.0f64, f64::max)
+            / raw_means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(raw_spread > 3.0, "raw spread {raw_spread} too small");
+        // ...but φ-normalized times must be far tighter than the raw
+        // spread (the φ⁻¹ factor explains most of the gap).
+        let norm_spread = normalized.iter().cloned().fold(0.0f64, f64::max)
+            / normalized.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            norm_spread < raw_spread,
+            "normalization did not tighten the band: {norm_spread} vs {raw_spread}"
+        );
+    }
+
+    #[test]
+    fn conductance_ordering_matches_paper() {
+        // Spectral φ estimates must order the families as the paper's
+        // formulas do: expander > hypercube > torus > cycle.
+        let cfg = RunConfig::default();
+        let t = corollary25_table(&cfg);
+        let phi: Vec<f64> = (0..t.num_rows())
+            .map(|r| t.cell(r, 2).parse().unwrap())
+            .collect();
+        assert!(phi[0] > phi[2], "expander vs torus: {phi:?}");
+        assert!(phi[1] > phi[3], "hypercube vs cycle: {phi:?}");
+        assert!(phi[2] > phi[3], "torus vs cycle: {phi:?}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Dense-random-graph lower-bound machinery (Section 7: Theorem 40,
+//! Lemmas 41–44, Theorem 46's observable consequence).
+//!
+//! 1. **Lemma 41/42** — on `G(n, 1/2)` at `t = c·n·ln n`: influencer sets
+//!    stay polynomially small (`max_v |I_t(v)| ≤ n^ε`) and many nodes
+//!    remain untouched (`≥ n^{1−ε}`).
+//! 2. **Lemma 44** — the multigraph of influencers `J_t(v)` has `O(log n)`
+//!    internal interactions and size `n^{o(1)}` at `t = c·n·log n`.
+//! 3. **Theorems 40/46** — stabilization on `G(n, 1/2)`: the identifier
+//!    protocol takes `Θ(n log n)` (matching the Theorem 40 lower bound up
+//!    to constants) while the constant-state token protocol takes
+//!    `Θ(n² log n)` — no constant-state protocol can beat `o(n²)`
+//!    (Theorem 46), and the gap between the two is the `O(n log n)` factor
+//!    of Section 7's average-case discussion.
+
+use crate::experiments::protocol_stats;
+use crate::report::{fmt_num, Table};
+use crate::RunConfig;
+use popele_core::params::identifier_bits;
+use popele_core::{IdentifierProtocol, TokenProtocol};
+use popele_dynamics::influence::{
+    record_schedule, untouched_after, InfluenceTracker, InteractionPattern,
+};
+use popele_engine::EdgeScheduler;
+use popele_graph::random;
+use popele_math::fit::power_fit_with_log_factor;
+use popele_math::rng::SeedSeq;
+
+/// Runs the dense-graph experiments.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    vec![
+        influence_table(cfg),
+        pattern_table(cfg),
+        separation_table(cfg),
+    ]
+}
+
+fn influence_table(cfg: &RunConfig) -> Table {
+    let sizes: &[u32] = cfg.pick(&[32u32, 64, 128][..], &[64u32, 128, 256, 512][..]);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0xDE);
+    let c = 0.2f64;
+    let mut table = Table::new(
+        "Influencer sets and untouched nodes on G(n, 1/2)",
+        "Lemma 41: max |I_t(v)| ≤ n^ε at t = c·n·ln n; Lemma 42: ≥ n^{1−ε} nodes untouched",
+        &[
+            "n", "t", "max |I_t|", "log_n(max|I_t|)", "untouched", "log_n(untouched)",
+        ],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let g = random::erdos_renyi_connected(n, 0.5, seq.child(i as u64), 100);
+        let t = (c * f64::from(n) * f64::from(n).ln()) as u64;
+        let mut tracker = InfluenceTracker::new(g.num_nodes());
+        let mut sched = EdgeScheduler::new(&g, seq.child(1000 + i as u64));
+        for _ in 0..t {
+            let (u, v) = sched.next_pair();
+            tracker.interact(u, v);
+        }
+        let max_inf = f64::from(tracker.max_influence_size());
+        let untouched = untouched_after(&g, t, seq.child(2000 + i as u64)) as f64;
+        let logn = f64::from(n).ln();
+        table.push_row(vec![
+            n.to_string(),
+            t.to_string(),
+            fmt_num(max_inf),
+            fmt_num(max_inf.ln() / logn),
+            fmt_num(untouched),
+            fmt_num(if untouched > 0.0 { untouched.ln() / logn } else { 0.0 }),
+        ]);
+    }
+    table
+}
+
+fn pattern_table(cfg: &RunConfig) -> Table {
+    let sizes: &[u32] = cfg.pick(&[32u32, 64, 128][..], &[64u32, 128, 256][..]);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0xDF);
+    let c = 0.2f64;
+    let mut table = Table::new(
+        "Multigraphs of influencers on G(n, 1/2)",
+        "Lemma 44: J_t(v) has ≤ c·log n internal interactions and n^{o(1)} nodes at t = c·n·log n; Lemma 45 unfolding doubles size at most per internal interaction",
+        &[
+            "n", "t", "|J| nodes", "internal", "internal/ln n", "unfolded nodes",
+        ],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let g = random::erdos_renyi_connected(n, 0.5, seq.child(i as u64), 100);
+        let t = (c * f64::from(n) * f64::from(n).ln()) as usize;
+        let schedule = record_schedule(&g, t, seq.child(1000 + i as u64));
+        let pattern = InteractionPattern::from_schedule(&schedule, 0, t);
+        let internal = pattern.internal_interactions();
+        let unfolded = pattern.unfold_fully();
+        table.push_row(vec![
+            n.to_string(),
+            t.to_string(),
+            pattern.num_nodes().to_string(),
+            internal.to_string(),
+            fmt_num(internal as f64 / f64::from(n).ln()),
+            unfolded.num_nodes().to_string(),
+        ]);
+    }
+    table
+}
+
+fn separation_table(cfg: &RunConfig) -> Table {
+    let sizes: &[u32] = cfg.pick(&[16u32, 32, 64][..], &[32u32, 64, 128, 256][..]);
+    let trials = cfg.trials(5, 20);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0xE0);
+    let mut table = Table::new(
+        "Protocol separation on dense random graphs",
+        "Thm 40: any protocol needs Ω(n log n) — identifier protocol is Θ(n log n); Thm 46: constant-state needs Ω(n²) — token protocol is Θ(n² log n)",
+        &[
+            "n", "id steps", "id/(n·ln n)", "token steps", "token/(n²·ln n)", "token/id",
+        ],
+    );
+    let mut id_points = Vec::new();
+    let mut token_points = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let g = random::erdos_renyi_connected(n, 0.5, seq.child(i as u64), 100);
+        let id_p = IdentifierProtocol::new(identifier_bits(n, false));
+        let token_p = TokenProtocol::all_candidates();
+        let id_stats = protocol_stats(&g, &id_p, seq.child(100 + i as u64), trials, cfg.threads, false);
+        let token_stats =
+            protocol_stats(&g, &token_p, seq.child(200 + i as u64), trials, cfg.threads, false);
+        let nf = f64::from(n);
+        let id_mean = id_stats.steps.mean();
+        let token_mean = token_stats.steps.mean();
+        id_points.push((nf, id_mean));
+        token_points.push((nf, token_mean));
+        table.push_row(vec![
+            n.to_string(),
+            fmt_num(id_mean),
+            fmt_num(id_mean / (nf * nf.ln())),
+            fmt_num(token_mean),
+            fmt_num(token_mean / (nf * nf * nf.ln())),
+            fmt_num(token_mean / id_mean),
+        ]);
+    }
+    let id_fit = power_fit_with_log_factor(&id_points, 1.0);
+    let token_fit = power_fit_with_log_factor(&token_points, 1.0);
+    table.push_row(vec![
+        "fit".to_string(),
+        format!("id exp {}", fmt_num(id_fit.exponent)),
+        "paper: 1".to_string(),
+        format!("token exp {}", fmt_num(token_fit.exponent)),
+        "paper: 2".to_string(),
+        String::new(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn influencer_sets_polynomially_small() {
+        let cfg = RunConfig::default();
+        let t = influence_table(&cfg);
+        for row in 0..t.num_rows() {
+            let eps: f64 = t.cell(row, 3).parse().unwrap();
+            assert!(eps < 0.95, "row {row}: influence exponent {eps} ≈ 1 (sets too big)");
+            let untouched_exp: f64 = t.cell(row, 5).parse().unwrap();
+            assert!(
+                untouched_exp > 0.5,
+                "row {row}: untouched exponent {untouched_exp} too small"
+            );
+        }
+    }
+
+    #[test]
+    fn internal_interactions_logarithmic() {
+        let cfg = RunConfig::default();
+        let t = pattern_table(&cfg);
+        for row in 0..t.num_rows() {
+            let per_log: f64 = t.cell(row, 4).parse().unwrap();
+            assert!(
+                per_log < 20.0,
+                "row {row}: internal interactions {per_log}·ln n too many"
+            );
+        }
+    }
+
+    #[test]
+    fn token_vs_identifier_separation() {
+        let cfg = RunConfig::default();
+        let t = separation_table(&cfg);
+        let data_rows = t.num_rows() - 1;
+        // The gap token/id must grow with n (Θ(n) apart in theory).
+        let first: f64 = t.cell(0, 5).parse().unwrap();
+        let last: f64 = t.cell(data_rows - 1, 5).parse().unwrap();
+        assert!(
+            last > first,
+            "token/id gap should widen: first {first}, last {last}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Exact majority on graphs — the Section 8 extension experiment.
+//!
+//! The walking four-state majority protocol
+//! ([`popele_core::majority`]) reuses the token mechanics of Theorem 16,
+//! so its stabilization time should track the same driver — the
+//! worst-case hitting time `H(G)` — as the leader-election baseline. This
+//! experiment measures both on each family and reports their ratio, plus
+//! the margin-dependence of majority (closer votes → more surviving
+//! strong tokens → slightly longer runs, never wrong answers).
+
+use crate::experiments::protocol_stats;
+use crate::report::{fmt_ci, fmt_num, Table};
+use crate::workloads::Family;
+use crate::RunConfig;
+use popele_core::{MajorityProtocol, TokenProtocol};
+use popele_engine::Executor;
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Summary;
+
+/// Runs the majority experiments.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    vec![family_table(cfg), margin_table(cfg)]
+}
+
+fn family_table(cfg: &RunConfig) -> Table {
+    let n = *cfg.pick(&32u32, &96u32);
+    let trials = cfg.trials(6, 20);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0x3A30);
+    let mut table = Table::new(
+        "Majority vs leader election across families",
+        "Section 8 extension: the walking 4-state majority shares the token protocol's H(G)·n·log n driver",
+        &[
+            "family", "n", "majority steps", "election steps", "ratio", "correct",
+        ],
+    );
+    for (i, family) in [Family::Clique, Family::Cycle, Family::Star, Family::Torus]
+        .into_iter()
+        .enumerate()
+    {
+        let g = family.generate(n, seq.child(i as u64));
+        let nn = g.num_nodes();
+        let a_count = (2 * nn).div_ceil(3); // ~2/3 majority for A
+        let p = MajorityProtocol::new(a_count, nn);
+        let child = SeedSeq::new(seq.child(100 + i as u64));
+        let mut steps = Summary::new();
+        let mut correct = 0usize;
+        for t in 0..trials {
+            let mut exec = Executor::new(&g, &p, child.child(t as u64));
+            let out = exec.run_until_stable(4_000_000_000).expect("stabilizes");
+            steps.push(out.stabilization_step as f64);
+            if exec.states().iter().all(|s| s.is_a()) {
+                correct += 1;
+            }
+        }
+        let election = protocol_stats(
+            &g,
+            &TokenProtocol::all_candidates(),
+            seq.child(200 + i as u64),
+            trials,
+            cfg.threads,
+            false,
+        );
+        table.push_row(vec![
+            family.label().to_string(),
+            nn.to_string(),
+            fmt_ci(steps.mean(), steps.ci95_halfwidth()),
+            fmt_ci(election.steps.mean(), election.steps.ci95_halfwidth()),
+            fmt_num(steps.mean() / election.steps.mean()),
+            format!("{correct}/{trials}"),
+        ]);
+    }
+    table
+}
+
+fn margin_table(cfg: &RunConfig) -> Table {
+    let n = *cfg.pick(&33u32, &99u32);
+    let trials = cfg.trials(8, 30);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0x3A31);
+    let g = popele_graph::families::cycle(n);
+    let mut table = Table::new(
+        "Majority margin dependence",
+        "Narrower margins leave fewer surviving strong tokens to convert the weak remainder — slower, never wrong",
+        &["A votes", "B votes", "margin", "steps mean±ci", "wrong outcomes"],
+    );
+    // Margins from landslide to one-vote.
+    let majorities = [(3 * n).div_ceil(4), (2 * n).div_ceil(3), n / 2 + 1];
+    for (i, a_count) in majorities.into_iter().enumerate() {
+        let p = MajorityProtocol::new(a_count, n);
+        assert!(p.majority_is_a());
+        let child = SeedSeq::new(seq.child(i as u64));
+        let mut steps = Summary::new();
+        let mut wrong = 0usize;
+        for t in 0..trials {
+            let mut exec = Executor::new(&g, &p, child.child(t as u64));
+            let out = exec.run_until_stable(4_000_000_000).expect("stabilizes");
+            steps.push(out.stabilization_step as f64);
+            if !exec.states().iter().all(|s| s.is_a()) {
+                wrong += 1;
+            }
+        }
+        table.push_row(vec![
+            a_count.to_string(),
+            (n - a_count).to_string(),
+            (2 * a_count - n).to_string(),
+            fmt_ci(steps.mean(), steps.ci95_halfwidth()),
+            wrong.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_always_correct() {
+        let cfg = RunConfig::default();
+        let t = family_table(&cfg);
+        for row in 0..t.num_rows() {
+            let correct = t.cell(row, 5);
+            let (got, total) = correct.split_once('/').unwrap();
+            assert_eq!(got, total, "row {row}: some trial decided wrongly");
+        }
+    }
+
+    #[test]
+    fn margins_never_wrong() {
+        let cfg = RunConfig::default();
+        let t = margin_table(&cfg);
+        for row in 0..t.num_rows() {
+            assert_eq!(t.cell(row, 4), "0", "row {row}");
+        }
+    }
+
+    #[test]
+    fn narrow_margin_not_faster_than_landslide() {
+        let cfg = RunConfig::default();
+        let t = margin_table(&cfg);
+        let landslide: f64 = t.cell(0, 3).split_whitespace().next().unwrap().parse().unwrap();
+        let narrow: f64 = t
+            .cell(t.num_rows() - 1, 3)
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            narrow >= 0.5 * landslide,
+            "narrow {narrow} vs landslide {landslide}: wildly inverted"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! One module per reproduced display item / theorem family.
+
+pub mod ablation;
+pub mod broadcast;
+pub mod clocks;
+pub mod conductance;
+pub mod dense;
+pub mod lowerbound;
+pub mod majority;
+pub mod propagation;
+pub mod renitent;
+pub mod table1;
+pub mod walks;
+
+use popele_engine::monte_carlo::{run_trials, TrialOptions, TrialStats};
+use popele_engine::Protocol;
+use popele_graph::Graph;
+
+/// Shared helper: Monte-Carlo stabilization statistics for a protocol on
+/// a graph.
+pub(crate) fn protocol_stats<P: Protocol>(
+    g: &Graph,
+    p: &P,
+    master_seed: u64,
+    trials: usize,
+    threads: usize,
+    census: bool,
+) -> TrialStats {
+    let results = run_trials(
+        g,
+        p,
+        master_seed,
+        TrialOptions {
+            trials,
+            max_steps: 4_000_000_000,
+            census,
+            threads,
+        },
+    );
+    TrialStats::from_results(&results)
+}

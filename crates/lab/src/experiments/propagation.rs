@@ -1,0 +1,98 @@
+//! Distance-`k` propagation-time lower bounds (Lemmas 13–14).
+//!
+//! On bounded-degree graphs, information needs `Ω(k·m)` steps to travel
+//! distance `k`: Lemma 14 states `Pr[T_k(G) < k·m/(Δ·e³)] ≤ 1/n` for
+//! `k ≥ ln n`. We measure `T_k` on cycles and paths, report the mean
+//! against the `k·m` scale, and the empirical violation rate of the
+//! Lemma 14 threshold.
+
+use crate::report::{fmt_num, Table};
+use crate::RunConfig;
+use popele_dynamics::broadcast::{lemma14_threshold, propagation_time};
+use popele_graph::{families, Graph};
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Summary;
+
+/// Runs the propagation experiments.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    vec![propagation_table(cfg)]
+}
+
+fn propagation_table(cfg: &RunConfig) -> Table {
+    let n = *cfg.pick(&64u32, &256u32);
+    let trials = cfg.trials(20, 100);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0xFA);
+    let mut table = Table::new(
+        "Distance-k propagation times",
+        "Lemma 14: Pr[T_k < k·m/(Δe³)] ≤ 1/n for k ≥ ln n; E[X(path of length k)] = k·m (Lemma 5)",
+        &[
+            "graph", "k", "k·m", "mean T_k", "T_k/(k·m)", "threshold", "Pr[T_k<thr]",
+        ],
+    );
+    let cases: [(&str, Graph); 2] = [
+        ("cycle", families::cycle(n)),
+        ("path", families::path(n)),
+    ];
+    for (ci, (label, g)) in cases.into_iter().enumerate() {
+        let m = g.num_edges();
+        for (ki, k) in [n / 4, n / 2].into_iter().enumerate() {
+            let child = SeedSeq::new(seq.child((ci * 10 + ki) as u64));
+            let mut times = Summary::new();
+            let mut below = 0usize;
+            let threshold = lemma14_threshold(k, m, g.max_degree());
+            for t in 0..trials {
+                let time = propagation_time(&g, 0, k, child.child(t as u64))
+                    .expect("distance k exists") as f64;
+                if time < threshold {
+                    below += 1;
+                }
+                times.push(time);
+            }
+            let km = f64::from(k) * m as f64;
+            table.push_row(vec![
+                label.to_string(),
+                k.to_string(),
+                fmt_num(km),
+                fmt_num(times.mean()),
+                fmt_num(times.mean() / km),
+                fmt_num(threshold),
+                fmt_num(below as f64 / trials as f64),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma14_rarely_violated() {
+        let cfg = RunConfig::default();
+        let t = propagation_table(&cfg);
+        for row in 0..t.num_rows() {
+            let violation: f64 = t.cell(row, 6).parse().unwrap();
+            // Lemma 14 allows probability 1/n = 1/64; Monte-Carlo noise
+            // with 20 trials makes 0.05 the finest resolution.
+            assert!(violation <= 0.1, "row {row}: violation rate {violation}");
+        }
+    }
+
+    #[test]
+    fn propagation_scales_with_km() {
+        // Mean T_k should be a constant multiple of k·m (the shortest
+        // path must be sampled in order; Lemma 5 gives E = k·m for a
+        // single path, and many paths give a smaller constant).
+        let cfg = RunConfig::default();
+        let t = propagation_table(&cfg);
+        for row in 0..t.num_rows() {
+            let ratio: f64 = t.cell(row, 4).parse().unwrap();
+            assert!(
+                ratio > 0.05 && ratio < 2.0,
+                "row {row}: T_k/(k·m) = {ratio} out of expected band"
+            );
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Random-walk hitting and meeting times (Section 4.1, Lemma 17–19,
+//! Proposition 20).
+//!
+//! 1. **Lemma 17** — exact worst-case hitting times of the classic and
+//!    population walks on several families; `H_P(G) ≤ 27·n·H(G)` must
+//!    hold (it does with large slack — the population walk is the classic
+//!    walk slowed by ≈ `m/deg`).
+//! 2. **Lemma 18** — simulated meeting times vs the `2·H_P(G)` bound.
+//! 3. **Proposition 20** — on dense `G(n, 1/2)`, `H(G) ∈ O(n)`: the
+//!    ratio `H/n` stays bounded as `n` grows.
+
+use crate::report::{fmt_num, Table};
+use crate::RunConfig;
+use popele_dynamics::walks::{
+    classic_worst_hitting, population_worst_hitting, simulate_meeting_time,
+};
+use popele_graph::{families, random, Graph};
+use popele_math::rng::SeedSeq;
+use popele_math::stats::Summary;
+
+/// Runs the random-walk experiments.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    vec![
+        hitting_table(cfg),
+        meeting_table(cfg),
+        gnp_hitting_table(cfg),
+        cover_table(cfg),
+    ]
+}
+
+fn cover_table(cfg: &RunConfig) -> Table {
+    use popele_dynamics::walks::simulate_classic_cover;
+    let n = *cfg.pick(&24u32, &64u32);
+    let trials = cfg.trials(40, 200);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0x40);
+    let mut table = Table::new(
+        "Cover times of the classic random walk",
+        "Section 1.3 refinement uses the cover time C(G); Matthews: H(G) ≤ C(G) ≤ H(G)·H_n",
+        &["family", "n", "H(G)", "C measured", "C/H", "Matthews H·H_n"],
+    );
+    let harmonic: f64 = (1..=u64::from(n)).map(|i| 1.0 / i as f64).sum();
+    let cases: Vec<(&str, Graph)> = vec![
+        ("clique", families::clique(n)),
+        ("cycle", families::cycle(n)),
+        ("star", families::star(n)),
+        ("lollipop", families::lollipop(n / 2, n / 2)),
+    ];
+    for (i, (label, g)) in cases.into_iter().enumerate() {
+        let h = classic_worst_hitting(&g);
+        let child = SeedSeq::new(seq.child(i as u64));
+        let cover: Summary = (0..trials)
+            .map(|t| simulate_classic_cover(&g, 0, child.child(t as u64)) as f64)
+            .collect();
+        table.push_row(vec![
+            label.to_string(),
+            g.num_nodes().to_string(),
+            fmt_num(h),
+            fmt_num(cover.mean()),
+            fmt_num(cover.mean() / h),
+            fmt_num(h * harmonic),
+        ]);
+    }
+    table
+}
+
+fn hitting_table(cfg: &RunConfig) -> Table {
+    let n = *cfg.pick(&24u32, &64u32);
+    let mut table = Table::new(
+        "Worst-case hitting times: classic vs population model",
+        "Lemma 17: H_P(G) ≤ 27·n·H(G); population walks are classic walks slowed by ≈ m/deg",
+        &["family", "n", "H(G)", "H_P(G)", "H_P/(n·H)", "Lemma 17 ok"],
+    );
+    let cases: Vec<(&str, Graph)> = vec![
+        ("clique", families::clique(n)),
+        ("cycle", families::cycle(n)),
+        ("star", families::star(n)),
+        ("path", families::path(n)),
+        ("lollipop", families::lollipop(n / 2, n / 2)),
+    ];
+    for (label, g) in cases {
+        let h = classic_worst_hitting(&g);
+        let hp = population_worst_hitting(&g);
+        let ratio = hp / (f64::from(g.num_nodes()) * h);
+        table.push_row(vec![
+            label.to_string(),
+            g.num_nodes().to_string(),
+            fmt_num(h),
+            fmt_num(hp),
+            fmt_num(ratio),
+            (ratio <= 27.0).to_string(),
+        ]);
+    }
+    table
+}
+
+fn meeting_table(cfg: &RunConfig) -> Table {
+    let n = *cfg.pick(&16u32, &32u32);
+    let trials = cfg.trials(60, 400);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0x3E);
+    let mut table = Table::new(
+        "Meeting times vs hitting-time bound",
+        "Lemma 18: M(u,v) ≤ 2·H_P(G) for any pair of population-model walks",
+        &["family", "pair", "mean M", "2·H_P", "M/(2·H_P)"],
+    );
+    let cases: Vec<(&str, Graph, (u32, u32))> = vec![
+        ("clique", families::clique(n), (0, 1)),
+        ("cycle", families::cycle(n), (0, n / 2)),
+        ("star", families::star(n), (1, 2)),
+    ];
+    for (i, (label, g, (a, b))) in cases.into_iter().enumerate() {
+        let child = SeedSeq::new(seq.child(i as u64));
+        let meetings: Summary = (0..trials)
+            .map(|t| simulate_meeting_time(&g, a, b, child.child(t as u64)) as f64)
+            .collect();
+        let bound = 2.0 * population_worst_hitting(&g);
+        table.push_row(vec![
+            label.to_string(),
+            format!("({a},{b})"),
+            fmt_num(meetings.mean()),
+            fmt_num(bound),
+            fmt_num(meetings.mean() / bound),
+        ]);
+    }
+    table
+}
+
+fn gnp_hitting_table(cfg: &RunConfig) -> Table {
+    let sizes: &[u32] = cfg.pick(&[16u32, 32, 64][..], &[32u32, 64, 128, 256][..]);
+    let seq = SeedSeq::new(cfg.master_seed ^ 0x3F);
+    let mut table = Table::new(
+        "Hitting times on dense random graphs",
+        "Proposition 20: H(G) ∈ O(n) w.h.p. for G(n, p) with constant p — H/n stays bounded",
+        &["n", "H(G)", "H/n"],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let g = random::erdos_renyi_connected(n, 0.5, seq.child(i as u64), 100);
+        let h = classic_worst_hitting(&g);
+        table.push_row(vec![
+            n.to_string(),
+            fmt_num(h),
+            fmt_num(h / f64::from(n)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma17_holds_everywhere() {
+        let cfg = RunConfig::default();
+        let t = hitting_table(&cfg);
+        for row in 0..t.num_rows() {
+            assert_eq!(t.cell(row, 5), "true", "Lemma 17 violated in row {row}");
+        }
+    }
+
+    #[test]
+    fn meeting_bound_holds() {
+        let cfg = RunConfig::default();
+        let t = meeting_table(&cfg);
+        for row in 0..t.num_rows() {
+            let ratio: f64 = t.cell(row, 4).parse().unwrap();
+            // Mean must respect the expectation bound (generous MC slack).
+            assert!(ratio <= 1.2, "row {row}: M exceeded 2·H_P ({ratio})");
+        }
+    }
+
+    #[test]
+    fn cover_times_within_matthews_band() {
+        let cfg = RunConfig::default();
+        let t = cover_table(&cfg);
+        for row in 0..t.num_rows() {
+            let h: f64 = t.cell(row, 2).parse().unwrap();
+            let c: f64 = t.cell(row, 3).parse().unwrap();
+            let matthews: f64 = t.cell(row, 5).parse().unwrap();
+            // Mean cover time lies between the worst hitting time (up to
+            // start-vertex effects) and the Matthews upper bound.
+            assert!(c >= 0.5 * h, "row {row}: C {c} vs H {h}");
+            assert!(c <= matthews * 1.1, "row {row}: C {c} vs Matthews {matthews}");
+        }
+    }
+
+    #[test]
+    fn gnp_hitting_linear() {
+        let cfg = RunConfig::default();
+        let t = gnp_hitting_table(&cfg);
+        let mut ratios = Vec::new();
+        for row in 0..t.num_rows() {
+            ratios.push(t.cell(row, 2).parse::<f64>().unwrap());
+        }
+        // H/n bounded: within a small constant band (Prop 20's constant
+        // for p = 1/2 is ≈ 2).
+        for r in &ratios {
+            assert!(*r < 6.0, "H/n = {r} too large for dense G(n,p)");
+        }
+    }
+}

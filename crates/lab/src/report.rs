@@ -1,0 +1,254 @@
+//! ASCII and CSV reporting for experiment results.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rendered experiment table: a title, a caption tying it to the paper,
+/// column headers and string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    caption: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        caption: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self {
+            title: title.into(),
+            caption: caption.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Caption (paper reference).
+    #[must_use]
+    pub fn caption(&self) -> &str {
+        &self.caption
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row-major), for tests.
+    #[must_use]
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Renders an aligned ASCII table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        if !self.caption.is_empty() {
+            let _ = writeln!(out, "   {}", self.caption);
+        }
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!(" {c:<w$} "))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows, comma-separated with
+    /// quoting of embedded commas/quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `dir/<slug(title)>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect::<String>()
+            .split('-')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("-");
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float compactly for table cells.
+#[must_use]
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else if x.fract() == 0.0 && x.abs() < 1e6 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Formats a mean ± 95% CI pair.
+#[must_use]
+pub fn fmt_ci(mean: f64, half: f64) -> String {
+    format!("{} ±{}", fmt_num(mean), fmt_num(half))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo Table", "Lemma 0", &["n", "value"]);
+        t.push_row(vec!["16".into(), "1.5".into()]);
+        t.push_row(vec!["32".into(), "3.25".into()]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("Demo Table"));
+        assert!(s.contains("Lemma 0"));
+        assert!(s.contains("n"));
+        assert!(s.contains("3.25"));
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T", "", &["a", "bbbb"]);
+        t.push_row(vec!["xxxxx".into(), "y".into()]);
+        let s = t.render();
+        // Header row must be padded to the widest cell.
+        let lines: Vec<&str> = s.lines().collect();
+        let header = lines.iter().find(|l| l.contains("bbbb")).unwrap();
+        let data = lines.iter().find(|l| l.contains("xxxxx")).unwrap();
+        assert_eq!(header.find('|'), data.find('|'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        sample().push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("T", "", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "q\"q".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("popele-report-test");
+        let path = sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("n,value"));
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("demo-table"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(42.0), "42");
+        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(1.5e7), "1.500e7");
+        assert!(fmt_ci(10.0, 2.5).contains('±'));
+    }
+
+    #[test]
+    fn cell_accessor() {
+        let t = sample();
+        assert_eq!(t.cell(1, 0), "32");
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.title(), "Demo Table");
+        assert_eq!(t.caption(), "Lemma 0");
+    }
+}

@@ -1,0 +1,169 @@
+//! Named graph workloads used across experiments.
+//!
+//! Each [`Family`] maps a nominal size to a concrete graph; random
+//! families receive deterministic seeds. These are the graph classes of
+//! the paper's Table 1 plus supporting families used by individual
+//! lemmas.
+
+use popele_graph::{families, random, Graph};
+
+/// A graph family with a nominal-size constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Complete graph `K_n` (Table 1 "Cliques").
+    Clique,
+    /// Cycle `C_n` (the canonical low-conductance renitent family).
+    Cycle,
+    /// Star `S_n` (Table 1 "Stars").
+    Star,
+    /// Near-square torus, 4-regular (Table 1 "Regular", low conductance).
+    Torus,
+    /// Random 4-regular graph (Table 1 "Regular", high conductance).
+    RandomRegular4,
+    /// Erdős–Rényi `G(n, 1/2)` conditioned connected (Table 1 "Dense
+    /// random").
+    DenseGnp,
+    /// Hypercube `Q_{log n}` (regular, known expansion).
+    Hypercube,
+}
+
+impl Family {
+    /// The families appearing in Table 1 of the paper.
+    pub const TABLE1: [Family; 6] = [
+        Family::Clique,
+        Family::Cycle,
+        Family::Star,
+        Family::Torus,
+        Family::RandomRegular4,
+        Family::DenseGnp,
+    ];
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Clique => "clique",
+            Family::Cycle => "cycle",
+            Family::Star => "star",
+            Family::Torus => "torus",
+            Family::RandomRegular4 => "rand-4-regular",
+            Family::DenseGnp => "gnp-1/2",
+            Family::Hypercube => "hypercube",
+        }
+    }
+
+    /// Builds the family member of nominal size `n` (the actual node
+    /// count may be rounded, e.g. to a square for the torus).
+    ///
+    /// # Panics
+    ///
+    /// Panics for degenerate sizes (`n < 4`).
+    #[must_use]
+    pub fn generate(self, n: u32, seed: u64) -> Graph {
+        assert!(n >= 4, "workload sizes start at 4");
+        match self {
+            Family::Clique => families::clique(n),
+            Family::Cycle => families::cycle(n),
+            Family::Star => families::star(n),
+            Family::Torus => {
+                let side = (f64::from(n).sqrt().round() as u32).max(3);
+                families::torus(side, side)
+            }
+            Family::RandomRegular4 => {
+                let n = if n % 2 == 1 { n + 1 } else { n };
+                random::random_regular_connected(n, 4, seed, 200)
+            }
+            Family::DenseGnp => random::erdos_renyi_connected(n, 0.5, seed, 200),
+            Family::Hypercube => {
+                let d = (32 - n.leading_zeros()).max(2) - 1; // ⌊log₂ n⌋
+                families::hypercube(d)
+            }
+        }
+    }
+
+    /// The paper's predicted stabilization-time growth for each protocol
+    /// on this family, as a human-readable expectation string used in
+    /// report captions.
+    #[must_use]
+    pub fn expectation(self) -> &'static str {
+        match self {
+            Family::Clique => "token Θ(n²log n)?≤O(H·n·log n); id Θ(n log n); fast O(n log² n)",
+            Family::Cycle => "token O(n³ log n); id Θ(n²); fast O(n² log n)",
+            Family::Star => "token O(n² log n); id Θ(n log n); fast O(n log² n)",
+            Family::Torus => "token O(n² log n); id Θ(n^1.5); fast O(n^1.5 log n)",
+            Family::RandomRegular4 => "token O(n² log n); id Θ(n log n)/φ; fast O(φ⁻¹ n log² n)",
+            Family::DenseGnp => "token Θ(n² log n); id Θ(n log n); fast O(n log² n)",
+            Family::Hypercube => "regular family with β = 1",
+        }
+    }
+}
+
+/// Rough a-priori broadcast-time guess used to parameterize protocols
+/// before the measured estimate is available (only the order of magnitude
+/// matters — it feeds a `log₂`).
+#[must_use]
+pub fn broadcast_guess(g: &Graph) -> f64 {
+    let n = f64::from(g.num_nodes());
+    let m = g.num_edges() as f64;
+    let d = f64::from(popele_graph::properties::diameter_double_sweep(g)).max(1.0);
+    m * (d + n.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popele_graph::properties::is_connected;
+
+    #[test]
+    fn all_families_generate_connected_graphs() {
+        for f in Family::TABLE1 {
+            let g = f.generate(20, 7);
+            assert!(is_connected(&g), "{} disconnected", f.label());
+            assert!(g.num_nodes() >= 16, "{} too small", f.label());
+        }
+    }
+
+    #[test]
+    fn torus_rounds_to_square() {
+        let g = Family::Torus.generate(20, 0);
+        // √20 ≈ 4.47 → side 4 → 16 nodes.
+        assert_eq!(g.num_nodes(), 16);
+        assert!(g.is_regular());
+    }
+
+    #[test]
+    fn hypercube_rounds_to_power_of_two() {
+        let g = Family::Hypercube.generate(20, 0);
+        assert_eq!(g.num_nodes(), 16);
+    }
+
+    #[test]
+    fn regular_family_handles_odd_sizes() {
+        let g = Family::RandomRegular4.generate(15, 3);
+        assert_eq!(g.num_nodes(), 16);
+        assert!(g.is_regular());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = Family::TABLE1.iter().map(|f| f.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Family::TABLE1.len());
+    }
+
+    #[test]
+    fn broadcast_guess_positive_and_monotone_in_m() {
+        let small = broadcast_guess(&families::cycle(16));
+        let large = broadcast_guess(&families::cycle(64));
+        assert!(small > 0.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn deterministic_random_families() {
+        let a = Family::DenseGnp.generate(24, 5);
+        let b = Family::DenseGnp.generate(24, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Concentration inequalities from Section 2.3 of the paper.
+//!
+//! Each function evaluates the *probability bound* stated by the
+//! corresponding lemma, so that experiments and tests can compare empirical
+//! tail frequencies against the analytical guarantee:
+//!
+//! * Lemma 1 — Poisson tail bounds ([`poisson_tail`]);
+//! * Lemma 2 — multiplicative Chernoff bounds for sums of Bernoulli
+//!   variables ([`chernoff_upper`], [`chernoff_lower`]);
+//! * Lemma 3 — Janson's tail bounds for sums of geometric variables
+//!   ([`geometric_sum_tail`]);
+//! * Lemma 5 — the edge-sequence sampling bound
+//!   ([`edge_sequence_tail`]), the special case of Lemma 3 with
+//!   `Yᵢ ~ Geom(1/m)` used throughout Sections 3 and 6.
+
+/// The rate function `c(λ) = λ − 1 − ln λ` used by Lemmas 3 and 5.
+///
+/// `c` is nonnegative, strictly convex, and zero only at `λ = 1`.
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0`.
+#[must_use]
+pub fn rate_c(lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "rate function defined for positive λ");
+    lambda - 1.0 - lambda.ln()
+}
+
+/// Direction of a tail event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tail {
+    /// `Pr[X ≥ threshold]`.
+    Upper,
+    /// `Pr[X ≤ threshold]`.
+    Lower,
+}
+
+/// Lemma 1: tail bound for `X ~ Poisson(λ)` at `c·λ`.
+///
+/// For `tail == Upper` requires `c ≥ 1` and returns the bound
+/// `exp(−λ(c−1)²/c)`; for `tail == Lower` requires `c ≤ 1` and returns
+/// `exp(−λ(1−c)²/(2−c))`.
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0`, or if `c` is on the wrong side of 1 for the
+/// requested tail.
+#[must_use]
+pub fn poisson_tail(lambda: f64, c: f64, tail: Tail) -> f64 {
+    assert!(lambda > 0.0, "Poisson mean must be positive");
+    match tail {
+        Tail::Upper => {
+            assert!(c >= 1.0, "upper tail requires c ≥ 1");
+            (-lambda * (c - 1.0) * (c - 1.0) / c).exp()
+        }
+        Tail::Lower => {
+            assert!(c <= 1.0, "lower tail requires c ≤ 1");
+            (-lambda * (1.0 - c) * (1.0 - c) / (2.0 - c)).exp()
+        }
+    }
+}
+
+/// Lemma 2(a): `Pr[X ≥ (1+λ)·E[X]] ≤ exp(−E[X]·λ²/3)` for a sum of
+/// independent Bernoulli variables with mean `expectation`.
+///
+/// The paper states the bound for `λ ≥ 1`; it in fact holds for all
+/// `0 ≤ λ ≤ 1` as well (standard Chernoff), and we accept any `λ ≥ 0`.
+///
+/// # Panics
+///
+/// Panics if `expectation < 0` or `lambda < 0`.
+#[must_use]
+pub fn chernoff_upper(expectation: f64, lambda: f64) -> f64 {
+    assert!(expectation >= 0.0 && lambda >= 0.0);
+    (-expectation * lambda * lambda / 3.0).exp()
+}
+
+/// Lemma 2(b): `Pr[X ≤ (1−λ)·E[X]] ≤ exp(−E[X]·λ²/2)` for `0 ≤ λ ≤ 1`.
+///
+/// # Panics
+///
+/// Panics if `expectation < 0` or `lambda` is outside `[0, 1]`.
+#[must_use]
+pub fn chernoff_lower(expectation: f64, lambda: f64) -> f64 {
+    assert!(expectation >= 0.0);
+    assert!((0.0..=1.0).contains(&lambda));
+    (-expectation * lambda * lambda / 2.0).exp()
+}
+
+/// Lemma 3 (Janson): tail bound for a sum `X = Y₁ + … + Y_k` of independent
+/// geometric variables at `λ·E[X]`.
+///
+/// `p_min` is the smallest success probability among the `Yᵢ` and
+/// `expectation` is `E[X]`. Both tails are bounded by
+/// `exp(−p_min·E[X]·c(λ))`, with `λ ≥ 1` for the upper tail and
+/// `0 < λ ≤ 1` for the lower tail.
+///
+/// # Panics
+///
+/// Panics if arguments are out of range.
+#[must_use]
+pub fn geometric_sum_tail(p_min: f64, expectation: f64, lambda: f64, tail: Tail) -> f64 {
+    assert!((0.0..=1.0).contains(&p_min) && p_min > 0.0);
+    assert!(expectation >= 0.0);
+    match tail {
+        Tail::Upper => assert!(lambda >= 1.0, "upper tail requires λ ≥ 1"),
+        Tail::Lower => assert!(lambda > 0.0 && lambda <= 1.0, "lower tail requires 0 < λ ≤ 1"),
+    }
+    (-p_min * expectation * rate_c(lambda)).exp()
+}
+
+/// Lemma 5: tail bound for the number of steps `X(ρ)` until a uniform
+/// edge scheduler on an `m`-edge graph has sampled a fixed sequence of `k`
+/// edges in order. `E[X(ρ)] = k·m` and both tails are bounded by
+/// `exp(−k·c(λ))`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `lambda` is on the wrong side of 1 for the tail.
+#[must_use]
+pub fn edge_sequence_tail(k: u64, lambda: f64, tail: Tail) -> f64 {
+    assert!(k > 0, "sequence must be nonempty");
+    match tail {
+        Tail::Upper => assert!(lambda >= 1.0),
+        Tail::Lower => assert!(lambda > 0.0 && lambda <= 1.0),
+    }
+    (-(k as f64) * rate_c(lambda)).exp()
+}
+
+/// The `n`-th harmonic number `H_n = Σ_{i=1..n} 1/i`.
+///
+/// Exact summation for `n ≤ 10⁶`, asymptotic expansion beyond
+/// (error < 1e-12).
+#[must_use]
+pub fn harmonic(n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= 1_000_000 {
+        (1..=n).map(|i| 1.0 / i as f64).sum()
+    } else {
+        const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+        let x = n as f64;
+        x.ln() + EULER_MASCHERONI + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x)
+    }
+}
+
+/// Binary logarithm convenience (`log₂ x`).
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+#[must_use]
+pub fn log2(x: f64) -> f64 {
+    assert!(x > 0.0);
+    x.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Geometric;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_c_properties() {
+        assert_eq!(rate_c(1.0), 0.0);
+        assert!(rate_c(2.0) > 0.0);
+        assert!(rate_c(0.5) > 0.0);
+        // Convexity spot check: midpoint below chord.
+        let (a, b) = (0.5, 2.0);
+        assert!(rate_c((a + b) / 2.0) < (rate_c(a) + rate_c(b)) / 2.0);
+    }
+
+    #[test]
+    fn poisson_tail_at_one_is_one() {
+        assert_eq!(poisson_tail(10.0, 1.0, Tail::Upper), 1.0);
+        assert_eq!(poisson_tail(10.0, 1.0, Tail::Lower), 1.0);
+    }
+
+    #[test]
+    fn poisson_tail_decreasing_in_lambda() {
+        assert!(poisson_tail(5.0, 2.0, Tail::Upper) < poisson_tail(5.0, 1.5, Tail::Upper));
+        assert!(poisson_tail(5.0, 0.2, Tail::Lower) < poisson_tail(5.0, 0.8, Tail::Lower));
+    }
+
+    #[test]
+    fn chernoff_bounds_trivial_at_zero() {
+        assert_eq!(chernoff_upper(10.0, 0.0), 1.0);
+        assert_eq!(chernoff_lower(10.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn edge_sequence_is_geometric_sum_with_k_over_km() {
+        // Lemma 5 is Lemma 3 applied with p = 1/m and E[X] = km, so
+        // p·E[X] = k and the bounds must agree.
+        let (k, m, lambda) = (17u64, 100.0f64, 1.7);
+        let lhs = edge_sequence_tail(k, lambda, Tail::Upper);
+        let rhs = geometric_sum_tail(1.0 / m, k as f64 * m, lambda, Tail::Upper);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_small_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_asymptotic_matches_exact() {
+        // The asymptotic branch must agree with the exact branch near the
+        // switchover.
+        let exact: f64 = (1..=1_000_000u64).map(|i| 1.0 / i as f64).sum();
+        let x = 1_000_001f64;
+        const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+        let approx = x.ln() + EULER_MASCHERONI + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x);
+        assert!((exact + 1.0 / x - approx).abs() < 1e-9);
+    }
+
+    /// Empirical validation of Lemma 3: sample sums of geometrics and check
+    /// the observed tail frequency never exceeds the analytic bound (with
+    /// slack for Monte-Carlo noise).
+    #[test]
+    fn geometric_sum_bound_holds_empirically() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = 0.2f64;
+        let k = 30usize;
+        let expectation = k as f64 / p;
+        let geo = Geometric::new(p);
+        let trials = 4000;
+        let lambda = 1.5;
+        let threshold = lambda * expectation;
+        let mut exceed = 0usize;
+        for _ in 0..trials {
+            let x: u64 = (0..k).map(|_| geo.sample(&mut rng)).sum();
+            if x as f64 >= threshold {
+                exceed += 1;
+            }
+        }
+        let empirical = exceed as f64 / trials as f64;
+        let bound = geometric_sum_tail(p, expectation, lambda, Tail::Upper);
+        assert!(
+            empirical <= bound + 0.02,
+            "empirical {empirical} should be below bound {bound}"
+        );
+    }
+}

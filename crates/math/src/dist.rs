@@ -1,0 +1,327 @@
+//! Exact samplers for the distributions used by the paper's analyses.
+//!
+//! The workspace deliberately depends only on `rand` for uniform bits;
+//! everything else (geometric, Poisson, binomial, weighted choice) is
+//! implemented here so the sampling logic is auditable and deterministic
+//! across `rand` versions.
+
+use rand::{Rng, RngExt};
+
+/// Geometric distribution on `{1, 2, 3, …}`: number of Bernoulli(`p`)
+/// trials up to and including the first success.
+///
+/// Sampling uses inversion: `X = ⌈ln U / ln(1−p)⌉`, which is exact for the
+/// geometric law and O(1) regardless of `p`.
+///
+/// # Examples
+///
+/// ```
+/// use popele_math::dist::Geometric;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let g = Geometric::new(0.5);
+/// let x = g.sample(&mut rng);
+/// assert!(x >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+    ln_q: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p ≤ 1`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "geometric requires 0 < p ≤ 1");
+        Self {
+            p,
+            ln_q: (1.0 - p).ln(),
+        }
+    }
+
+    /// Success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `1/p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// Draws one sample (support `{1, 2, …}`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        // U ∈ (0, 1]; using 1−random::<f64>() avoids ln(0).
+        let u = 1.0 - rng.random::<f64>();
+        let x = (u.ln() / self.ln_q).ceil();
+        if x < 1.0 {
+            1
+        } else {
+            x as u64
+        }
+    }
+}
+
+/// Poisson distribution with mean `λ`.
+///
+/// Knuth multiplication for `λ ≤ 30`; for larger means, the sum of two
+/// independent Poissons (split recursively) keeps the products away from
+/// underflow while staying exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda > 0`.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "Poisson mean must be positive");
+        Self { lambda }
+    }
+
+    /// Mean `λ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut remaining = self.lambda;
+        let mut total = 0u64;
+        // Poisson(a + b) = Poisson(a) + Poisson(b) for independent summands.
+        while remaining > 30.0 {
+            total += knuth_poisson(30.0, rng);
+            remaining -= 30.0;
+        }
+        total + knuth_poisson(remaining, rng)
+    }
+}
+
+fn knuth_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let threshold = (-lambda).exp();
+    let mut k = 0u64;
+    let mut product = 1.0f64;
+    loop {
+        product *= rng.random::<f64>();
+        if product <= threshold {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Binomial distribution `Bin(n, p)`.
+///
+/// Uses the exact geometric-skip method (O(np) expected time), which is fast
+/// for every parameter range appearing in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution over `n` trials with success
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[must_use]
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "binomial requires 0 ≤ p ≤ 1");
+        Self { n, p }
+    }
+
+    /// Mean `n·p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p == 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        // Exploit symmetry so the expected work is n·min(p, 1−p).
+        let (p, flip) = if self.p > 0.5 {
+            (1.0 - self.p, true)
+        } else {
+            (self.p, false)
+        };
+        let geo = Geometric::new(p);
+        let mut successes = 0u64;
+        let mut position = 0u64;
+        loop {
+            position += geo.sample(rng);
+            if position > self.n {
+                break;
+            }
+            successes += 1;
+        }
+        if flip {
+            self.n - successes
+        } else {
+            successes
+        }
+    }
+}
+
+/// Samples an index from `0..weights.len()` proportionally to `weights`.
+///
+/// Linear scan; intended for small weight vectors (e.g. picking an
+/// experiment arm), not hot loops.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative value, or sums to 0.
+pub fn weighted_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    assert!(!weights.is_empty(), "weights must be nonempty");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0, "weights must be nonnegative");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Welford;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_mean_var(mut f: impl FnMut(&mut SmallRng) -> f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut w = Welford::new();
+        for _ in 0..n {
+            w.push(f(&mut rng));
+        }
+        (w.mean(), w.variance())
+    }
+
+    #[test]
+    fn geometric_mean_and_variance() {
+        let p = 0.25f64;
+        let g = Geometric::new(p);
+        let (mean, var) = sample_mean_var(|r| g.sample(r) as f64, 60_000, 11);
+        assert!((mean - 1.0 / p).abs() < 0.1, "mean {mean}");
+        let expected_var = (1.0 - p) / (p * p);
+        assert!((var - expected_var).abs() / expected_var < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_constant() {
+        let g = Geometric::new(1.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(g.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let lam = 3.5;
+        let p = Poisson::new(lam);
+        let (mean, var) = sample_mean_var(|r| p.sample(r) as f64, 60_000, 13);
+        assert!((mean - lam).abs() < 0.1, "mean {mean}");
+        assert!((var - lam).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_splits() {
+        let lam = 250.0;
+        let p = Poisson::new(lam);
+        let (mean, var) = sample_mean_var(|r| p.sample(r) as f64, 20_000, 17);
+        assert!((mean - lam).abs() < 1.0, "mean {mean}");
+        assert!((var - lam).abs() / lam < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn binomial_moments() {
+        let b = Binomial::new(100, 0.3);
+        let (mean, var) = sample_mean_var(|r| b.sample(r) as f64, 40_000, 19);
+        assert!((mean - 30.0).abs() < 0.3, "mean {mean}");
+        assert!((var - 21.0).abs() < 1.0, "var {var}");
+    }
+
+    #[test]
+    fn binomial_high_p_uses_symmetry() {
+        let b = Binomial::new(50, 0.9);
+        let (mean, _) = sample_mean_var(|r| b.sample(r) as f64, 40_000, 23);
+        assert!((mean - 45.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(Binomial::new(10, 0.0).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(10, 1.0).sample(&mut rng), 10);
+        assert_eq!(Binomial::new(0, 0.5).sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn binomial_within_support() {
+        let b = Binomial::new(20, 0.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(b.sample(&mut rng) <= 20);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&weights, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn weighted_index_empty_panics() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = weighted_index(&[], &mut rng);
+    }
+}

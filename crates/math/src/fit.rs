@@ -1,0 +1,199 @@
+//! Least-squares fitting utilities.
+//!
+//! The experiment harness verifies asymptotic claims of the form
+//! "stabilization time grows like `Θ(n^a polylog n)`" by fitting a power law
+//! `y = C·x^a` in log–log space across a sweep of sizes and comparing the
+//! fitted exponent `a` against the paper's prediction.
+
+/// Result of an ordinary least-squares line fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+/// Fits a line through `(x, y)` points by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or if all `x` coincide.
+#[must_use]
+pub fn linear_fit(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(
+        denom.abs() > 1e-12,
+        "x values are degenerate; cannot fit a line"
+    );
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot <= 1e-300 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// A fitted power law `y = coefficient · x^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    /// Fitted exponent `a`.
+    pub exponent: f64,
+    /// Fitted multiplicative constant `C`.
+    pub coefficient: f64,
+    /// `R²` of the underlying log–log line fit.
+    pub r_squared: f64,
+}
+
+impl PowerFit {
+    /// Evaluates the fitted law at `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y = C·x^a` by least squares in log–log space.
+///
+/// Points with non-positive coordinates are rejected.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any coordinate is ≤ 0.
+#[must_use]
+pub fn power_fit(points: &[(f64, f64)]) -> PowerFit {
+    assert!(points.len() >= 2, "need at least two points for a power fit");
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "power fit requires positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let line = linear_fit(&logged);
+    PowerFit {
+        exponent: line.slope,
+        coefficient: line.intercept.exp(),
+        r_squared: line.r_squared,
+    }
+}
+
+/// Fits the exponent of `y = C·x^a·(ln x)^b` with `b` fixed, i.e. fits a
+/// power law to `y / (ln x)^b`.
+///
+/// Useful for checking claims like `Θ(n log n)` (fit with `b = 1` and expect
+/// exponent ≈ 1) without the polylog factor contaminating the estimate.
+///
+/// # Panics
+///
+/// Panics on fewer than two points, non-positive data, or `x ≤ 1`.
+#[must_use]
+pub fn power_fit_with_log_factor(points: &[(f64, f64)], log_power: f64) -> PowerFit {
+    let adjusted: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 1.0, "x must exceed 1 so ln x > 0");
+            (x, y / x.ln().powf(log_power))
+        })
+        .collect();
+    power_fit(&adjusted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-10);
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_reasonable() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 2.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn power_law_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, 5.0 * x.powf(2.0))
+            })
+            .collect();
+        let fit = power_fit(&pts);
+        assert!((fit.exponent - 2.0).abs() < 1e-10);
+        assert!((fit.coefficient - 5.0).abs() < 1e-6);
+        assert!((fit.eval(10.0) - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_factor_fit_isolates_polynomial_part() {
+        // y = 2 n ln n should fit exponent ≈ 1 once the log factor is
+        // divided out, but > 1 without the correction.
+        let pts: Vec<(f64, f64)> = (4..=12)
+            .map(|i| {
+                let n = (1u64 << i) as f64;
+                (n, 2.0 * n * n.ln())
+            })
+            .collect();
+        let raw = power_fit(&pts);
+        let corrected = power_fit_with_log_factor(&pts, 1.0);
+        assert!(raw.exponent > 1.03);
+        assert!((corrected.exponent - 1.0).abs() < 1e-9);
+        assert!((corrected.coefficient - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn power_fit_rejects_nonpositive() {
+        let _ = power_fit(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn linear_fit_rejects_constant_x() {
+        let _ = linear_fit(&[(1.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn r_squared_one_for_constant_y() {
+        let fit = linear_fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]);
+        assert!(fit.slope.abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Small dense linear algebra.
+//!
+//! Exact hitting times of a classic random walk on a graph `G` solve the
+//! linear system `(I − P_{-v}) h = 1`, where `P_{-v}` is the transition
+//! matrix with the target row/column removed. This module provides the
+//! dense matrix type and the Gaussian-elimination solver used by
+//! `popele-dynamics` for graphs up to a few hundred nodes, plus a power
+//! iteration used for spectral conductance estimates.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or the input is empty.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        Self {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Solves `A·x = b` by Gaussian elimination with partial pivoting,
+    /// consuming the matrix.
+    ///
+    /// Returns `None` if the matrix is (numerically) singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != self.rows()`.
+    #[must_use]
+    pub fn solve(mut self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs dimension mismatch");
+        let n = self.rows;
+        let mut rhs = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivoting: pick the largest magnitude entry in the column.
+            let pivot_row = (col..n)
+                .max_by(|&a, &b| {
+                    self[(a, col)]
+                        .abs()
+                        .partial_cmp(&self[(b, col)].abs())
+                        .expect("no NaN in matrix")
+                })
+                .expect("nonempty range");
+            if self[(pivot_row, col)].abs() < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = self[(col, j)];
+                    self[(col, j)] = self[(pivot_row, j)];
+                    self[(pivot_row, j)] = tmp;
+                }
+                rhs.swap(col, pivot_row);
+            }
+            let pivot = self[(col, col)];
+            for row in col + 1..n {
+                let factor = self[(row, col)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    let v = self[(col, j)];
+                    self[(row, j)] -= factor * v;
+                }
+                rhs[row] -= factor * rhs[col];
+            }
+        }
+
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = rhs[row];
+            for j in row + 1..n {
+                acc -= self[(row, j)] * x[j];
+            }
+            x[row] = acc / self[(row, row)];
+        }
+        Some(x)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Estimates the largest eigenvalue (by magnitude) of a symmetric matrix by
+/// power iteration, returning `(eigenvalue, eigenvector)`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or `iterations == 0`.
+#[must_use]
+pub fn power_iteration(a: &Matrix, iterations: usize) -> (f64, Vec<f64>) {
+    assert_eq!(a.rows(), a.cols(), "power iteration requires square matrix");
+    assert!(iterations > 0);
+    let n = a.rows();
+    // A deterministic, non-degenerate start vector.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
+    normalize(&mut v);
+    let mut eigenvalue = 0.0;
+    for _ in 0..iterations {
+        let mut w = a.mul_vec(&v);
+        eigenvalue = dot(&v, &w);
+        let norm = norm2(&w);
+        if norm < 1e-300 {
+            return (0.0, v);
+        }
+        for x in &mut w {
+            *x /= norm;
+        }
+        v = w;
+    }
+    (eigenvalue, v)
+}
+
+/// Estimates the second-largest eigenvalue of a symmetric matrix by deflated
+/// power iteration against a known top eigenpair.
+#[must_use]
+pub fn second_eigenvalue(
+    a: &Matrix,
+    top_vec: &[f64],
+    iterations: usize,
+) -> f64 {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    let mut v: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+    orthogonalize(&mut v, top_vec);
+    normalize(&mut v);
+    let mut eigenvalue = 0.0;
+    for _ in 0..iterations {
+        let mut w = a.mul_vec(&v);
+        orthogonalize(&mut w, top_vec);
+        eigenvalue = dot(&v, &w);
+        let norm = norm2(&w);
+        if norm < 1e-300 {
+            return 0.0;
+        }
+        for x in &mut w {
+            *x /= norm;
+        }
+        v = w;
+    }
+    eigenvalue
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm2(v);
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+fn orthogonalize(v: &mut [f64], against: &[f64]) {
+    let denom = dot(against, against);
+    if denom < 1e-300 {
+        return;
+    }
+    let coeff = dot(v, against) / denom;
+    for (x, &a) in v.iter_mut().zip(against) {
+        *x -= coeff * a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let m = Matrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = m.solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn known_system_solved() {
+        // 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_random_system_consistency() {
+        // Solve then multiply back: A·x must reproduce b.
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 31 + j * 17) % 13) as f64 - 6.0;
+            }
+            a[(i, i)] += 20.0; // diagonally dominant → nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = a.clone().solve(&b).unwrap();
+        let back = a.mul_vec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenvalue() {
+        // Symmetric matrix with known spectrum {3, 1}: [[2,1],[1,2]].
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (lambda, v) = power_iteration(&a, 200);
+        assert!((lambda - 3.0).abs() < 1e-9, "lambda {lambda}");
+        // Eigenvector proportional to (1, 1).
+        assert!((v[0] - v[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn second_eigenvalue_via_deflation() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (_, top) = power_iteration(&a, 200);
+        let lambda2 = second_eigenvalue(&a, &top, 200);
+        assert!((lambda2 - 1.0).abs() < 1e-6, "lambda2 {lambda2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_rejected() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

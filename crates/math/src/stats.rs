@@ -1,0 +1,379 @@
+//! Summary statistics for experiment results.
+//!
+//! [`Summary`] retains the full sample (experiments here are at most a few
+//! thousand trials) and provides exact quantiles alongside the usual moment
+//! statistics. [`Welford`] is a constant-memory alternative for the hot
+//! loops of the engine where only mean/variance are needed.
+
+use std::fmt;
+
+/// Exact summary of a finite sample.
+///
+/// # Examples
+///
+/// ```
+/// use popele_math::stats::Summary;
+///
+/// let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.len(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.std_dev() - 2.138).abs() < 1e-3);
+/// assert_eq!(s.median(), 4.5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a summary from a slice of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any observation is NaN.
+    #[must_use]
+    pub fn from_slice(values: &[f64]) -> Self {
+        values.iter().copied().collect()
+    }
+
+    /// Inserts one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "summary observations must not be NaN");
+        let idx = self.sorted.partition_point(|&x| x < value);
+        self.sorted.insert(idx, value);
+        self.sum += value;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sample mean; 0 for an empty sample.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sum / self.sorted.len() as f64
+        }
+    }
+
+    /// Unbiased sample variance (Bessel-corrected); 0 for samples of size < 2.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.sorted.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; 0 for an empty sample.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest observation; 0 for an empty sample.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Exact `q`-quantile with linear interpolation, `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty sample");
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Median (0.5-quantile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Half-width of a normal-approximation 95% confidence interval on the
+    /// mean (`1.96·s/√n`); 0 for samples of size < 2.
+    #[must_use]
+    pub fn ci95_halfwidth(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (n as f64).sqrt()
+    }
+
+    /// Read-only view of the sorted observations.
+    #[must_use]
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut sorted: Vec<f64> = iter.into_iter().collect();
+        assert!(
+            sorted.iter().all(|x| !x.is_nan()),
+            "summary observations must not be NaN"
+        );
+        let sum = sorted.iter().sum();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Self { sorted, sum }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(empty)");
+        }
+        write!(
+            f,
+            "n={} mean={:.4e} ±{:.2e} median={:.4e} [{:.3e}, {:.3e}]",
+            self.len(),
+            self.mean(),
+            self.ci95_halfwidth(),
+            self.median(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Constant-memory running mean/variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use popele_math::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.0);
+/// assert_eq!(w.variance(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased running variance; 0 for fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Running standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.median(), 3.0);
+    }
+
+    #[test]
+    fn summary_push_keeps_sorted() {
+        let mut s = Summary::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.sorted_values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let s = Summary::from_slice(&[0.0, 10.0]);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(0.25), 2.5);
+        assert_eq!(s.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = Summary::new().quantile(0.5);
+    }
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.ci95_halfwidth(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_summary() {
+        let data = [3.1, 4.1, 5.9, 2.6, 5.3, 5.8, 9.7, 9.3];
+        let s = Summary::from_slice(&data);
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert!((s.mean() - w.mean()).abs() < 1e-12);
+        assert!((s.variance() - w.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(2.0);
+        let b = Welford::new();
+        let before = a;
+        a.merge(&b);
+        assert_eq!(a, before);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Summary::from_slice(&[1.0, 2.0]);
+        let text = format!("{s}");
+        assert!(text.contains("n=2"));
+        assert_eq!(format!("{}", Summary::new()), "(empty)");
+    }
+}

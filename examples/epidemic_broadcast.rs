@@ -1,0 +1,70 @@
+//! One-way epidemics: how long does a rumour take to cover a graph?
+//!
+//! ```text
+//! cargo run --release --example epidemic_broadcast
+//! ```
+//!
+//! Reproduces the Section 3 picture: measures the worst-case expected
+//! broadcast time `B(G)` on several families and checks it against the
+//! paper's analytic sandwich — the Lemma 12 lower bound `(m/Δ)·ln(n−1)`
+//! and the Theorem 6 upper bound `O(m·min(log n/β, log n + D))`.
+
+use popele::dynamics::broadcast::{
+    estimate_broadcast_time, lower_bound_degree, upper_bound_diameter, BroadcastConfig,
+    SourceStrategy,
+};
+use popele::graph::families;
+use popele::graph::properties::diameter;
+use popele::graph::Graph;
+
+fn main() {
+    let n = 64;
+    let cases: Vec<(&str, Graph)> = vec![
+        ("clique", families::clique(n)),
+        ("cycle", families::cycle(n)),
+        ("star", families::star(n)),
+        ("torus 8×8", families::torus(8, 8)),
+        ("hypercube Q6", families::hypercube(6)),
+        ("binary tree", families::binary_tree(n)),
+    ];
+
+    println!(
+        "{:<12} {:>6} {:>6} {:>4} {:>12} {:>12} {:>12}",
+        "family", "n", "m", "D", "B measured", "L12 lower", "T6/L8 upper"
+    );
+    for (name, g) in cases {
+        let est = estimate_broadcast_time(
+            &g,
+            42,
+            &BroadcastConfig {
+                sources: SourceStrategy::Heuristic(4),
+                trials_per_source: 8,
+                threads: 0,
+            },
+        );
+        let d = diameter(&g);
+        let lower = lower_bound_degree(g.num_edges(), g.num_nodes(), g.max_degree());
+        let upper = upper_bound_diameter(g.num_edges(), g.num_nodes(), d);
+        println!(
+            "{:<12} {:>6} {:>6} {:>4} {:>12.0} {:>12.0} {:>12.0}",
+            name,
+            g.num_nodes(),
+            g.num_edges(),
+            d,
+            est.b_estimate,
+            lower,
+            upper
+        );
+        // Lemma 8's constants are asymptotic ("for all n ≥ n₀"); at these
+        // sizes allow 50% finite-size slack on the upper bound.
+        assert!(
+            est.b_estimate <= 1.5 * upper,
+            "{name}: measured B(G) exceeded the Lemma 8 upper bound with slack"
+        );
+    }
+    println!(
+        "\nNote the shapes: the cycle pays Θ(n²) (information crawls across\n\
+         Θ(n) sequential edges each costing Θ(m) = Θ(n) steps), while the\n\
+         clique, star and hypercube finish in Θ(n log n)."
+    );
+}

@@ -1,0 +1,34 @@
+//! Umbrella crate for the `popele` workspace: leader election in population
+//! protocols on graphs, reproducing *Near-Optimal Leader Election in
+//! Population Protocols on Graphs* (PODC 2022).
+//!
+//! This crate re-exports the workspace members under stable names so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`graph`] — interaction graphs, families, random models;
+//! * [`engine`] — the stochastic scheduler and protocol executor;
+//! * [`dynamics`] — broadcast/epidemic dynamics, random walks;
+//! * [`protocols`] — the paper's leader-election protocols;
+//! * [`math`] — probability bounds, samplers, statistics.
+//!
+//! # Quick start
+//!
+//! ```
+//! use popele::graph::families;
+//! use popele::protocols::token::TokenProtocol;
+//! use popele::engine::{Executor, Protocol};
+//!
+//! let g = families::clique(50);
+//! let protocol = TokenProtocol::all_candidates();
+//! let mut exec = Executor::new(&g, &protocol, 1234);
+//! let outcome = exec.run_until_stable(10_000_000).expect("stabilizes");
+//! assert_eq!(outcome.leader_count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use popele_core as protocols;
+pub use popele_dynamics as dynamics;
+pub use popele_engine as engine;
+pub use popele_graph as graph;
+pub use popele_math as math;

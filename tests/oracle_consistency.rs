@@ -1,0 +1,128 @@
+//! Cross-crate validation of every stability oracle against the literal
+//! reachability definition of stability (exhaustive configuration-space
+//! search on tiny instances).
+//!
+//! This is the safety net for the engine's O(1)-per-step stabilization
+//! detection: if any oracle ever disagrees with the definition on these
+//! instances, the corresponding measurement in the experiment harness
+//! would be wrong.
+
+use popele::engine::exhaustive::{
+    check_stable_and_correct, validate_oracle_on_execution, Verdict, DEFAULT_CONFIG_LIMIT,
+};
+use popele::engine::Executor;
+use popele::graph::families;
+use popele::protocols::params::FastParams;
+use popele::protocols::{FastProtocol, IdentifierProtocol, StarProtocol, TokenProtocol};
+
+#[test]
+fn token_oracle_exact_on_tiny_graphs() {
+    let p = TokenProtocol::all_candidates();
+    for (g, seed) in [
+        (families::path(2), 1u64),
+        (families::path(3), 2),
+        (families::cycle(3), 3),
+        (families::star(4), 4),
+        (families::cycle(4), 5),
+    ] {
+        let steps = validate_oracle_on_execution(&p, &g, seed, 500, DEFAULT_CONFIG_LIMIT);
+        assert!(steps < 500, "token should stabilize quickly on {g}");
+    }
+}
+
+#[test]
+fn token_oracle_exact_with_candidate_subsets() {
+    let g = families::cycle(4);
+    for candidates in [vec![0u32], vec![0, 2], vec![0, 1, 2, 3]] {
+        let p = TokenProtocol::with_candidates(candidates.clone());
+        let steps = validate_oracle_on_execution(&p, &g, 7, 500, DEFAULT_CONFIG_LIMIT);
+        assert!(steps < 500, "candidates {candidates:?}");
+    }
+}
+
+#[test]
+fn identifier_oracle_exact_on_tiny_graphs() {
+    // k = 1 keeps the reachable configuration space searchable.
+    let p = IdentifierProtocol::new(1);
+    for (g, seed) in [
+        (families::path(2), 11u64),
+        (families::path(3), 12),
+        (families::cycle(3), 13),
+    ] {
+        let steps = validate_oracle_on_execution(&p, &g, seed, 400, DEFAULT_CONFIG_LIMIT);
+        assert!(steps < 400, "identifier should stabilize quickly on {g}");
+    }
+}
+
+#[test]
+fn star_oracle_exact_on_stars() {
+    for n in [2u32, 3, 5] {
+        let steps = validate_oracle_on_execution(
+            &StarProtocol::new(),
+            &families::star(n),
+            21,
+            50,
+            DEFAULT_CONFIG_LIMIT,
+        );
+        assert_eq!(steps, 1, "star protocol is a one-interaction election");
+    }
+}
+
+#[test]
+fn fast_oracle_exact_along_executions() {
+    // Snapshot comparison at every step for the first 60 steps on a
+    // single edge and a triangle (the config spaces stay enumerable).
+    let p = FastProtocol::new(FastParams::new(1, 1, 2));
+    for (g, seed, horizon) in [
+        (families::clique(2), 31u64, 60u64),
+        (families::cycle(3), 32, 40),
+    ] {
+        let mut exec = Executor::new(&g, &p, seed);
+        for step in 0..horizon {
+            let exhaustive = check_stable_and_correct(&p, &g, exec.states(), DEFAULT_CONFIG_LIMIT);
+            match exhaustive {
+                Verdict::Stable => {
+                    assert!(exec.is_stable(), "step {step} on {g}: oracle too conservative")
+                }
+                Verdict::Unstable => {
+                    assert!(!exec.is_stable(), "step {step} on {g}: oracle too eager")
+                }
+                Verdict::Inconclusive => panic!("search exploded on {g}"),
+            }
+            exec.step();
+        }
+    }
+}
+
+#[test]
+fn initial_configurations_are_unstable() {
+    // Leader election from identical states can never start stable (for
+    // n ≥ 2 there are either 0 or ≥ 2 leaders initially).
+    let g = families::path(3);
+    let token = TokenProtocol::all_candidates();
+    assert_eq!(
+        check_stable_and_correct(
+            &token,
+            &g,
+            &[
+                token.initial_state(0),
+                token.initial_state(1),
+                token.initial_state(2)
+            ],
+            DEFAULT_CONFIG_LIMIT
+        ),
+        Verdict::Unstable
+    );
+    let id = IdentifierProtocol::new(1);
+    assert_eq!(
+        check_stable_and_correct(
+            &id,
+            &g,
+            &[id.initial_state(0), id.initial_state(1), id.initial_state(2)],
+            DEFAULT_CONFIG_LIMIT
+        ),
+        Verdict::Unstable
+    );
+}
+
+use popele::engine::Protocol;

@@ -1,0 +1,239 @@
+//! Property-based tests on the workspace's core invariants.
+
+use popele::dynamics::influence::{record_schedule, InteractionPattern};
+use popele::engine::{EdgeScheduler, Executor};
+use popele::graph::{random, Graph, GraphBuilder};
+use popele::protocols::token::{Token, TokenProtocol};
+use popele::protocols::IdentifierProtocol;
+use proptest::prelude::*;
+
+/// Strategy: a connected graph on 2..=24 nodes built from a random tree
+/// plus random extra edges.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (2u32..=24, any::<u64>(), 0usize..=40).prop_map(|(n, seed, extra)| {
+        let mut rng = popele::math::rng::small_rng(seed);
+        use rand::RngExt;
+        let mut b = GraphBuilder::new(n);
+        // Random spanning tree: attach node v to a uniform earlier node.
+        for v in 1..n {
+            let parent = rng.random_range(0..v);
+            b.add_edge(parent, v).unwrap();
+        }
+        let mut g = b.build().unwrap();
+        // Random extra edges (ignore duplicates).
+        for _ in 0..extra {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v && !g.has_edge(u, v) {
+                g = g.with_edges(&[(u.min(v), u.max(v))]).unwrap();
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR structural invariants hold for arbitrary connected graphs.
+    #[test]
+    fn graph_structure_consistent(g in connected_graph()) {
+        // Degree sum = 2m.
+        let degree_sum: u64 = g.nodes().map(|v| u64::from(g.degree(v))).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges() as u64);
+        // Adjacency is symmetric and sorted.
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            for &w in nbrs {
+                prop_assert!(g.has_edge(w, v));
+                prop_assert!(g.neighbors(w).contains(&v));
+            }
+        }
+        prop_assert!(popele::graph::properties::is_connected(&g));
+    }
+
+    /// The scheduler only ever samples adjacent ordered pairs, and both
+    /// orientations of every edge appear over time.
+    #[test]
+    fn scheduler_samples_valid_pairs(g in connected_graph(), seed in any::<u64>()) {
+        let mut sched = EdgeScheduler::new(&g, seed);
+        for _ in 0..500 {
+            let (u, v) = sched.next_pair();
+            prop_assert!(g.has_edge(u, v));
+            prop_assert_ne!(u, v);
+        }
+    }
+
+    /// Token-protocol conservation law along arbitrary executions:
+    /// candidates = blacks + whites, blacks ≥ 1 (see crate::token docs).
+    #[test]
+    fn token_conservation(g in connected_graph(), seed in any::<u64>()) {
+        let p = TokenProtocol::all_candidates();
+        let mut exec = Executor::new(&g, &p, seed);
+        for _ in 0..300 {
+            exec.step();
+            let blacks = exec.states().iter().filter(|s| s.token == Some(Token::Black)).count();
+            let whites = exec.states().iter().filter(|s| s.token == Some(Token::White)).count();
+            let candidates = exec.states().iter().filter(|s| s.candidate).count();
+            prop_assert!(blacks >= 1);
+            prop_assert_eq!(candidates, blacks + whites);
+        }
+    }
+
+    /// Identifier monotonicity: ids never decrease, and finished ids stay
+    /// within [2^k, 2^{k+1}).
+    #[test]
+    fn identifier_monotone(g in connected_graph(), seed in any::<u64>(), k in 1u32..=8) {
+        let p = IdentifierProtocol::new(k);
+        let mut exec = Executor::new(&g, &p, seed);
+        let threshold = 1u64 << k;
+        let mut prev: Vec<u64> = exec.states().iter().map(|s| s.id).collect();
+        for _ in 0..300 {
+            exec.step();
+            for (v, s) in exec.states().iter().enumerate() {
+                prop_assert!(s.id >= prev[v]);
+                prop_assert!(s.id < 2 * threshold);
+                prev[v] = s.id;
+            }
+        }
+    }
+
+    /// Interaction-pattern replay equals forward execution for every root
+    /// (the pattern captures exactly the influencing interactions).
+    #[test]
+    fn pattern_replay_matches_execution(g in connected_graph(), seed in any::<u64>()) {
+        let t = 60usize;
+        let schedule = record_schedule(&g, t, seed);
+        // "Sum of everything seen" protocol — sensitive to any missing or
+        // reordered interaction.
+        let transition = |a: &u64, b: &u64| (a.wrapping_mul(31).wrapping_add(*b), b.wrapping_mul(17).wrapping_add(*a));
+        let mut forward: Vec<u64> = (0..g.num_nodes() as u64).map(|v| v + 1).collect();
+        for &(u, v) in &schedule {
+            let (nu, nv) = transition(&forward[u as usize], &forward[v as usize]);
+            forward[u as usize] = nu;
+            forward[v as usize] = nv;
+        }
+        for root in g.nodes() {
+            let pattern = InteractionPattern::from_schedule(&schedule, root, t);
+            let states = pattern.replay(|v| u64::from(v) + 1, transition);
+            prop_assert_eq!(states[&u64::from(root)], forward[root as usize]);
+        }
+    }
+
+    /// Lemma 45 unfolding: root state preserved, internal count reduced,
+    /// node count at most doubled — for arbitrary schedules and roots.
+    #[test]
+    fn unfolding_invariants(g in connected_graph(), seed in any::<u64>()) {
+        let t = 40usize;
+        let schedule = record_schedule(&g, t, seed);
+        let transition = |a: &u64, b: &u64| (a.wrapping_mul(7).wrapping_add(*b ^ 0x9E37), b.wrapping_add(a >> 3));
+        let pattern = InteractionPattern::from_schedule(&schedule, 0, t);
+        let before = pattern.replay(|v| u64::from(v), transition)[&pattern.root()];
+        if let Some(unfolded) = pattern.unfold_once() {
+            prop_assert_eq!(unfolded.internal_interactions(), pattern.internal_interactions() - 1);
+            prop_assert!(unfolded.num_nodes() <= 2 * pattern.num_nodes());
+            let after = unfolded.replay(|v| u64::from(v), transition)[&unfolded.root()];
+            prop_assert_eq!(before, after);
+        } else {
+            prop_assert_eq!(pattern.internal_interactions(), 0);
+        }
+    }
+
+    /// G(n, p) sampling: edge counts fall within a generous Chernoff
+    /// envelope around p·C(n,2), and the graph type invariants hold.
+    #[test]
+    fn gnp_edge_counts(n in 8u32..=48, seed in any::<u64>()) {
+        let p = 0.4;
+        let g = random::erdos_renyi(n, p, seed);
+        let pairs = f64::from(n) * f64::from(n - 1) / 2.0;
+        let mean = pairs * p;
+        let slack = 6.0 * mean.sqrt() + 4.0;
+        prop_assert!((g.num_edges() as f64 - mean).abs() <= slack,
+            "n={} edges={} mean={}", n, g.num_edges(), mean);
+    }
+
+    /// Executors are replayable: same graph + seed ⇒ identical traces.
+    #[test]
+    fn executor_determinism(g in connected_graph(), seed in any::<u64>()) {
+        let p = TokenProtocol::all_candidates();
+        let mut a = Executor::new(&g, &p, seed);
+        let mut b = Executor::new(&g, &p, seed);
+        for _ in 0..120 {
+            prop_assert_eq!(a.step(), b.step());
+        }
+        prop_assert_eq!(a.states(), b.states());
+    }
+}
+
+mod fast_protocol_props {
+    use super::*;
+    use popele::protocols::params::FastParams;
+    use popele::protocols::fast::{FastProtocol, Status};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Fast-protocol safety invariants along arbitrary executions:
+        /// levels never exceed the cap, statuses never go follower →
+        /// leader, at least one node outputs leader, and a node that
+        /// entered the backup never leaves it.
+        #[test]
+        fn fast_protocol_safety(g in connected_graph(), seed in any::<u64>(),
+                                h in 1u8..4, big_l in 1u32..4, alpha in 2u32..4) {
+            let p = FastProtocol::new(FastParams::new(h, big_l, alpha));
+            let cap = p.params().max_level();
+            let mut exec = Executor::new(&g, &p, seed);
+            let mut was_leader: Vec<bool> = vec![true; g.num_nodes() as usize];
+            let mut in_backup: Vec<bool> = vec![false; g.num_nodes() as usize];
+            for _ in 0..400 {
+                exec.step();
+                let mut any_leader = false;
+                for (v, s) in exec.states().iter().enumerate() {
+                    prop_assert!(s.level <= cap, "level above cap at node {}", v);
+                    prop_assert!(u32::from(s.streak) < u32::from(h), "streak not reset");
+                    let leads = match s.backup {
+                        Some(inner) => inner.candidate,
+                        None => s.status == Status::Leader,
+                    };
+                    if leads {
+                        prop_assert!(was_leader[v], "node {} regained leadership", v);
+                        any_leader = true;
+                    }
+                    was_leader[v] = leads;
+                    if in_backup[v] {
+                        prop_assert!(s.backup.is_some(), "node {} left the backup", v);
+                    }
+                    in_backup[v] = s.backup.is_some();
+                    if s.backup.is_some() {
+                        prop_assert_eq!(s.level, cap, "backup implies cap level");
+                    }
+                }
+                prop_assert!(any_leader, "no leader output anywhere");
+            }
+        }
+
+        /// Majority conservation: #StrongA − #StrongB invariant along
+        /// arbitrary executions on arbitrary connected graphs.
+        #[test]
+        fn majority_strong_difference_invariant(g in connected_graph(), seed in any::<u64>()) {
+            use popele::protocols::majority::{MajorityProtocol, Opinion};
+            let n = g.num_nodes();
+            prop_assume!(n >= 2);
+            let a = (n / 3).max(1);
+            prop_assume!(2 * a != n);
+            let p = MajorityProtocol::new(a, n);
+            let mut exec = Executor::new(&g, &p, seed);
+            let diff = |states: &[Opinion]| -> i64 {
+                let sa = states.iter().filter(|s| **s == Opinion::StrongA).count() as i64;
+                let sb = states.iter().filter(|s| **s == Opinion::StrongB).count() as i64;
+                sa - sb
+            };
+            let initial = diff(exec.states());
+            for _ in 0..300 {
+                exec.step();
+                prop_assert_eq!(diff(exec.states()), initial);
+            }
+        }
+    }
+}
