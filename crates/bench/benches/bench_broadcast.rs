@@ -14,17 +14,13 @@ fn bench_epidemic(c: &mut Criterion) {
     for family in ["clique", "cycle", "star", "torus"] {
         for n in BENCH_SIZES {
             let g = bench_graph(family, n);
-            group.bench_with_input(
-                BenchmarkId::new(family, n),
-                &g,
-                |b, g| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        black_box(broadcast_time_from(g, 0, seed))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(family, n), &g, |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(broadcast_time_from(g, 0, seed))
+                });
+            });
         }
     }
     group.finish();

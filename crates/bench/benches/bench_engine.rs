@@ -1,0 +1,165 @@
+//! Two-engine benchmark: the generic reference [`Executor`] vs the
+//! compiled dense-state [`DenseExecutor`] on identical workloads —
+//! full leader elections of the 6-state token protocol on `clique(1000)`
+//! and `cycle(1000)`, plus fixed-step throughput on the same graphs.
+//!
+//! Both engines consume identical seed sequences, so they execute the
+//! exact same interaction sequences; the measured ratio is pure engine
+//! overhead. Besides the usual criterion output, this bench writes a
+//! machine-readable `BENCH_engine.json` baseline at the workspace root
+//! (medians, throughputs and speedups) so the perf trajectory of the
+//! engine can be tracked across commits.
+
+use criterion::{black_box, take_measurements, BenchmarkId, Criterion, Measurement};
+use popele_core::TokenProtocol;
+use popele_engine::{CompiledProtocol, DenseExecutor, Executor};
+use popele_graph::{families, Graph};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const FIXED_STEPS: u64 = 2_000_000;
+const ELECTION_MAX: u64 = u64::MAX;
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("clique_1000", families::clique(1000)),
+        ("cycle_1000", families::cycle(1000)),
+    ]
+}
+
+/// Each benchmark *iteration* runs one full cycle of elections over a
+/// fixed seed set, so every sample of both engines measures the exact
+/// same workload (elections vary a lot in length per seed; folding the
+/// whole cycle into one iteration makes the comparison paired rather
+/// than batch-aligned by luck). Executors are constructed once and
+/// `reset` per election — the engines' intended usage for repeated
+/// runs. Cycle elections are ~50× longer than clique ones, so that
+/// graph gets a smaller seed set.
+fn seed_cycle(name: &str) -> u64 {
+    if name.starts_with("cycle") {
+        4
+    } else {
+        16
+    }
+}
+
+fn bench_elections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/election");
+    let p = TokenProtocol::all_candidates();
+    for (name, g) in graphs() {
+        let compiled = CompiledProtocol::compile_default(&p, g.num_nodes()).unwrap();
+        let seeds = seed_cycle(name);
+        group.bench_with_input(BenchmarkId::new("generic", name), &g, |b, g| {
+            let mut exec = Executor::new(g, &p, 0);
+            b.iter(|| {
+                let mut total = 0u64;
+                for seed in 1..=seeds {
+                    exec.reset(seed);
+                    total += exec
+                        .run_until_stable(ELECTION_MAX)
+                        .expect("token protocol stabilizes")
+                        .stabilization_step;
+                }
+                black_box(total)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dense", name), &g, |b, g| {
+            let mut exec = DenseExecutor::new(g, &compiled, 0);
+            b.iter(|| {
+                let mut total = 0u64;
+                for seed in 1..=seeds {
+                    exec.reset(seed);
+                    total += exec
+                        .run_until_stable(ELECTION_MAX)
+                        .expect("token protocol stabilizes")
+                        .stabilization_step;
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/steps");
+    let p = TokenProtocol::all_candidates();
+    for (name, g) in graphs() {
+        let compiled = CompiledProtocol::compile_default(&p, g.num_nodes()).unwrap();
+        group.bench_with_input(BenchmarkId::new("generic", name), &g, |b, g| {
+            let mut exec = Executor::new(g, &p, 0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = (seed % 16) + 1;
+                exec.reset(seed);
+                exec.run_steps(FIXED_STEPS);
+                black_box(exec.leader_count())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dense", name), &g, |b, g| {
+            let mut exec = DenseExecutor::new(g, &compiled, 0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = (seed % 16) + 1;
+                exec.reset(seed);
+                exec.run_steps(FIXED_STEPS);
+                black_box(exec.leader_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn median_of<'a>(ms: &'a [Measurement], id: &str) -> Option<&'a Measurement> {
+    ms.iter().find(|m| m.id == id)
+}
+
+/// Renders the collected measurements as the `BENCH_engine.json`
+/// baseline (flat JSON written by hand — the workspace is hermetic and
+/// carries no serde).
+fn render_json(ms: &[Measurement]) -> String {
+    let mut out =
+        String::from("{\n  \"benchmark\": \"engine: generic executor vs compiled dense core\",\n");
+    let _ = writeln!(out, "  \"workloads\": [");
+    let mut first = true;
+    for group in ["engine/election", "engine/steps"] {
+        for (name, _) in graphs() {
+            let generic = median_of(ms, &format!("{group}/generic/{name}"));
+            let dense = median_of(ms, &format!("{group}/dense/{name}"));
+            let (Some(generic), Some(dense)) = (generic, dense) else {
+                continue;
+            };
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let speedup = generic.median_ns / dense.median_ns;
+            let _ = write!(
+                out,
+                "    {{\"workload\": \"{group}/{name}\", \"generic_median_ns\": {:.0}, \"dense_median_ns\": {:.0}, \"speedup\": {:.2}}}",
+                generic.median_ns, dense.median_ns, speedup
+            );
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(8))
+        .sample_size(30);
+    bench_elections(&mut c);
+    bench_fixed_steps(&mut c);
+
+    let ms = take_measurements();
+    let json = render_json(&ms);
+    print!("{json}");
+    // Workspace root: crates/bench/../..
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

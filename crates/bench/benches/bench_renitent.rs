@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use popele_dynamics::isolation::isolation_time;
-use popele_graph::renitent::{cycle_cover, lemma38, theorem39_graph};
 use popele_graph::families;
+use popele_graph::renitent::{cycle_cover, lemma38, theorem39_graph};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -318,7 +318,9 @@ mod tests {
     fn stabilizes_on_clique() {
         let g = families::clique(32);
         let p = practical_for(&g, 120.0);
-        let out = Executor::new(&g, &p, 5).run_until_stable(200_000_000).unwrap();
+        let out = Executor::new(&g, &p, 5)
+            .run_until_stable(200_000_000)
+            .unwrap();
         assert_eq!(out.leader_count, 1);
     }
 
@@ -525,8 +527,8 @@ mod tests {
         // demoted (already follower) and pulled to the cap → backup as
         // follower.
         let (na, nb) = p.transition(&leader_near_cap, &follower_low);
-        assert_eq!(na.backup.unwrap().candidate, true);
-        assert_eq!(nb.backup.unwrap().candidate, false);
+        assert!(na.backup.unwrap().candidate);
+        assert!(!nb.backup.unwrap().candidate);
     }
 
     #[test]

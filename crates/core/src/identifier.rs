@@ -311,7 +311,7 @@ mod tests {
         while ids.iter().any(|&id| id < threshold) {
             let (a, b) = sched.next_pair();
             if ids[a as usize] < threshold {
-                ids[a as usize] = 2 * ids[a as usize]; // initiator bit 0
+                ids[a as usize] *= 2; // initiator bit 0
             }
             if ids[b as usize] < threshold {
                 ids[b as usize] = 2 * ids[b as usize] + 1; // responder bit 1
@@ -390,7 +390,9 @@ mod tests {
         // resolve them.
         let g = families::clique(10);
         let p = IdentifierProtocol::new(1);
-        let out = Executor::new(&g, &p, 7).run_until_stable(50_000_000).unwrap();
+        let out = Executor::new(&g, &p, 7)
+            .run_until_stable(50_000_000)
+            .unwrap();
         assert_eq!(out.leader_count, 1);
     }
 

@@ -264,10 +264,7 @@ mod tests {
             let mut exec = Executor::new(&g, &p, 11);
             exec.run_until_stable(500_000_000)
                 .unwrap_or_else(|_| panic!("no majority on {g}"));
-            assert!(
-                exec.states().iter().all(|s| s.is_a()),
-                "A must win on {g}"
-            );
+            assert!(exec.states().iter().all(|s| s.is_a()), "A must win on {g}");
         }
     }
 

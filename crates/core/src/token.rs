@@ -225,11 +225,7 @@ mod tests {
                 .iter()
                 .filter(|s| s.token == Some(Token::White))
                 .count() as i64;
-            let candidates = exec
-                .states()
-                .iter()
-                .filter(|s| s.candidate)
-                .count() as i64;
+            let candidates = exec.states().iter().filter(|s| s.candidate).count() as i64;
             assert!(blacks >= 1, "black tokens can never die out");
             assert_eq!(
                 candidates,
@@ -327,8 +323,20 @@ mod tests {
         // Candidate meets candidate: both swap blacks, responder's turns
         // white, responder demoted and token destroyed.
         let (a, b) = TokenProtocol::interact(&cand, &cand);
-        assert_eq!(a, TokenState { candidate: true, token: Some(Token::Black) });
-        assert_eq!(b, TokenState { candidate: false, token: None });
+        assert_eq!(
+            a,
+            TokenState {
+                candidate: true,
+                token: Some(Token::Black)
+            }
+        );
+        assert_eq!(
+            b,
+            TokenState {
+                candidate: false,
+                token: None
+            }
+        );
         // Candidate passes its black token to a follower.
         let (a, b) = TokenProtocol::interact(&cand, &foll);
         assert_eq!(a.token, None);
@@ -337,11 +345,23 @@ mod tests {
         assert!(!b.candidate);
         // Follower with white token meets bare candidate: candidate takes
         // the white token and is demoted.
-        let white_carrier = TokenState { candidate: false, token: Some(Token::White) };
-        let bare_candidate = TokenState { candidate: true, token: None };
+        let white_carrier = TokenState {
+            candidate: false,
+            token: Some(Token::White),
+        };
+        let bare_candidate = TokenState {
+            candidate: true,
+            token: None,
+        };
         let (a, b) = TokenProtocol::interact(&white_carrier, &bare_candidate);
         assert_eq!(a.token, None);
-        assert_eq!(b, TokenState { candidate: false, token: None });
+        assert_eq!(
+            b,
+            TokenState {
+                candidate: false,
+                token: None
+            }
+        );
         // Two followers swap (nothing observable happens).
         let (a, b) = TokenProtocol::interact(&foll, &foll);
         assert_eq!((a, b), (foll, foll));
@@ -349,7 +369,10 @@ mod tests {
 
     #[test]
     fn black_meets_black_on_followers_creates_white() {
-        let carrier = TokenState { candidate: false, token: Some(Token::Black) };
+        let carrier = TokenState {
+            candidate: false,
+            token: Some(Token::Black),
+        };
         let (a, b) = TokenProtocol::interact(&carrier, &carrier);
         assert_eq!(a.token, Some(Token::Black));
         assert_eq!(b.token, Some(Token::White));

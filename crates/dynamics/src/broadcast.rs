@@ -12,6 +12,7 @@ use popele_graph::{Graph, NodeId};
 use popele_math::rng::SeedSeq;
 use popele_math::stats::Summary;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Simulates one epidemic from `source` and returns `T(source)` for the
 /// sampled schedule: the number of steps until all nodes are informed.
@@ -30,8 +31,8 @@ pub fn broadcast_time_from(g: &Graph, source: NodeId, seed: u64) -> u64 {
     let mut sched = EdgeScheduler::new(g, seed);
     // Disconnection guard: the expected completion time is far below
     // n·m·(1 + ln n); bail out at a generous multiple.
-    let guard = 1000 * (g.num_edges() as u64) * (n as u64 + 64)
-        * (1 + (n as f64).ln().ceil() as u64);
+    let guard =
+        1000 * (g.num_edges() as u64) * (n as u64 + 64) * (1 + (n as f64).ln().ceil() as u64);
     while count < n {
         let (u, v) = sched.next_pair();
         let (iu, iv) = (u as usize, v as usize);
@@ -61,7 +62,7 @@ pub fn broadcast_time_from(g: &Graph, source: NodeId, seed: u64) -> u64 {
 pub fn propagation_time(g: &Graph, source: NodeId, k: u32, seed: u64) -> Option<u64> {
     assert!(source < g.num_nodes(), "source out of range");
     let dist = bfs_distances(g, source);
-    if !dist.iter().any(|&d| d == k) {
+    if !dist.contains(&k) {
         return None;
     }
     if k == 0 {
@@ -71,8 +72,8 @@ pub fn propagation_time(g: &Graph, source: NodeId, k: u32, seed: u64) -> Option<
     let mut informed = vec![false; n];
     informed[source as usize] = true;
     let mut sched = EdgeScheduler::new(g, seed);
-    let guard = 1000 * (g.num_edges() as u64) * (n as u64 + 64)
-        * (1 + (n as f64).ln().ceil() as u64);
+    let guard =
+        1000 * (g.num_edges() as u64) * (n as u64 + 64) * (1 + (n as f64).ln().ceil() as u64);
     loop {
         let (u, v) = sched.next_pair();
         let (iu, iv) = (u as usize, v as usize);
@@ -182,24 +183,27 @@ pub fn estimate_broadcast_time(
         (0..sources.len()).map(evaluate).collect()
     } else {
         let next = AtomicUsize::new(0);
-        let results = parking_lot::Mutex::new(vec![None; sources.len()]);
-        crossbeam::scope(|scope| {
+        let results: Vec<Mutex<Option<(NodeId, Summary)>>> =
+            (0..sources.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= sources.len() {
                         break;
                     }
                     let r = evaluate(idx);
-                    results.lock()[idx] = Some(r);
+                    *results[idx].lock().expect("result slot poisoned") = Some(r);
                 });
             }
-        })
-        .expect("broadcast worker panicked");
+        });
         results
-            .into_inner()
             .into_iter()
-            .map(|r| r.expect("all sources evaluated"))
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("all sources evaluated")
+            })
             .collect()
     };
 
@@ -306,10 +310,7 @@ mod tests {
     #[test]
     fn broadcast_deterministic_per_seed() {
         let g = families::torus(4, 4);
-        assert_eq!(
-            broadcast_time_from(&g, 3, 9),
-            broadcast_time_from(&g, 3, 9)
-        );
+        assert_eq!(broadcast_time_from(&g, 3, 9), broadcast_time_from(&g, 3, 9));
     }
 
     #[test]

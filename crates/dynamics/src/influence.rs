@@ -179,11 +179,7 @@ impl InteractionPattern {
         }
         edges.reverse();
         let origin = members.iter().map(|&v| (u64::from(v), v)).collect();
-        let next_fresh = members
-            .iter()
-            .map(|&v| u64::from(v) + 1)
-            .max()
-            .unwrap_or(1);
+        let next_fresh = members.iter().map(|&v| u64::from(v) + 1).max().unwrap_or(1);
         Self {
             root: u64::from(root),
             edges,
@@ -253,9 +249,9 @@ impl InteractionPattern {
     {
         let mut states: HashMap<u64, S> = HashMap::new();
         let state_of = |states: &mut HashMap<u64, S>, id: u64| {
-            if !states.contains_key(&id) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = states.entry(id) {
                 let origin = self.origin_of(id).expect("pattern node has an origin");
-                states.insert(id, initial(origin));
+                slot.insert(initial(origin));
             }
         };
         state_of(&mut states, self.root);
@@ -319,28 +315,30 @@ impl InteractionPattern {
         let mut origin = self.origin.clone();
 
         // Fresh copies of the trees' nodes (the copied root becomes u'/w').
-        let mut copy_tree = |tree: &[TimedEdge], copied_root: u64, shift: u64| -> (u64, Vec<TimedEdge>) {
-            let mut rename: HashMap<u64, u64> = HashMap::new();
-            let mut fresh = |old: u64, next_fresh: &mut u64, origin: &mut HashMap<u64, NodeId>| -> u64 {
-                *rename.entry(old).or_insert_with(|| {
-                    let id = *next_fresh;
-                    *next_fresh += 1;
-                    let org = self.origin[&old];
-                    origin.insert(id, org);
-                    id
-                })
+        let mut copy_tree =
+            |tree: &[TimedEdge], copied_root: u64, shift: u64| -> (u64, Vec<TimedEdge>) {
+                let mut rename: HashMap<u64, u64> = HashMap::new();
+                let mut fresh =
+                    |old: u64, next_fresh: &mut u64, origin: &mut HashMap<u64, NodeId>| -> u64 {
+                        *rename.entry(old).or_insert_with(|| {
+                            let id = *next_fresh;
+                            *next_fresh += 1;
+                            let org = self.origin[&old];
+                            origin.insert(id, org);
+                            id
+                        })
+                    };
+                let root_copy = fresh(copied_root, &mut next_fresh, &mut origin);
+                let edges = tree
+                    .iter()
+                    .map(|e| TimedEdge {
+                        initiator: fresh(e.initiator, &mut next_fresh, &mut origin),
+                        responder: fresh(e.responder, &mut next_fresh, &mut origin),
+                        time: e.time + shift,
+                    })
+                    .collect();
+                (root_copy, edges)
             };
-            let root_copy = fresh(copied_root, &mut next_fresh, &mut origin);
-            let edges = tree
-                .iter()
-                .map(|e| TimedEdge {
-                    initiator: fresh(e.initiator, &mut next_fresh, &mut origin),
-                    responder: fresh(e.responder, &mut next_fresh, &mut origin),
-                    time: e.time + shift,
-                })
-                .collect();
-            (root_copy, edges)
-        };
 
         // Step 1: drop the pivot; shift all strictly-later timestamps by
         // 2r + 1 so the window (r, 3r] is free for the copies.
@@ -511,7 +509,8 @@ mod tests {
             let p = InteractionPattern::from_schedule(&schedule, root, schedule.len());
             let final_states = p.replay(|v| v, transition);
             assert_eq!(
-                final_states[&u64::from(root)], states[root as usize],
+                final_states[&u64::from(root)],
+                states[root as usize],
                 "root {root}"
             );
         }
@@ -531,13 +530,16 @@ mod tests {
         let p = InteractionPattern::from_schedule(&schedule, 0, schedule.len());
         let before_internal = p.internal_interactions();
         assert!(before_internal > 0, "need an internal interaction to test");
-        let root_before = p.replay(|v| u64::from(v), transition)[&p.root()];
+        let root_before = p.replay(u64::from, transition)[&p.root()];
 
         let q = p.unfold_once().expect("has internal interaction");
         assert_eq!(q.internal_interactions(), before_internal - 1);
         assert!(q.num_nodes() <= 2 * p.num_nodes(), "Lemma 45 size bound");
-        let root_after = q.replay(|v| u64::from(v), transition)[&q.root()];
-        assert_eq!(root_before, root_after, "unfolding must preserve the root state");
+        let root_after = q.replay(u64::from, transition)[&q.root()];
+        assert_eq!(
+            root_before, root_after,
+            "unfolding must preserve the root state"
+        );
     }
 
     #[test]
@@ -550,8 +552,8 @@ mod tests {
         assert!(q.unfold_once().is_none());
         // Root state preserved through the whole cascade.
         let transition = |a: &u64, b: &u64| (*a + *b, *b + 1);
-        let before = p.replay(|v| u64::from(v), transition)[&p.root()];
-        let after = q.replay(|v| u64::from(v), transition)[&q.root()];
+        let before = p.replay(u64::from, transition)[&p.root()];
+        let after = q.replay(u64::from, transition)[&q.root()];
         assert_eq!(before, after);
     }
 

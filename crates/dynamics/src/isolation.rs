@@ -179,8 +179,8 @@ pub fn estimate_isolation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popele_graph::renitent::{cycle_cover, lemma38, Cover};
     use popele_graph::families;
+    use popele_graph::renitent::{cycle_cover, lemma38, Cover};
 
     #[test]
     fn isolation_positive_on_cycle_cover() {

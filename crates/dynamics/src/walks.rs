@@ -18,7 +18,7 @@ use popele_graph::{Graph, NodeId};
 use popele_math::linalg::Matrix;
 use popele_math::rng::SeedSeq;
 use popele_math::stats::Summary;
-use rand::RngExt;
+use rand::Rng;
 
 /// Exact expected hitting times `H(u, target)` of the **classic** random
 /// walk, for every start `u`, by solving `(I − P_{-target}) h = 1`.
@@ -149,12 +149,7 @@ fn worst_hitting(g: &Graph, model: WalkModel) -> f64 {
 /// Panics if endpoints are out of range or the walk runs `10⁹` steps
 /// without hitting (disconnected graph).
 #[must_use]
-pub fn simulate_population_hitting(
-    g: &Graph,
-    start: NodeId,
-    target: NodeId,
-    seed: u64,
-) -> u64 {
+pub fn simulate_population_hitting(g: &Graph, start: NodeId, target: NodeId, seed: u64) -> u64 {
     assert!(start < g.num_nodes() && target < g.num_nodes());
     if start == target {
         return 0;
@@ -341,8 +336,8 @@ mod tests {
         // On K_n hitting time between distinct nodes is n − 1.
         let g = families::clique(7);
         let h = classic_hitting_times(&g, 0);
-        for v in 1..7 {
-            assert!((h[v] - 6.0).abs() < 1e-9, "h({v}→0) = {}", h[v]);
+        for (v, &hv) in h.iter().enumerate().skip(1) {
+            assert!((hv - 6.0).abs() < 1e-9, "h({v}→0) = {hv}");
         }
     }
 

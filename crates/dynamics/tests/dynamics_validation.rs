@@ -2,7 +2,9 @@
 //! values, brute-force re-implementations, and the paper's asymptotic
 //! claims at small scale.
 
-use popele_dynamics::broadcast::{broadcast_time_from, estimate_broadcast_time, BroadcastConfig, SourceStrategy};
+use popele_dynamics::broadcast::{
+    broadcast_time_from, estimate_broadcast_time, BroadcastConfig, SourceStrategy,
+};
 use popele_dynamics::influence::InfluenceTracker;
 use popele_dynamics::walks::{
     classic_hitting_times, population_hitting_times, simulate_population_hitting,

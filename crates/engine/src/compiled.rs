@@ -1,0 +1,1082 @@
+//! The compiled dense-state simulation core.
+//!
+//! Every protocol the paper analyses has a tiny (constant or
+//! `O(polylog n)`) reachable state space, which makes the following
+//! architecture possible: enumerate the reachable states once, assign
+//! them dense integer ids, precompute the full `|Λ|²` transition table
+//! and the per-state output table, and drive executions over `u16` ids —
+//! the per-interaction hot path becomes two array reads, one table
+//! lookup and two array writes, with no cloning, hashing or per-step
+//! transition evaluation.
+//!
+//! * [`CompiledProtocol::compile`] builds the tables by BFS closure over
+//!   [`Protocol::transition`] starting from the initial states of every
+//!   node. The closure is a sound over-approximation: it includes every
+//!   state reachable under *any* schedule on *any* graph with the given
+//!   node count (and possibly more), so the table covers every pair an
+//!   execution can sample.
+//! * [`DenseExecutor`] mirrors [`crate::Executor`] exactly: same
+//!   scheduler, same seed handling, same [`crate::protocol::StabilityOracle`]
+//!   semantics, same [`Outcome`]s. A differential test in the workspace
+//!   pins the two engines to identical traces under identical seeds.
+//!
+//! # When compilation fails
+//!
+//! Ids are `u16`, so the enumeration aborts with
+//! [`CompileError::StateSpaceTooLarge`] once it exceeds the requested
+//! `max_states` cap (at most [`MAX_STATE_IDS`] = 2¹⁶). The cap matters
+//! twice over: the transition table stores `|Λ|²` packed entries (4 bytes
+//! each), so even before the id space overflows, large state spaces stop
+//! paying — at the default cap of [`DEFAULT_MAX_COMPILED_STATES`] = 1024
+//! the table occupies 4 MiB and stays cache-resident, while at the full
+//! 2¹⁶ it would need 16 GiB. Protocols with polynomially many states
+//! (e.g. the identifier protocol at realistic `k`) therefore fall back
+//! to the generic [`crate::Executor`]; constant-state protocols (token,
+//! star, majority) and small-parameter instances of the fast protocol
+//! compile everywhere. [`crate::monte_carlo::run_trials_auto`] automates
+//! exactly this decision.
+
+use crate::executor::{NotStabilized, Outcome};
+use crate::protocol::{Protocol, Role, StabilityOracle};
+use crate::scheduler::EdgeScheduler;
+use popele_graph::{Graph, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense state identifier of a compiled protocol.
+pub type StateId = u16;
+
+/// Hard ceiling on the number of dense ids (`u16` space).
+pub const MAX_STATE_IDS: usize = 1 << 16;
+
+/// Default enumeration cap used by the auto-compiling entry points: the
+/// resulting `|Λ|²` table of packed `u32` entries is at most 4 MiB.
+pub const DEFAULT_MAX_COMPILED_STATES: usize = 1024;
+
+/// Why a protocol could not be compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileError {
+    /// The BFS closure exceeded the requested state cap.
+    StateSpaceTooLarge {
+        /// The cap that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::StateSpaceTooLarge { limit } => {
+                write!(f, "reachable state space exceeds {limit} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A protocol lowered to dense ids with fully precomputed transition and
+/// output tables. Shared (immutably) by every executor and Monte-Carlo
+/// worker thread that runs it.
+#[derive(Debug, Clone)]
+pub struct CompiledProtocol<P: Protocol> {
+    protocol: P,
+    /// Id → typed state.
+    states: Vec<P::State>,
+    /// Typed state → id (kept for introspection and differential tests).
+    ids: HashMap<P::State, StateId>,
+    /// Node → id of its initial state; length `num_nodes`.
+    initial: Vec<StateId>,
+    /// Flat `k × k` successor table, entry `a·k + b` packing
+    /// `(a' << 16) | b'`.
+    table: Vec<u32>,
+    /// Per table entry: net change in the number of leader-output nodes,
+    /// `role(a') + role(b') − role(a) − role(b)` (each counted as 1 for
+    /// leader). Lets executors with a unique-leader oracle maintain the
+    /// leader count with one add instead of a typed oracle call.
+    leader_delta: Vec<i8>,
+    /// For `|Λ| ≤ 256` only: the successor pair *and* leader delta of
+    /// entry `(a << 8) | b` packed into one word —
+    /// `(delta + 2) << 16 | a' << 8 | b'` — padded to 256 columns so the
+    /// index is a shift-or instead of a multiply. One load serves the
+    /// whole hot-loop update for constant-state protocols.
+    fused: Option<Vec<u32>>,
+    /// Id → output role.
+    roles: Vec<Role>,
+    num_nodes: u32,
+}
+
+impl<P: Protocol + Clone> CompiledProtocol<P> {
+    /// Enumerates the reachable state space of `protocol` for executions
+    /// on `num_nodes` nodes and precomputes the transition/output tables.
+    ///
+    /// The enumeration starts from `initial_state(v)` for every node `v`
+    /// and closes under `transition` on all ordered pairs, so it is
+    /// graph-independent apart from the node count (which protocols may
+    /// use for non-uniform inputs, e.g. candidate sets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::StateSpaceTooLarge`] if more than
+    /// `max_states` distinct states are discovered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_states` is `0` or exceeds [`MAX_STATE_IDS`].
+    pub fn compile(protocol: &P, num_nodes: u32, max_states: usize) -> Result<Self, CompileError> {
+        assert!(
+            (1..=MAX_STATE_IDS).contains(&max_states),
+            "max_states must be in 1..={MAX_STATE_IDS}"
+        );
+        let mut states: Vec<P::State> = Vec::new();
+        let mut ids: HashMap<P::State, StateId> = HashMap::new();
+
+        fn intern<S: Clone + Eq + std::hash::Hash>(
+            s: &S,
+            states: &mut Vec<S>,
+            ids: &mut HashMap<S, StateId>,
+            max_states: usize,
+        ) -> Result<StateId, CompileError> {
+            if let Some(&id) = ids.get(s) {
+                return Ok(id);
+            }
+            if states.len() >= max_states {
+                return Err(CompileError::StateSpaceTooLarge { limit: max_states });
+            }
+            let id = states.len() as StateId;
+            states.push(s.clone());
+            ids.insert(s.clone(), id);
+            Ok(id)
+        }
+
+        let mut initial = Vec::with_capacity(num_nodes as usize);
+        for v in 0..num_nodes {
+            let s = protocol.initial_state(v);
+            initial.push(intern(&s, &mut states, &mut ids, max_states)?);
+        }
+
+        // BFS closure: repeatedly expand every ordered pair involving at
+        // least one state discovered since the last round.
+        let mut closed_upto = 0usize;
+        while closed_upto < states.len() {
+            let frontier_end = states.len();
+            for a in 0..frontier_end {
+                for b in 0..frontier_end {
+                    if a < closed_upto && b < closed_upto {
+                        continue;
+                    }
+                    let (na, nb) = protocol.transition(&states[a], &states[b]);
+                    intern(&na, &mut states, &mut ids, max_states)?;
+                    intern(&nb, &mut states, &mut ids, max_states)?;
+                }
+            }
+            closed_upto = frontier_end;
+        }
+
+        // The set is closed: every successor below is already interned.
+        let k = states.len();
+        let roles: Vec<Role> = states.iter().map(|s| protocol.output(s)).collect();
+        let leader = |id: StateId| i8::from(roles[id as usize] == Role::Leader);
+        let mut table = vec![0u32; k * k];
+        let mut leader_delta = vec![0i8; k * k];
+        for a in 0..k {
+            for b in 0..k {
+                let (na, nb) = protocol.transition(&states[a], &states[b]);
+                let (na, nb) = (ids[&na], ids[&nb]);
+                table[a * k + b] = (u32::from(na) << 16) | u32::from(nb);
+                leader_delta[a * k + b] =
+                    leader(na) + leader(nb) - leader(a as StateId) - leader(b as StateId);
+            }
+        }
+
+        let fused = (k <= 256).then(|| {
+            let mut fused = vec![0u32; k << 8];
+            for a in 0..k {
+                for b in 0..k {
+                    let packed = table[a * k + b];
+                    let (na, nb) = (packed >> 16, packed & 0xFFFF);
+                    let delta = (i32::from(leader_delta[a * k + b]) + 2) as u32;
+                    fused[(a << 8) | b] = (delta << 16) | (na << 8) | nb;
+                }
+            }
+            fused
+        });
+
+        Ok(Self {
+            protocol: protocol.clone(),
+            states,
+            ids,
+            initial,
+            table,
+            leader_delta,
+            fused,
+            roles,
+            num_nodes,
+        })
+    }
+
+    /// Compiles with the [`DEFAULT_MAX_COMPILED_STATES`] cap.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledProtocol::compile`].
+    pub fn compile_default(protocol: &P, num_nodes: u32) -> Result<Self, CompileError> {
+        Self::compile(protocol, num_nodes, DEFAULT_MAX_COMPILED_STATES)
+    }
+}
+
+impl<P: Protocol> CompiledProtocol<P> {
+    /// The compiled protocol instance.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Number of enumerated states `|Λ|`.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Node count the compilation was performed for.
+    #[must_use]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// The enumerated states, indexed by id.
+    #[must_use]
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The dense id of `state`, if it was enumerated.
+    #[must_use]
+    pub fn state_id(&self, state: &P::State) -> Option<StateId> {
+        self.ids.get(state).copied()
+    }
+
+    /// Initial-state id of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn initial_id(&self, v: NodeId) -> StateId {
+        self.initial[v as usize]
+    }
+
+    /// Precomputed successor pair of the ordered interaction `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[inline]
+    #[must_use]
+    pub fn successor(&self, a: StateId, b: StateId) -> (StateId, StateId) {
+        let packed = self.table[a as usize * self.states.len() + b as usize];
+        ((packed >> 16) as StateId, packed as StateId)
+    }
+
+    /// Precomputed output role of state id `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn role(&self, s: StateId) -> Role {
+        self.roles[s as usize]
+    }
+
+    /// Size of the transition table in bytes (capacity planning aid).
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Materializes the typed configuration corresponding to `ids`.
+    fn typed_config(&self, ids: &[StateId]) -> Vec<P::State> {
+        ids.iter()
+            .map(|&id| self.states[id as usize].clone())
+            .collect()
+    }
+}
+
+/// Distinct-state census over dense ids (mirrors the generic executor's
+/// `HashSet` census at O(1) per mark).
+#[derive(Debug, Clone)]
+struct DenseCensus {
+    seen: Vec<bool>,
+    count: usize,
+}
+
+impl DenseCensus {
+    fn new(k: usize) -> Self {
+        Self {
+            seen: vec![false; k],
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, id: StateId) {
+        let slot = &mut self.seen[id as usize];
+        if !*slot {
+            *slot = true;
+            self.count += 1;
+        }
+    }
+}
+
+/// Runs one execution of a [`CompiledProtocol`] on a [`Graph`].
+///
+/// Drop-in counterpart of [`crate::Executor`]: identical constructor
+/// signature modulo the compiled table, identical scheduler and seed
+/// semantics, identical oracle behaviour and [`Outcome`]s — only the
+/// per-interaction cost differs. The stability oracle is the protocol's
+/// own [`StabilityOracle`], driven with borrowed typed states from the
+/// compiled id ↔ state mapping, and is skipped entirely for the (vastly
+/// most common, late in a run) no-op interactions — valid because oracle
+/// updates are pure count deltas, so an identity transition is always a
+/// no-op on the oracle too.
+pub struct DenseExecutor<'a, P: Protocol> {
+    graph: &'a Graph,
+    compiled: &'a CompiledProtocol<P>,
+    scheduler: EdgeScheduler<'a>,
+    ids: Vec<StateId>,
+    oracle: P::Oracle,
+    /// When the oracle declared
+    /// [`StabilityOracle::stable_iff_unique_leader`], the engine tracks
+    /// the leader count itself via the compiled per-pair deltas and the
+    /// typed oracle is bypassed entirely (`leaders` is then
+    /// authoritative; the substitution is behaviour-identical).
+    linear: bool,
+    leaders: i64,
+    census: Option<DenseCensus>,
+    /// Pairs pre-drawn from the scheduler in a tight batch (see
+    /// [`DenseExecutor::refill`]); `pairs[cursor..]` are drawn but not
+    /// yet applied. `applied` — not the scheduler's draw count — is the
+    /// execution's step counter.
+    pairs: Box<[(NodeId, NodeId)]>,
+    raw: Box<[usize]>,
+    cursor: usize,
+    applied: u64,
+    decoder: EdgeDecoder,
+}
+
+/// How the dense engine resolves a raw scheduler index `r` (edge index
+/// `r >> 1` into the canonical sorted edge list, orientation `r & 1`)
+/// into an ordered node pair. All variants produce exactly the pairs
+/// [`EdgeScheduler`] would — only the memory traffic differs.
+#[derive(Debug, Clone)]
+enum EdgeDecoder {
+    /// Complete graph: the canonical lexicographic edge index inverts
+    /// arithmetically (triangular numbers). Instead of gathering from
+    /// the `n(n−1)/2`-entry edge array — which falls out of cache and
+    /// dominates the hot loop on large cliques — the row is read from a
+    /// small bucket→row hint table (≤ 256 KiB, cache-resident) and
+    /// corrected with exact integer arithmetic.
+    Clique {
+        /// Node count.
+        n: u64,
+        /// Bucket granularity: edges `e` share bucket `e >> shift`.
+        shift: u32,
+        /// Per bucket: `(row, first edge index of that row)` for the
+        /// first edge of the bucket, so the decode needs no
+        /// multiplications — only an add and a rare row advance.
+        row_hint: Box<[(u32, u32)]>,
+    },
+    /// Edge list re-encoded as `(u << 16) | v` when every node id fits
+    /// 16 bits: half the bytes of the scheduler's `(u32, u32)` list, so
+    /// the gather covers half the cache footprint.
+    Packed(Box<[u32]>),
+    /// Any other graph: the scheduler's own batched gather.
+    Scheduler,
+}
+
+impl EdgeDecoder {
+    fn for_graph(graph: &Graph) -> Self {
+        let n = u64::from(graph.num_nodes());
+        let m = graph.num_edges() as u64;
+        if n >= 2 && m == n * (n - 1) / 2 && m <= u64::from(u32::MAX) {
+            // A simple graph with n(n−1)/2 edges is complete.
+            let bits = 64 - m.leading_zeros();
+            let shift = bits.saturating_sub(16);
+            let buckets = (m >> shift) as usize + 1;
+            let mut row_hint = vec![(0u32, 0u32); buckets];
+            let mut u = 0u64;
+            for (b, hint) in row_hint.iter_mut().enumerate() {
+                let e = (b as u64) << shift;
+                while u + 1 < n - 1 && clique_row_start(n, u + 1) <= e {
+                    u += 1;
+                }
+                *hint = (u as u32, clique_row_start(n, u) as u32);
+            }
+            EdgeDecoder::Clique {
+                n,
+                shift,
+                row_hint: row_hint.into_boxed_slice(),
+            }
+        } else if graph.num_nodes() <= 1 << 16 {
+            EdgeDecoder::Packed(
+                graph
+                    .edges()
+                    .iter()
+                    .map(|&(u, v)| (u << 16) | v)
+                    .collect::<Vec<u32>>()
+                    .into_boxed_slice(),
+            )
+        } else {
+            EdgeDecoder::Scheduler
+        }
+    }
+}
+
+/// Number of canonical lexicographic edges of `K_n` preceding row `u`
+/// (row `u` lists the edges `(u, u+1) … (u, n−1)`).
+#[inline]
+fn clique_row_start(n: u64, u: u64) -> u64 {
+    u * (2 * n - u - 1) / 2
+}
+
+/// Number of scheduler draws per batch. Large enough to expose
+/// memory-level parallelism on the edge array, small enough to stay in
+/// L1 (2 KiB).
+const PAIR_BATCH: usize = 256;
+
+impl<'a, P: Protocol> DenseExecutor<'a, P> {
+    /// Creates an executor with every node in its initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges or its node count differs from
+    /// the one the protocol was compiled for.
+    #[must_use]
+    pub fn new(graph: &'a Graph, compiled: &'a CompiledProtocol<P>, seed: u64) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            compiled.num_nodes(),
+            "graph size does not match the compiled protocol"
+        );
+        let ids = compiled.initial.clone();
+        let mut oracle = compiled.protocol.oracle();
+        let linear = oracle.stable_iff_unique_leader();
+        if !linear {
+            // In linear mode the typed oracle is bypassed entirely
+            // (`leaders` is authoritative), so skip the O(n) typed
+            // materialization.
+            oracle.recompute(&compiled.protocol, &compiled.typed_config(&ids));
+        }
+        let leaders = ids
+            .iter()
+            .filter(|&&id| compiled.roles[id as usize] == Role::Leader)
+            .count() as i64;
+        Self {
+            graph,
+            compiled,
+            scheduler: EdgeScheduler::new(graph, seed),
+            ids,
+            oracle,
+            linear,
+            leaders,
+            census: None,
+            pairs: vec![(0, 0); PAIR_BATCH].into_boxed_slice(),
+            raw: vec![0usize; PAIR_BATCH].into_boxed_slice(),
+            cursor: PAIR_BATCH,
+            applied: 0,
+            decoder: EdgeDecoder::for_graph(graph),
+        }
+    }
+
+    /// Refills the pair buffer with one batch of scheduler draws.
+    ///
+    /// Pair sampling is independent of the configuration (the scheduler
+    /// is an autonomous RNG stream), so the draws can be batched into a
+    /// tight loop that touches only the RNG state and the edge array —
+    /// giving the memory system a window of independent loads to overlap.
+    /// The generic executor cannot do this: its per-step trait calls
+    /// (transition + oracle) interleave with every draw. Batching never
+    /// changes the interaction sequence, only when it is materialized.
+    #[inline(never)]
+    fn refill(&mut self) {
+        match &self.decoder {
+            EdgeDecoder::Clique { n, shift, row_hint } => {
+                // One fused loop: the hint table is cache-resident, so
+                // unlike the general gather there is no memory latency
+                // to batch around — and with the RNG state as the only
+                // loop-carried dependency, the decode arithmetic of one
+                // iteration overlaps the RNG chain of the next.
+                let n = *n as u32;
+                self.scheduler.fill_raw_with(&mut self.pairs, |r, slot| {
+                    let e = (r >> 1) as u32;
+                    let (mut u, mut start) = row_hint[(e as usize) >> shift];
+                    // Almost always zero iterations: a bucket rarely
+                    // crosses a row boundary. Row `u` holds the edges
+                    // `start .. start + (n − 1 − u)`.
+                    while e - start >= n - 1 - u {
+                        start += n - 1 - u;
+                        u += 1;
+                    }
+                    let v = u + 1 + (e - start);
+                    let mask = (r as u32 & 1).wrapping_neg(); // 0 or all-ones
+                    let x = u ^ v;
+                    *slot = (u ^ (x & mask), v ^ (x & mask));
+                });
+            }
+            EdgeDecoder::Packed(packed) => {
+                self.scheduler.fill_raw(&mut self.raw);
+                for (slot, &r) in self.pairs.iter_mut().zip(self.raw.iter()) {
+                    let e = packed[r >> 1];
+                    let (u, v) = (e >> 16, e & 0xFFFF);
+                    let mask = (r as u32 & 1).wrapping_neg(); // 0 or all-ones
+                    let x = u ^ v;
+                    *slot = (u ^ (x & mask), v ^ (x & mask));
+                }
+            }
+            EdgeDecoder::Scheduler => self.scheduler.fill_pairs(&mut self.pairs),
+        }
+        self.cursor = 0;
+    }
+
+    /// Enables the distinct-state census (O(1) per changed state).
+    pub fn enable_state_census(&mut self) {
+        let mut census = DenseCensus::new(self.compiled.num_states());
+        for &id in &self.ids {
+            census.mark(id);
+        }
+        self.census = Some(census);
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The compiled protocol driving this execution.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledProtocol<P> {
+        self.compiled
+    }
+
+    /// Current configuration as dense ids.
+    #[must_use]
+    pub fn state_ids(&self) -> &[StateId] {
+        &self.ids
+    }
+
+    /// Typed state of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn state_of(&self, v: NodeId) -> &P::State {
+        &self.compiled.states[self.ids[v as usize] as usize]
+    }
+
+    /// Steps applied so far.
+    ///
+    /// The scheduler may have *drawn* up to one batch further ahead (the
+    /// undrawn pairs are buffered and will be applied next), so this is
+    /// the model's time step `t`, not the raw RNG draw count.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.applied
+    }
+
+    /// Applies the ordered interaction `(u, v)` to the configuration.
+    #[inline]
+    fn apply_pair(&mut self, u: NodeId, v: NodeId) {
+        let (iu, iv) = (u as usize, v as usize);
+        let a = self.ids[iu];
+        let b = self.ids[iv];
+        let k = self.compiled.states.len();
+        let packed = self.compiled.table[a as usize * k + b as usize];
+        let current = (u32::from(a) << 16) | u32::from(b);
+        if packed != current {
+            let na = (packed >> 16) as StateId;
+            let nb = packed as StateId;
+            if self.linear {
+                self.leaders += i64::from(self.compiled.leader_delta[a as usize * k + b as usize]);
+            } else {
+                let states = &self.compiled.states;
+                self.oracle.apply(
+                    &self.compiled.protocol,
+                    (&states[a as usize], &states[b as usize]),
+                    (&states[na as usize], &states[nb as usize]),
+                );
+            }
+            if let Some(census) = &mut self.census {
+                census.mark(na);
+                census.mark(nb);
+            }
+            self.ids[iu] = na;
+            self.ids[iv] = nb;
+        }
+    }
+
+    /// Applies one interaction and returns the sampled `(initiator,
+    /// responder)` pair.
+    #[inline]
+    pub fn step(&mut self) -> (NodeId, NodeId) {
+        if self.cursor == self.pairs.len() {
+            self.refill();
+        }
+        let (u, v) = self.pairs[self.cursor];
+        self.cursor += 1;
+        self.applied += 1;
+        self.apply_pair(u, v);
+        (u, v)
+    }
+
+    /// Applies up to `budget` already-buffered interactions in one tight
+    /// loop (the engine's hot path: two id reads, one table lookup, two
+    /// id writes per interaction, with oracle/census work only on the
+    /// rare state-changing pairs).
+    ///
+    /// When `stop_on_stable` is set, returns right after the state
+    /// change that makes the oracle stable. The caller guarantees
+    /// `budget ≤` the number of buffered pairs.
+    fn apply_batch(&mut self, budget: usize, stop_on_stable: bool) {
+        let compiled = self.compiled;
+        let k = compiled.states.len();
+        let table = &compiled.table;
+        let states = &compiled.states;
+        let end = self.cursor + budget;
+        let mut i = self.cursor;
+        while i < end {
+            let (u, v) = self.pairs[i];
+            i += 1;
+            let (iu, iv) = (u as usize, v as usize);
+            let a = self.ids[iu];
+            let b = self.ids[iv];
+            let idx = a as usize * k + b as usize;
+            let packed = table[idx];
+            if packed != ((u32::from(a) << 16) | u32::from(b)) {
+                let na = (packed >> 16) as StateId;
+                let nb = packed as StateId;
+                if self.linear {
+                    self.leaders += i64::from(compiled.leader_delta[idx]);
+                } else {
+                    self.oracle.apply(
+                        &compiled.protocol,
+                        (&states[a as usize], &states[b as usize]),
+                        (&states[na as usize], &states[nb as usize]),
+                    );
+                }
+                if let Some(census) = &mut self.census {
+                    census.mark(na);
+                    census.mark(nb);
+                }
+                self.ids[iu] = na;
+                self.ids[iv] = nb;
+                if stop_on_stable && self.stable_now() {
+                    break;
+                }
+            }
+        }
+        self.applied += (i - self.cursor) as u64;
+        self.cursor = i;
+    }
+
+    /// Fused runner for the computed-edge (clique) decoder: RNG draw,
+    /// arithmetic decode and table apply in one loop, with no pair
+    /// buffer in between. The RNG state and the configuration are
+    /// independent dependency chains, so the processor overlaps them;
+    /// this is the engine's fastest path. Requires the pair buffer to
+    /// be drained and applies at most `budget` interactions, returning
+    /// early (right after the causing change) when `stop_on_stable` and
+    /// the oracle reports stability.
+    fn run_fused_clique(&mut self, budget: u64, stop_on_stable: bool) {
+        debug_assert_eq!(self.cursor, self.pairs.len(), "pair buffer must be drained");
+        let EdgeDecoder::Clique { n, shift, row_hint } = &self.decoder else {
+            unreachable!("fused path requires the clique decoder")
+        };
+        let n = *n as u32;
+        let shift = *shift;
+        let compiled = self.compiled;
+        let k = compiled.states.len();
+        let table = &compiled.table;
+        let states = &compiled.states;
+        let mut done = 0u64;
+        if self.linear && self.census.is_none() && compiled.fused.is_some() {
+            // Branchless variant: writing back unchanged ids and adding
+            // a zero leader delta are no-ops, so the data-dependent
+            // "did this pair change state?" branch — mispredicted
+            // constantly mid-election — disappears entirely, and one
+            // load of the fused table serves successors and delta alike.
+            let fused = compiled.fused.as_deref().expect("checked above");
+            while done < budget {
+                let r = self.scheduler.next_raw();
+                done += 1;
+                let e = (r >> 1) as u32;
+                let (mut u, mut start) = row_hint[(e as usize) >> shift];
+                while e - start >= n - 1 - u {
+                    start += n - 1 - u;
+                    u += 1;
+                }
+                let v = u + 1 + (e - start);
+                let mask = (r as u32 & 1).wrapping_neg(); // 0 or all-ones
+                let x = u ^ v;
+                let (iu, iv) = ((u ^ (x & mask)) as usize, (v ^ (x & mask)) as usize);
+                let a = self.ids[iu];
+                let b = self.ids[iv];
+                let entry = fused[((a as usize) << 8) | b as usize];
+                self.ids[iu] = ((entry >> 8) & 0xFF) as StateId;
+                self.ids[iv] = (entry & 0xFF) as StateId;
+                self.leaders += i64::from(entry >> 16) - 2;
+                if stop_on_stable && self.leaders == 1 {
+                    break;
+                }
+            }
+        } else {
+            while done < budget {
+                let r = self.scheduler.next_raw();
+                done += 1;
+                let e = (r >> 1) as u32;
+                let (mut u, mut start) = row_hint[(e as usize) >> shift];
+                while e - start >= n - 1 - u {
+                    start += n - 1 - u;
+                    u += 1;
+                }
+                let v = u + 1 + (e - start);
+                let mask = (r as u32 & 1).wrapping_neg(); // 0 or all-ones
+                let x = u ^ v;
+                let (iu, iv) = ((u ^ (x & mask)) as usize, (v ^ (x & mask)) as usize);
+                let a = self.ids[iu];
+                let b = self.ids[iv];
+                let idx = a as usize * k + b as usize;
+                let packed = table[idx];
+                if packed != ((u32::from(a) << 16) | u32::from(b)) {
+                    let na = (packed >> 16) as StateId;
+                    let nb = packed as StateId;
+                    if self.linear {
+                        self.leaders += i64::from(compiled.leader_delta[idx]);
+                    } else {
+                        self.oracle.apply(
+                            &compiled.protocol,
+                            (&states[a as usize], &states[b as usize]),
+                            (&states[na as usize], &states[nb as usize]),
+                        );
+                    }
+                    if let Some(census) = &mut self.census {
+                        census.mark(na);
+                        census.mark(nb);
+                    }
+                    self.ids[iu] = na;
+                    self.ids[iv] = nb;
+                    if stop_on_stable && self.stable_now() {
+                        break;
+                    }
+                }
+            }
+        }
+        self.applied += done;
+    }
+
+    /// Applies up to `budget` interactions through buffered pairs (for
+    /// already-drawn pairs and the gather decoders) or the fused path.
+    fn run_budget(&mut self, budget: u64, stop_on_stable: bool) {
+        if self.cursor < self.pairs.len() {
+            let avail = (self.pairs.len() - self.cursor) as u64;
+            self.apply_batch(avail.min(budget) as usize, stop_on_stable);
+        } else if matches!(self.decoder, EdgeDecoder::Clique { .. }) {
+            self.run_fused_clique(budget, stop_on_stable);
+        } else {
+            self.refill();
+            let avail = self.pairs.len() as u64;
+            self.apply_batch(avail.min(budget) as usize, stop_on_stable);
+        }
+    }
+
+    /// Runs exactly `k` interactions.
+    pub fn run_steps(&mut self, k: u64) {
+        let mut remaining = k;
+        while remaining > 0 {
+            let before = self.applied;
+            self.run_budget(remaining, false);
+            remaining -= self.applied - before;
+        }
+    }
+
+    /// Runs until the oracle reports a stable, correct configuration or
+    /// the step budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotStabilized`] if `max_steps` interactions pass without
+    /// stabilization.
+    pub fn run_until_stable(&mut self, max_steps: u64) -> Result<Outcome, NotStabilized> {
+        while !self.stable_now() {
+            if self.applied >= max_steps {
+                return Err(NotStabilized { max_steps });
+            }
+            self.run_budget(max_steps - self.applied, true);
+        }
+        Ok(self.outcome())
+    }
+
+    #[inline]
+    fn stable_now(&self) -> bool {
+        if self.linear {
+            self.leaders == 1
+        } else {
+            self.oracle.is_stable()
+        }
+    }
+
+    /// Whether the oracle currently reports stability.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.stable_now()
+    }
+
+    /// Current number of leader-output nodes (O(n) scan of the role
+    /// table).
+    #[must_use]
+    pub fn leader_count(&self) -> usize {
+        self.ids
+            .iter()
+            .filter(|&&id| self.compiled.roles[id as usize] == Role::Leader)
+            .count()
+    }
+
+    /// The unique leader if exactly one node outputs leader.
+    #[must_use]
+    pub fn leader(&self) -> Option<NodeId> {
+        let mut found = None;
+        for (v, &id) in self.ids.iter().enumerate() {
+            if self.compiled.roles[id as usize] == Role::Leader {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(v as NodeId);
+            }
+        }
+        found
+    }
+
+    /// Snapshot of the current outcome (regardless of stability).
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        Outcome {
+            stabilization_step: self.steps(),
+            leader_count: self.leader_count(),
+            leader: self.leader(),
+            distinct_states: self.census.as_ref().map(|c| c.count),
+        }
+    }
+
+    /// Resets to the initial configuration with a new seed.
+    pub fn reset(&mut self, seed: u64) {
+        self.ids.copy_from_slice(&self.compiled.initial);
+        self.scheduler.reset(seed);
+        self.cursor = self.pairs.len();
+        self.applied = 0;
+        self.leaders = self
+            .ids
+            .iter()
+            .filter(|&&id| self.compiled.roles[id as usize] == Role::Leader)
+            .count() as i64;
+        if !self.linear {
+            self.oracle.recompute(
+                &self.compiled.protocol,
+                &self.compiled.typed_config(&self.ids),
+            );
+        }
+        if self.census.is_some() {
+            self.census = None;
+            self.enable_state_census();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::protocol::LeaderCountOracle;
+    use popele_graph::families;
+
+    /// Initiator absorbs the responder's leadership (stabilizes on
+    /// cliques).
+    #[derive(Clone, Copy)]
+    struct Absorb;
+
+    impl Protocol for Absorb {
+        type State = bool;
+        type Oracle = LeaderCountOracle;
+
+        fn initial_state(&self, _node: NodeId) -> bool {
+            true
+        }
+
+        fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+            if *a && *b {
+                (true, false)
+            } else {
+                (*a, *b)
+            }
+        }
+
+        fn output(&self, s: &bool) -> Role {
+            if *s {
+                Role::Leader
+            } else {
+                Role::Follower
+            }
+        }
+
+        fn oracle(&self) -> LeaderCountOracle {
+            LeaderCountOracle::new()
+        }
+    }
+
+    /// A protocol with an unbounded (counter) state space: compilation
+    /// must bail out at the cap.
+    #[derive(Debug, Clone, Copy)]
+    struct Counter;
+
+    impl Protocol for Counter {
+        type State = u64;
+        type Oracle = LeaderCountOracle;
+
+        fn initial_state(&self, _node: NodeId) -> u64 {
+            0
+        }
+
+        fn transition(&self, a: &u64, b: &u64) -> (u64, u64) {
+            (a + 1, *b)
+        }
+
+        fn output(&self, _s: &u64) -> Role {
+            Role::Follower
+        }
+
+        fn oracle(&self) -> LeaderCountOracle {
+            LeaderCountOracle::new()
+        }
+    }
+
+    #[test]
+    fn compile_enumerates_absorb() {
+        let c = CompiledProtocol::compile(&Absorb, 8, 16).unwrap();
+        assert_eq!(c.num_states(), 2);
+        assert_eq!(c.num_nodes(), 8);
+        let t = c.state_id(&true).unwrap();
+        let f = c.state_id(&false).unwrap();
+        assert_eq!(c.successor(t, t), (t, f));
+        assert_eq!(c.successor(t, f), (t, f));
+        assert_eq!(c.role(t), Role::Leader);
+        assert_eq!(c.role(f), Role::Follower);
+        assert_eq!(c.initial_id(3), t);
+        assert_eq!(c.table_bytes(), 16);
+    }
+
+    #[test]
+    fn compile_caps_unbounded_spaces() {
+        assert_eq!(
+            CompiledProtocol::compile(&Counter, 4, 32).unwrap_err(),
+            CompileError::StateSpaceTooLarge { limit: 32 }
+        );
+        let msg = format!("{}", CompileError::StateSpaceTooLarge { limit: 32 });
+        assert!(msg.contains("32"));
+    }
+
+    #[test]
+    fn dense_matches_generic_trace() {
+        let g = families::clique(16);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 16).unwrap();
+        let mut generic = Executor::new(&g, &Absorb, 99);
+        let mut dense = DenseExecutor::new(&g, &compiled, 99);
+        for _ in 0..2000 {
+            assert_eq!(generic.step(), dense.step());
+            for v in 0..16u32 {
+                assert_eq!(generic.states()[v as usize], *dense.state_of(v));
+            }
+            assert_eq!(generic.is_stable(), dense.is_stable());
+        }
+    }
+
+    #[test]
+    fn dense_outcome_equals_generic() {
+        for g in [families::clique(12), families::clique(30)] {
+            let n = g.num_nodes();
+            let compiled = CompiledProtocol::compile_default(&Absorb, n).unwrap();
+            for seed in [1u64, 7, 42] {
+                let a = Executor::new(&g, &Absorb, seed)
+                    .run_until_stable(1 << 24)
+                    .unwrap();
+                let b = DenseExecutor::new(&g, &compiled, seed)
+                    .run_until_stable(1 << 24)
+                    .unwrap();
+                assert_eq!(a, b, "seed {seed} on {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn clique_decoder_exact_for_many_sizes() {
+        // The arithmetic clique decode must reproduce the scheduler's
+        // edge-array pairs exactly for every size (row-boundary and
+        // final-edge cases included).
+        for n in [2u32, 3, 4, 5, 8, 13, 37, 100, 257] {
+            let g = families::clique(n);
+            let compiled = CompiledProtocol::compile_default(&Absorb, n).unwrap();
+            let mut generic = Executor::new(&g, &Absorb, u64::from(n));
+            let mut dense = DenseExecutor::new(&g, &compiled, u64::from(n));
+            for _ in 0..1200 {
+                assert_eq!(generic.step(), dense.step(), "clique({n})");
+            }
+        }
+    }
+
+    #[test]
+    fn census_matches_generic() {
+        let g = families::clique(8);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 8).unwrap();
+        let mut generic = Executor::new(&g, &Absorb, 5);
+        generic.enable_state_census();
+        let mut dense = DenseExecutor::new(&g, &compiled, 5);
+        dense.enable_state_census();
+        let a = generic.run_until_stable(1 << 20).unwrap();
+        let b = dense.run_until_stable(1 << 20).unwrap();
+        assert_eq!(a.distinct_states, Some(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_restores_initial_configuration() {
+        let g = families::clique(8);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 8).unwrap();
+        let mut exec = DenseExecutor::new(&g, &compiled, 1);
+        exec.enable_state_census();
+        exec.run_until_stable(1 << 20).unwrap();
+        assert_eq!(exec.leader_count(), 1);
+        exec.reset(2);
+        assert_eq!(exec.steps(), 0);
+        assert_eq!(exec.leader_count(), 8);
+        assert_eq!(exec.outcome().distinct_states, Some(1));
+        let out = exec.run_until_stable(1 << 20).unwrap();
+        assert_eq!(out.leader_count, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let g = families::clique(20);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 20).unwrap();
+        let mut exec = DenseExecutor::new(&g, &compiled, 5);
+        let err = exec.run_until_stable(1).unwrap_err();
+        assert_eq!(err, NotStabilized { max_steps: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn graph_size_mismatch_rejected() {
+        let g = families::clique(4);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 5).unwrap();
+        let _ = DenseExecutor::new(&g, &compiled, 0);
+    }
+}

@@ -32,7 +32,11 @@ pub struct NotStabilized {
 
 impl fmt::Display for NotStabilized {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "execution did not stabilize within {} steps", self.max_steps)
+        write!(
+            f,
+            "execution did not stabilize within {} steps",
+            self.max_steps
+        )
     }
 }
 
@@ -46,7 +50,7 @@ impl std::error::Error for NotStabilized {}
 pub struct Executor<'a, P: Protocol> {
     graph: &'a Graph,
     protocol: &'a P,
-    scheduler: EdgeScheduler,
+    scheduler: EdgeScheduler<'a>,
     states: Vec<P::State>,
     oracle: P::Oracle,
     census: Option<HashSet<P::State>>,
@@ -60,10 +64,7 @@ impl<'a, P: Protocol> Executor<'a, P> {
     /// Panics if the graph has no edges.
     #[must_use]
     pub fn new(graph: &'a Graph, protocol: &'a P, seed: u64) -> Self {
-        let states: Vec<P::State> = graph
-            .nodes()
-            .map(|v| protocol.initial_state(v))
-            .collect();
+        let states: Vec<P::State> = graph.nodes().map(|v| protocol.initial_state(v)).collect();
         let mut oracle = protocol.oracle();
         oracle.recompute(protocol, &states);
         Self {
@@ -109,9 +110,7 @@ impl<'a, P: Protocol> Executor<'a, P> {
     pub fn step(&mut self) -> (NodeId, NodeId) {
         let (u, v) = self.scheduler.next_pair();
         let (iu, iv) = (u as usize, v as usize);
-        let (new_u, new_v) = self
-            .protocol
-            .transition(&self.states[iu], &self.states[iv]);
+        let (new_u, new_v) = self.protocol.transition(&self.states[iu], &self.states[iv]);
         self.oracle.apply(
             self.protocol,
             (&self.states[iu], &self.states[iv]),
@@ -291,8 +290,12 @@ mod tests {
     #[test]
     fn deterministic_outcome_per_seed() {
         let g = families::clique(16);
-        let out1 = Executor::new(&g, &Absorb, 77).run_until_stable(1 << 24).unwrap();
-        let out2 = Executor::new(&g, &Absorb, 77).run_until_stable(1 << 24).unwrap();
+        let out1 = Executor::new(&g, &Absorb, 77)
+            .run_until_stable(1 << 24)
+            .unwrap();
+        let out2 = Executor::new(&g, &Absorb, 77)
+            .run_until_stable(1 << 24)
+            .unwrap();
         assert_eq!(out1, out2);
     }
 
@@ -325,7 +328,7 @@ mod tests {
         assert_eq!(exec.leader(), None); // four leaders initially
         exec.run_until_stable(1 << 20).unwrap();
         let leader = exec.leader().unwrap();
-        assert_eq!(exec.states()[leader as usize], true);
+        assert!(exec.states()[leader as usize]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the incremental [`crate::StabilityOracle`]s on tiny instances (`n ≤ 6`,
 //! small state spaces).
 
+use crate::compiled::{CompiledProtocol, StateId};
 use crate::protocol::{Protocol, Role};
 use popele_graph::Graph;
 use std::collections::{HashSet, VecDeque};
@@ -134,6 +135,126 @@ pub fn validate_oracle_on_execution<P: Protocol>(
                 !oracle,
                 "oracle says stable but configuration is not at step {step}: {:?}",
                 exec.states()
+            ),
+        }
+        if oracle {
+            return step;
+        }
+        exec.step();
+    }
+    max_steps
+}
+
+/// Dense-id fast path of [`check_stability`]: identical search, but
+/// configurations are `Vec<StateId>` (hashed as flat `u16`s) and
+/// successors come from the precomputed table instead of re-evaluating
+/// `transition` — typically an order of magnitude more configurations
+/// per second, which widens the instance sizes the oracle-validation
+/// machinery can afford.
+///
+/// # Panics
+///
+/// Panics if `config.len() != graph.num_nodes()` or an id is out of
+/// range for the compiled table.
+#[must_use]
+pub fn check_stability_compiled<P: Protocol>(
+    compiled: &CompiledProtocol<P>,
+    graph: &Graph,
+    config: &[StateId],
+    limit: usize,
+) -> Verdict {
+    assert_eq!(
+        config.len(),
+        graph.num_nodes() as usize,
+        "configuration size must match graph"
+    );
+    let base_outputs: Vec<Role> = config.iter().map(|&s| compiled.role(s)).collect();
+
+    let mut seen: HashSet<Vec<StateId>> = HashSet::new();
+    let mut queue: VecDeque<Vec<StateId>> = VecDeque::new();
+    seen.insert(config.to_vec());
+    queue.push_back(config.to_vec());
+
+    while let Some(current) = queue.pop_front() {
+        for (&s, &expected) in current.iter().zip(&base_outputs) {
+            if compiled.role(s) != expected {
+                return Verdict::Unstable;
+            }
+        }
+        for &(u, v) in graph.edges() {
+            for (a, b) in [(u, v), (v, u)] {
+                let (ia, ib) = (a as usize, b as usize);
+                let (na, nb) = compiled.successor(current[ia], current[ib]);
+                if na == current[ia] && nb == current[ib] {
+                    continue;
+                }
+                let mut next = current.clone();
+                next[ia] = na;
+                next[ib] = nb;
+                if seen.insert(next.clone()) {
+                    if seen.len() > limit {
+                        return Verdict::Inconclusive;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    Verdict::Stable
+}
+
+/// Dense-id fast path of [`check_stable_and_correct`].
+#[must_use]
+pub fn check_stable_and_correct_compiled<P: Protocol>(
+    compiled: &CompiledProtocol<P>,
+    graph: &Graph,
+    config: &[StateId],
+    limit: usize,
+) -> Verdict {
+    let leaders = config
+        .iter()
+        .filter(|&&s| compiled.role(s) == Role::Leader)
+        .count();
+    if leaders != 1 {
+        return Verdict::Unstable;
+    }
+    check_stability_compiled(compiled, graph, config, limit)
+}
+
+/// Dense-id fast path of [`validate_oracle_on_execution`]: drives a
+/// [`crate::DenseExecutor`] and validates the protocol's oracle against
+/// the compiled reachability search at every step. Returns the number of
+/// steps checked.
+///
+/// # Panics
+///
+/// Panics (with a descriptive message) on the first disagreement, or if
+/// the exhaustive search is inconclusive.
+pub fn validate_oracle_on_execution_compiled<P: Protocol>(
+    compiled: &CompiledProtocol<P>,
+    graph: &Graph,
+    seed: u64,
+    max_steps: u64,
+    limit: usize,
+) -> u64 {
+    use crate::compiled::DenseExecutor;
+
+    let mut exec = DenseExecutor::new(graph, compiled, seed);
+    for step in 0..=max_steps {
+        let exhaustive =
+            check_stable_and_correct_compiled(compiled, graph, exec.state_ids(), limit);
+        let oracle = exec.is_stable();
+        match exhaustive {
+            Verdict::Inconclusive => panic!("exhaustive search inconclusive at step {step}"),
+            Verdict::Stable => assert!(
+                oracle,
+                "oracle says unstable but configuration is stable at step {step}: {:?}",
+                exec.state_ids()
+            ),
+            Verdict::Unstable => assert!(
+                !oracle,
+                "oracle says stable but configuration is not at step {step}: {:?}",
+                exec.state_ids()
             ),
         }
         if oracle {
@@ -276,6 +397,51 @@ mod tests {
         let config = vec![true; 5];
         assert_eq!(
             check_stability(&Absorb, &g, &config, 2),
+            Verdict::Inconclusive
+        );
+    }
+
+    #[test]
+    fn compiled_search_agrees_with_typed_search() {
+        let g = families::clique(3);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 3).unwrap();
+        let t = compiled.state_id(&true).unwrap();
+        let f = compiled.state_id(&false).unwrap();
+        for (typed, dense) in [
+            (vec![true, true, true], vec![t, t, t]),
+            (vec![true, false, false], vec![t, f, f]),
+            (vec![false, false, false], vec![f, f, f]),
+        ] {
+            assert_eq!(
+                check_stable_and_correct(&Absorb, &g, &typed, DEFAULT_CONFIG_LIMIT),
+                check_stable_and_correct_compiled(&compiled, &g, &dense, DEFAULT_CONFIG_LIMIT),
+                "configs {typed:?}"
+            );
+            assert_eq!(
+                check_stability(&Absorb, &g, &typed, DEFAULT_CONFIG_LIMIT),
+                check_stability_compiled(&compiled, &g, &dense, DEFAULT_CONFIG_LIMIT),
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_validator_matches_typed_validator() {
+        let g = families::cycle(4);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 4).unwrap();
+        let typed = validate_oracle_on_execution(&Absorb, &g, 11, 500, DEFAULT_CONFIG_LIMIT);
+        let dense =
+            validate_oracle_on_execution_compiled(&compiled, &g, 11, 500, DEFAULT_CONFIG_LIMIT);
+        assert_eq!(typed, dense, "both engines must stabilize at the same step");
+        assert!(dense < 500);
+    }
+
+    #[test]
+    fn compiled_limit_yields_inconclusive() {
+        let g = families::clique(5);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 5).unwrap();
+        let t = compiled.state_id(&true).unwrap();
+        assert_eq!(
+            check_stability_compiled(&compiled, &g, &[t; 5], 2),
             Verdict::Inconclusive
         );
     }

@@ -14,11 +14,34 @@
 //! * [`Executor`] — applies a protocol under a scheduler and reports the
 //!   stabilization step, the elected leader, and (optionally) a census of
 //!   distinct states for space-complexity measurements;
+//! * [`CompiledProtocol`] / [`DenseExecutor`] — the compiled dense-state
+//!   core: the reachable state space is enumerated once into `u16` ids
+//!   and the full `|Λ|²` transition table precomputed, so the hot loop is
+//!   two array reads, one table lookup and two array writes;
 //! * [`exhaustive`] — a brute-force reachability checker implementing the
 //!   *definition* of stability (every reachable configuration has the same
-//!   output) on tiny instances, used to validate the incremental oracles;
+//!   output) on tiny instances, used to validate the incremental oracles
+//!   (with a dense-id fast path for compiled protocols);
 //! * [`monte_carlo`] — a multi-threaded harness running many independent
-//!   seeded trials.
+//!   seeded trials, with [`monte_carlo::run_trials_auto`] picking the
+//!   compiled engine whenever the protocol's state space fits.
+//!
+//! # Two engines, one contract
+//!
+//! [`Executor`] is the *reference* implementation: it evaluates
+//! [`Protocol::transition`] on typed states every step and works for any
+//! protocol, including ones whose state space cannot be enumerated.
+//! [`DenseExecutor`] is the *compiled* implementation used for
+//! paper-scale runs (`n` up to 10⁶, billions of steps): it requires a
+//! successful [`CompiledProtocol::compile`] — which fails once the BFS
+//! closure over the reachable states exceeds the `u16` id space or the
+//! requested cap (see [`compiled`] for when that happens) — and is
+//! guaranteed to produce bit-identical traces and [`Outcome`]s to the
+//! generic engine for the same protocol, graph and seed. That guarantee
+//! is enforced by differential tests; if you add a protocol whose oracle
+//! `apply` is not a pure function of the `(old, new)` state pairs, the
+//! compiled engine's no-op skipping would break it, and the differential
+//! test is what will catch it.
 //!
 //! # Examples
 //!
@@ -58,9 +81,13 @@ mod executor;
 mod protocol;
 mod scheduler;
 
+pub mod compiled;
 pub mod exhaustive;
 pub mod monte_carlo;
 
+pub use compiled::{
+    CompileError, CompiledProtocol, DenseExecutor, StateId, DEFAULT_MAX_COMPILED_STATES,
+};
 pub use executor::{Executor, NotStabilized, Outcome};
 pub use protocol::{LeaderCountOracle, Protocol, Role, StabilityOracle};
 pub use scheduler::EdgeScheduler;

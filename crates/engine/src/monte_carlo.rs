@@ -4,13 +4,25 @@
 //! deterministically derived seed, and aggregates stabilization times.
 //! Trial `i` of a given master seed always produces the same result
 //! regardless of thread count, so experiment outputs are reproducible.
+//!
+//! Three entry points share that contract:
+//!
+//! * [`run_trials`] — the generic reference engine ([`Executor`]);
+//! * [`run_trials_dense`] — the compiled engine
+//!   ([`crate::DenseExecutor`]) over a shared [`CompiledProtocol`] table;
+//! * [`run_trials_auto`] — compiles the protocol once and picks the dense
+//!   engine when the state space fits, the generic engine otherwise.
+//!   Because the two engines are trace-identical per seed, the choice
+//!   never changes the results, only the wall-clock time.
 
+use crate::compiled::{CompiledProtocol, DenseExecutor, DEFAULT_MAX_COMPILED_STATES};
 use crate::executor::Executor;
 use crate::protocol::Protocol;
 use popele_graph::{Graph, NodeId};
 use popele_math::rng::SeedSeq;
 use popele_math::stats::Summary;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Result of one Monte-Carlo trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,12 +73,7 @@ pub fn run_trials<P: Protocol>(
     options: TrialOptions,
 ) -> Vec<TrialResult> {
     let seq = SeedSeq::new(master_seed);
-    let threads = if options.threads == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
-    } else {
-        options.threads
-    };
-    let threads = threads.min(options.trials.max(1));
+    let threads = resolve_threads(options.threads, options.trials);
 
     let run_one = |trial: usize| -> TrialResult {
         let mut exec = Executor::new(graph, protocol, seq.child(trial as u64));
@@ -89,36 +96,127 @@ pub fn run_trials<P: Protocol>(
         }
     };
 
-    if threads <= 1 {
-        return (0..options.trials).map(run_one).collect();
+    fan_out(options.trials, threads, || (), |_, trial| run_one(trial))
+}
+
+/// Runs `options.trials` independent executions on the compiled engine,
+/// sharing one precomputed transition table across all worker threads.
+///
+/// Seed derivation matches [`run_trials`] exactly, and the compiled
+/// engine is trace-identical to the generic one, so for a compilable
+/// protocol the two functions return identical results. Each worker
+/// thread builds **one** executor and [`DenseExecutor::reset`]s it per
+/// trial (a reset is exactly equivalent to fresh construction), so
+/// per-trial setup is O(n) regardless of graph size.
+#[must_use]
+pub fn run_trials_dense<P: Protocol>(
+    graph: &Graph,
+    compiled: &CompiledProtocol<P>,
+    master_seed: u64,
+    options: TrialOptions,
+) -> Vec<TrialResult> {
+    let seq = SeedSeq::new(master_seed);
+    let threads = resolve_threads(options.threads, options.trials);
+
+    let run_one = |exec: &mut DenseExecutor<'_, P>, trial: usize| -> TrialResult {
+        exec.reset(seq.child(trial as u64));
+        match exec.run_until_stable(options.max_steps) {
+            Ok(outcome) => TrialResult {
+                trial,
+                stabilization_step: Some(outcome.stabilization_step),
+                leader: outcome.leader,
+                distinct_states: outcome.distinct_states,
+            },
+            Err(_) => TrialResult {
+                trial,
+                stabilization_step: None,
+                leader: None,
+                distinct_states: exec.outcome().distinct_states,
+            },
+        }
+    };
+    let fresh_executor = || {
+        let mut exec = DenseExecutor::new(graph, compiled, 0);
+        if options.census {
+            exec.enable_state_census();
+        }
+        exec
+    };
+
+    fan_out(options.trials, threads, fresh_executor, run_one)
+}
+
+/// Runs trials on the compiled engine when `protocol` compiles within the
+/// default state cap, falling back to the generic engine otherwise.
+///
+/// This is the engine-selection point the experiment harness uses: the
+/// constant-state protocols (token, star, majority) and small-parameter
+/// fast-protocol instances take the compiled path; protocols with large
+/// state spaces (e.g. the identifier protocol at realistic `k`) fall
+/// back. Either way the results are identical — only the speed differs.
+#[must_use]
+pub fn run_trials_auto<P: Protocol + Clone>(
+    graph: &Graph,
+    protocol: &P,
+    master_seed: u64,
+    options: TrialOptions,
+) -> Vec<TrialResult> {
+    match CompiledProtocol::compile(protocol, graph.num_nodes(), DEFAULT_MAX_COMPILED_STATES) {
+        Ok(compiled) => run_trials_dense(graph, &compiled, master_seed, options),
+        Err(_) => run_trials(graph, protocol, master_seed, options),
     }
+}
 
+fn resolve_threads(requested: usize, trials: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    };
+    threads.min(trials.max(1))
+}
+
+/// Work-stealing fan-out over `count` indexed jobs on `threads` workers
+/// (callers guarantee `threads >= 1`); results are returned in job
+/// order, so the output is independent of the thread count. Each worker
+/// owns one `init()`-produced state, so callers can reuse expensive
+/// per-worker resources (e.g. an executor reset per trial) — pass
+/// `|| ()` when no state is needed.
+pub(crate) fn fan_out<S, T, I, F>(count: usize, threads: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        let mut state = init();
+        return (0..count).map(|idx| job(&mut state, idx)).collect();
+    }
     let next = AtomicUsize::new(0);
-    let results = parking_lot::Mutex::new(vec![
-        TrialResult {
-            trial: 0,
-            stabilization_step: None,
-            leader: None,
-            distinct_states: None,
-        };
-        options.trials
-    ]);
-
-    crossbeam::scope(|scope| {
+    let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let trial = next.fetch_add(1, Ordering::Relaxed);
-                if trial >= options.trials {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= count {
+                        break;
+                    }
+                    let result = job(&mut state, idx);
+                    *results[idx].lock().expect("result slot poisoned") = Some(result);
                 }
-                let result = run_one(trial);
-                results.lock()[trial] = result;
             });
         }
-    })
-    .expect("worker thread panicked");
-
-    results.into_inner()
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job completed")
+        })
+        .collect()
 }
 
 /// Aggregate view over a batch of trials.
@@ -230,6 +328,40 @@ mod tests {
         let seq = run_trials(&g, &Absorb, 7, opts(1));
         let par = run_trials(&g, &Absorb, 7, opts(4));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn dense_trials_match_generic_trials() {
+        let g = families::clique(14);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 14).unwrap();
+        let opts = TrialOptions {
+            trials: 6,
+            max_steps: 1 << 22,
+            census: true,
+            threads: 1,
+        };
+        let generic = run_trials(&g, &Absorb, 99, opts);
+        let dense = run_trials_dense(&g, &compiled, 99, opts);
+        let auto = run_trials_auto(&g, &Absorb, 99, opts);
+        assert_eq!(generic, dense);
+        assert_eq!(generic, auto);
+    }
+
+    #[test]
+    fn dense_trials_bit_identical_across_thread_counts() {
+        let g = families::clique(10);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 10).unwrap();
+        let opts = |threads| TrialOptions {
+            trials: 8,
+            max_steps: 1 << 22,
+            census: false,
+            threads,
+        };
+        let one = run_trials_dense(&g, &compiled, 7, opts(1));
+        let four = run_trials_dense(&g, &compiled, 7, opts(4));
+        let eight = run_trials_dense(&g, &compiled, 7, opts(8));
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
     }
 
     #[test]

@@ -71,15 +71,24 @@ pub trait StabilityOracle<P: Protocol + ?Sized> {
     fn recompute(&mut self, protocol: &P, config: &[P::State]);
 
     /// Updates the counters after one interaction changed two nodes.
-    fn apply(
-        &mut self,
-        protocol: &P,
-        old: (&P::State, &P::State),
-        new: (&P::State, &P::State),
-    );
+    fn apply(&mut self, protocol: &P, old: (&P::State, &P::State), new: (&P::State, &P::State));
 
     /// Whether the watched configuration is stable with a unique leader.
     fn is_stable(&self) -> bool;
+
+    /// Whether this oracle's verdict is *exactly* "exactly one node
+    /// outputs [`Role::Leader`]" — true for [`LeaderCountOracle`] and
+    /// false (the default) for oracles tracking anything more.
+    ///
+    /// The compiled engine uses this to replace the typed
+    /// [`StabilityOracle::apply`] calls in its hot loop with a
+    /// precomputed per-table-entry leader-count delta; the substitution
+    /// is behaviour-identical by the definition above. Only override
+    /// this to return true if `recompute`/`apply`/`is_stable` are
+    /// observationally equivalent to counting leader outputs.
+    fn stable_iff_unique_leader(&self) -> bool {
+        false
+    }
 }
 
 /// Oracle for protocols in which **every reachable configuration with
@@ -119,12 +128,7 @@ impl<P: Protocol> StabilityOracle<P> for LeaderCountOracle {
             .count();
     }
 
-    fn apply(
-        &mut self,
-        protocol: &P,
-        old: (&P::State, &P::State),
-        new: (&P::State, &P::State),
-    ) {
+    fn apply(&mut self, protocol: &P, old: (&P::State, &P::State), new: (&P::State, &P::State)) {
         for s in [old.0, old.1] {
             if protocol.output(s) == Role::Leader {
                 self.leaders -= 1;
@@ -139,6 +143,10 @@ impl<P: Protocol> StabilityOracle<P> for LeaderCountOracle {
 
     fn is_stable(&self) -> bool {
         self.leaders == 1
+    }
+
+    fn stable_iff_unique_leader(&self) -> bool {
+        true
     }
 }
 
@@ -185,9 +193,13 @@ mod tests {
         let mut o = LeaderCountOracle::new();
         o.recompute(&Absorb, &[true, false, true]);
         assert_eq!(o.leader_count(), 2);
-        assert!(!<LeaderCountOracle as StabilityOracle<Absorb>>::is_stable(&o));
+        assert!(!<LeaderCountOracle as StabilityOracle<Absorb>>::is_stable(
+            &o
+        ));
         o.recompute(&Absorb, &[false, true, false]);
-        assert!(<LeaderCountOracle as StabilityOracle<Absorb>>::is_stable(&o));
+        assert!(<LeaderCountOracle as StabilityOracle<Absorb>>::is_stable(
+            &o
+        ));
     }
 
     #[test]
@@ -198,7 +210,9 @@ mod tests {
         // Simulate the absorb transition (true, true) -> (true, false).
         o.apply(&Absorb, (&true, &true), (&true, &false));
         assert_eq!(o.leader_count(), 1);
-        assert!(<LeaderCountOracle as StabilityOracle<Absorb>>::is_stable(&o));
+        assert!(<LeaderCountOracle as StabilityOracle<Absorb>>::is_stable(
+            &o
+        ));
         // A no-op interaction keeps the count.
         o.apply(&Absorb, (&true, &false), (&true, &false));
         assert_eq!(o.leader_count(), 1);

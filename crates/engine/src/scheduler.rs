@@ -2,7 +2,7 @@
 
 use popele_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Samples, per step, an ordered pair `(u, v)` of adjacent nodes uniformly
 /// at random among all `2m` ordered pairs (Section 2.2 of the paper).
@@ -21,41 +21,112 @@ use rand::{RngExt, SeedableRng};
 /// assert!(g.has_edge(u, v));
 /// ```
 #[derive(Debug, Clone)]
-pub struct EdgeScheduler {
-    edges: Vec<(NodeId, NodeId)>,
+pub struct EdgeScheduler<'g> {
+    /// Borrowed canonical edge list of the graph — schedulers are
+    /// created per execution (Monte-Carlo runs create thousands), so
+    /// copying a multi-megabyte edge list here would dominate setup.
+    edges: &'g [(NodeId, NodeId)],
     rng: SmallRng,
     steps: u64,
 }
 
-impl EdgeScheduler {
+impl<'g> EdgeScheduler<'g> {
     /// Creates a scheduler for `graph` seeded with `seed`.
     ///
     /// # Panics
     ///
     /// Panics if the graph has no edges (no interaction is possible).
     #[must_use]
-    pub fn new(graph: &Graph, seed: u64) -> Self {
+    pub fn new(graph: &'g Graph, seed: u64) -> Self {
         assert!(
             graph.num_edges() > 0,
             "scheduler requires a graph with at least one edge"
         );
         Self {
-            edges: graph.edges().to_vec(),
+            edges: graph.edges(),
             rng: SmallRng::seed_from_u64(seed),
             steps: 0,
         }
     }
 
     /// Samples the next ordered pair `(initiator, responder)`.
+    #[inline]
     pub fn next_pair(&mut self) -> (NodeId, NodeId) {
-        self.steps += 1;
         // One draw covers both the edge index and the orientation bit.
-        let r = self.rng.random_range(0..2 * self.edges.len());
+        let r = self.next_raw();
         let (u, v) = self.edges[r >> 1];
         if r & 1 == 0 {
             (u, v)
         } else {
             (v, u)
+        }
+    }
+
+    /// Draws `out.len()` consecutive pairs into `out` — exactly
+    /// equivalent to calling [`Self::next_pair`] once per slot, but
+    /// phrased as two phases per chunk (draw raw indices, then gather
+    /// the edges) so the edge-array loads are independent and the memory
+    /// system can overlap them. On large graphs whose edge list falls
+    /// out of cache this is several times faster than the one-at-a-time
+    /// path; the compiled [`crate::DenseExecutor`] draws its batches
+    /// through it.
+    pub fn fill_pairs(&mut self, out: &mut [(NodeId, NodeId)]) {
+        const CHUNK: usize = 64;
+        let mut raw = [0usize; CHUNK];
+        for chunk in out.chunks_mut(CHUNK) {
+            let raw = &mut raw[..chunk.len()];
+            self.fill_raw(raw);
+            // Independent gathers from the edge array. The orientation
+            // select is branchless (a 50/50 data-dependent branch would
+            // mispredict constantly and stall speculation, which is
+            // exactly the memory parallelism this batch exists to
+            // expose).
+            for (slot, &r) in chunk.iter_mut().zip(raw.iter()) {
+                let (u, v) = self.edges[r >> 1];
+                let mask = (r as u32 & 1).wrapping_neg(); // 0 or all-ones
+                let x = u ^ v;
+                *slot = (u ^ (x & mask), v ^ (x & mask));
+            }
+        }
+    }
+
+    /// Draws `out.len()` consecutive *raw* scheduler indices — each in
+    /// `0..2m`, encoding edge index (`r >> 1`) and orientation (`r & 1`)
+    /// — consuming the RNG stream exactly as [`Self::next_pair`] /
+    /// [`Self::fill_pairs`] would. Callers that own a differently-encoded
+    /// copy of the edge list (e.g. the compiled engine's packed edges)
+    /// use this to draw the identical interaction sequence while doing
+    /// their own gather.
+    #[inline]
+    pub fn fill_raw(&mut self, out: &mut [usize]) {
+        self.steps += out.len() as u64;
+        let n2 = 2 * self.edges.len();
+        for r in out.iter_mut() {
+            *r = self.rng.random_range(0..n2);
+        }
+    }
+
+    /// Draws one raw scheduler index — in `0..2m`, edge `r >> 1`,
+    /// orientation `r & 1` — consuming the RNG stream exactly as
+    /// [`Self::next_pair`] would, but leaving the edge resolution to the
+    /// caller.
+    #[inline]
+    pub fn next_raw(&mut self) -> usize {
+        self.steps += 1;
+        self.rng.random_range(0..2 * self.edges.len())
+    }
+
+    /// Draws one raw index per slot of `out` (same stream as
+    /// [`Self::fill_raw`]) and hands each to `decode` immediately —
+    /// fusing a cheap, cache-resident decode into the draw loop so it
+    /// overlaps the RNG dependency chain instead of costing a second
+    /// pass.
+    #[inline]
+    pub fn fill_raw_with<T>(&mut self, out: &mut [T], mut decode: impl FnMut(usize, &mut T)) {
+        self.steps += out.len() as u64;
+        let n2 = 2 * self.edges.len();
+        for slot in out.iter_mut() {
+            decode(self.rng.random_range(0..n2), slot);
         }
     }
 

@@ -13,15 +13,15 @@ fn interaction_rate_proportional_to_degree() {
     let g = families::star(21); // centre degree 20, m = 20
     let mut sched = EdgeScheduler::new(&g, 5);
     let steps = 100_000u32;
-    let mut hits = vec![0u32; 21];
+    let mut hits = [0u32; 21];
     for _ in 0..steps {
         let (u, v) = sched.next_pair();
         hits[u as usize] += 1;
         hits[v as usize] += 1;
     }
     assert_eq!(hits[0], steps, "the centre participates in every step");
-    for leaf in 1..21 {
-        let rate = f64::from(hits[leaf]) / f64::from(steps);
+    for (leaf, &h) in hits.iter().enumerate().skip(1) {
+        let rate = f64::from(h) / f64::from(steps);
         assert!(
             (rate - 0.05).abs() < 0.01,
             "leaf {leaf} rate {rate}, expected deg/m = 1/20"
@@ -34,8 +34,8 @@ fn interaction_rate_proportional_to_degree() {
 fn roles_are_fair_coin_flips() {
     let g = random::erdos_renyi_connected(30, 0.3, 7, 100);
     let mut sched = EdgeScheduler::new(&g, 9);
-    let mut initiated = vec![0u32; 30];
-    let mut participated = vec![0u32; 30];
+    let mut initiated = [0u32; 30];
+    let mut participated = [0u32; 30];
     for _ in 0..200_000 {
         let (u, v) = sched.next_pair();
         initiated[u as usize] += 1;

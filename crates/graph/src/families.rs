@@ -146,9 +146,7 @@ pub fn torus(rows: u32, cols: u32) -> Graph {
 pub fn torus_kd(side: u32, k: u32) -> Graph {
     assert!(side >= 3, "toroidal grid requires side ≥ 3");
     assert!(k >= 1, "dimension must be ≥ 1");
-    let n = side
-        .checked_pow(k)
-        .expect("side^k must fit in u32");
+    let n = side.checked_pow(k).expect("side^k must fit in u32");
     let mut b = GraphBuilder::new(n);
     // Node id encodes coordinates in base `side`.
     let mut stride = 1u32;
@@ -171,7 +169,10 @@ pub fn torus_kd(side: u32, k: u32) -> Graph {
 /// Panics if `d < 1` or `d > 31`.
 #[must_use]
 pub fn hypercube(d: u32) -> Graph {
-    assert!((1..=31).contains(&d), "hypercube dimension must be in 1..=31");
+    assert!(
+        (1..=31).contains(&d),
+        "hypercube dimension must be in 1..=31"
+    );
     let n = 1u32 << d;
     let mut b = GraphBuilder::new(n);
     for v in 0..n {
@@ -239,7 +240,8 @@ pub fn barbell(clique_n: u32, bridge_n: u32) -> Graph {
     for base in [0, clique_n] {
         for u in 0..clique_n {
             for v in u + 1..clique_n {
-                b.add_edge(base + u, base + v).expect("valid by construction");
+                b.add_edge(base + u, base + v)
+                    .expect("valid by construction");
             }
         }
     }

@@ -27,7 +27,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
             GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
@@ -253,13 +256,19 @@ impl Graph {
     /// Maximum degree `Δ`.
     #[must_use]
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_nodes).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree `δ`.
     #[must_use]
     pub fn min_degree(&self) -> u32 {
-        (0..self.num_nodes).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.num_nodes)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Average degree `2m/n`.
@@ -287,12 +296,7 @@ impl Graph {
     pub fn disjoint_union(&self, other: &Graph) -> (Graph, u32) {
         let offset = self.num_nodes;
         let mut edges = self.edges.clone();
-        edges.extend(
-            other
-                .edges
-                .iter()
-                .map(|&(u, v)| (u + offset, v + offset)),
-        );
+        edges.extend(other.edges.iter().map(|&(u, v)| (u + offset, v + offset)));
         edges.sort_unstable();
         (
             Graph::from_sorted_edges(self.num_nodes + other.num_nodes, edges),

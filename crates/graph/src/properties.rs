@@ -264,7 +264,10 @@ mod tests {
         // A long cycle has conductance Θ(1/n); the upper bound must reflect
         // that it is small.
         let (_lo, hi) = conductance_bounds(&families::cycle(64));
-        assert!(hi < 0.5, "cycle conductance upper bound should be small, got {hi}");
+        assert!(
+            hi < 0.5,
+            "cycle conductance upper bound should be small, got {hi}"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl Cover {
     #[must_use]
     pub fn new(sets: Vec<Vec<NodeId>>, ell: u32) -> Self {
         assert!(sets.len() >= 2, "a cover needs at least two sets");
-        assert!(sets.iter().all(|s| !s.is_empty()), "cover sets must be nonempty");
+        assert!(
+            sets.iter().all(|s| !s.is_empty()),
+            "cover sets must be nonempty"
+        );
         let sets = sets
             .into_iter()
             .map(|mut s| {
@@ -206,16 +209,17 @@ fn sorted_disjoint(a: &[NodeId], b: &[NodeId]) -> bool {
 ///
 /// # Panics
 ///
-/// Panics unless `n ≥ 8` and `n % 4 == 0` (equal arcs keep property (1)
+/// Panics unless `n ≥ 8` and `n.is_multiple_of(4)` (equal arcs keep property (1)
 /// exact).
 #[must_use]
 pub fn cycle_cover(n: u32) -> (Graph, Cover) {
-    assert!(n >= 8 && n % 4 == 0, "cycle cover requires n ≥ 8 divisible by 4");
+    assert!(
+        n >= 8 && n.is_multiple_of(4),
+        "cycle cover requires n ≥ 8 divisible by 4"
+    );
     let g = families::cycle(n);
     let arc = n / 4;
-    let sets = (0..4)
-        .map(|i| (i * arc..(i + 1) * arc).collect())
-        .collect();
+    let sets = (0..4).map(|i| (i * arc..(i + 1) * arc).collect()).collect();
     // With ℓ = arc − 1 the neighbourhoods of opposite arcs would just
     // touch; use arc/2 so B_ℓ(V₀) ∩ B_ℓ(V₂) = ∅ strictly, matching the
     // Lemma 37 proof which uses B_{ℓ−1} disjointness.
@@ -253,7 +257,8 @@ pub fn lemma38(base: &Graph, anchor: NodeId, ell: u32) -> (Graph, Cover) {
     for copy in 0..4u32 {
         let offset = copy * nh;
         for &(u, v) in base.edges() {
-            b.add_edge(offset + u, offset + v).expect("valid by construction");
+            b.add_edge(offset + u, offset + v)
+                .expect("valid by construction");
         }
     }
     let anchor_of = |copy: u32| copy * nh + anchor;
@@ -262,9 +267,11 @@ pub fn lemma38(base: &Graph, anchor: NodeId, ell: u32) -> (Graph, Cover) {
     // fresh nodes.
     for i in 0..4u32 {
         let start = path_base + i * internal;
-        b.add_edge(anchor_of(i), start).expect("valid by construction");
+        b.add_edge(anchor_of(i), start)
+            .expect("valid by construction");
         for j in 0..internal - 1 {
-            b.add_edge(start + j, start + j + 1).expect("valid by construction");
+            b.add_edge(start + j, start + j + 1)
+                .expect("valid by construction");
         }
         b.add_edge(start + internal - 1, anchor_of((i + 1) % 4))
             .expect("valid by construction");
@@ -293,11 +300,11 @@ pub fn lemma38(base: &Graph, anchor: NodeId, ell: u32) -> (Graph, Cover) {
 ///
 /// # Panics
 ///
-/// Panics unless `side ≥ 16` and `side % 8 == 0`.
+/// Panics unless `side ≥ 16` and `side.is_multiple_of(8)`.
 #[must_use]
 pub fn torus_cover(side: u32) -> (Graph, Cover) {
     assert!(
-        side >= 16 && side % 8 == 0,
+        side >= 16 && side.is_multiple_of(8),
         "torus cover requires side ≥ 16 divisible by 8"
     );
     let g = families::torus(side, side);

@@ -7,17 +7,21 @@ use popele_graph::{families, random, Graph, GraphBuilder};
 use proptest::prelude::*;
 
 fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (1u32..=30, prop::collection::vec((0u32..30, 0u32..30), 0..80)).prop_map(|(n, pairs)| {
-        let mut b = GraphBuilder::new(n);
-        let mut seen = std::collections::HashSet::new();
-        for (u, v) in pairs {
-            let (u, v) = (u % n, v % n);
-            if u != v && seen.insert((u.min(v), u.max(v))) {
-                b.add_edge(u, v).unwrap();
+    (
+        1u32..=30,
+        prop::collection::vec((0u32..30, 0u32..30), 0..80),
+    )
+        .prop_map(|(n, pairs)| {
+            let mut b = GraphBuilder::new(n);
+            let mut seen = std::collections::HashSet::new();
+            for (u, v) in pairs {
+                let (u, v) = (u % n, v % n);
+                if u != v && seen.insert((u.min(v), u.max(v))) {
+                    b.add_edge(u, v).unwrap();
+                }
             }
-        }
-        b.build().unwrap()
-    })
+            b.build().unwrap()
+        })
 }
 
 proptest! {

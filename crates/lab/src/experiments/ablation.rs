@@ -53,7 +53,14 @@ fn fast_params_table(cfg: &RunConfig) -> Table {
             "G(n=1/2) with n={n}, B(G)≈{:.0}; derived practical params h={}, L={}, α={}",
             b, derived.h, derived.big_l, derived.alpha
         ),
-        &["h", "L", "α", "steps mean±ci", "backup engaged", "state bound"],
+        &[
+            "h",
+            "L",
+            "α",
+            "steps mean±ci",
+            "backup engaged",
+            "state bound",
+        ],
     );
 
     let h_variants: Vec<u8> = [-2i32, 0, 2]
@@ -138,12 +145,19 @@ mod tests {
     use super::*;
 
     fn last_mean(t: &Table, row: usize) -> f64 {
-        t.cell(row, if t.title().contains("identifier") { 2 } else { 3 })
-            .split_whitespace()
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap()
+        t.cell(
+            row,
+            if t.title().contains("identifier") {
+                2
+            } else {
+                3
+            },
+        )
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
     }
 
     #[test]

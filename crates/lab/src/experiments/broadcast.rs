@@ -118,14 +118,19 @@ fn scaling_table(cfg: &RunConfig) -> Table {
         "Theorem 15: Θ(n·max(D, log n)) for bounded degree; clique/star Θ(n log n); cycle Θ(n²); exponent fitted after dividing out log n",
         &["family", "fitted exponent", "R²", "paper exponent"],
     );
+    #[allow(clippy::type_complexity)]
     let cases: [(&str, fn(u32) -> Graph, f64); 4] = [
         ("clique", families::clique as fn(u32) -> Graph, 1.0),
         ("star", families::star, 1.0),
         ("cycle", families::cycle, 2.0),
-        ("torus", |n| {
-            let side = (f64::from(n).sqrt().round() as u32).max(3);
-            families::torus(side, side)
-        }, 1.5),
+        (
+            "torus",
+            |n| {
+                let side = (f64::from(n).sqrt().round() as u32).max(3);
+                families::torus(side, side)
+            },
+            1.5,
+        ),
     ];
     for (i, (label, make, paper_exp)) in cases.into_iter().enumerate() {
         let mut points = Vec::new();

@@ -35,7 +35,13 @@ fn interactions_per_tick(cfg: &RunConfig) -> Table {
     let mut table = Table::new(
         "Clock ticks: interactions per tick",
         "Lemma 27a: E[K] = 2^{h+1} − 2; Lemma 26 sandwiches K between geometrics",
-        &["h", "E[K] paper", "mean K measured", "ratio", "p95 measured"],
+        &[
+            "h",
+            "E[K] paper",
+            "mean K measured",
+            "ratio",
+            "p95 measured",
+        ],
     );
     for (i, h) in [2u8, 4, 6, 8].into_iter().enumerate() {
         let mut rng = seq.child_rng(i as u64);
@@ -81,7 +87,9 @@ fn concentration(cfg: &RunConfig) -> Table {
         let mut above = 0usize;
         let mut sum = 0.0;
         for _ in 0..trials {
-            let r: u64 = (0..ell).map(|_| sample_interactions_per_tick(h, &mut rng)).sum();
+            let r: u64 = (0..ell)
+                .map(|_| sample_interactions_per_tick(h, &mut rng))
+                .sum();
             let r = r as f64;
             sum += r;
             if r <= expected / 4.0 {

@@ -44,7 +44,12 @@ fn influence_table(cfg: &RunConfig) -> Table {
         "Influencer sets and untouched nodes on G(n, 1/2)",
         "Lemma 41: max |I_t(v)| ≤ n^ε at t = c·n·ln n; Lemma 42: ≥ n^{1−ε} nodes untouched",
         &[
-            "n", "t", "max |I_t|", "log_n(max|I_t|)", "untouched", "log_n(untouched)",
+            "n",
+            "t",
+            "max |I_t|",
+            "log_n(max|I_t|)",
+            "untouched",
+            "log_n(untouched)",
         ],
     );
     for (i, &n) in sizes.iter().enumerate() {
@@ -65,7 +70,11 @@ fn influence_table(cfg: &RunConfig) -> Table {
             fmt_num(max_inf),
             fmt_num(max_inf.ln() / logn),
             fmt_num(untouched),
-            fmt_num(if untouched > 0.0 { untouched.ln() / logn } else { 0.0 }),
+            fmt_num(if untouched > 0.0 {
+                untouched.ln() / logn
+            } else {
+                0.0
+            }),
         ]);
     }
     table
@@ -118,9 +127,22 @@ fn separation_table(cfg: &RunConfig) -> Table {
         let g = random::erdos_renyi_connected(n, 0.5, seq.child(i as u64), 100);
         let id_p = IdentifierProtocol::new(identifier_bits(n, false));
         let token_p = TokenProtocol::all_candidates();
-        let id_stats = protocol_stats(&g, &id_p, seq.child(100 + i as u64), trials, cfg.threads, false);
-        let token_stats =
-            protocol_stats(&g, &token_p, seq.child(200 + i as u64), trials, cfg.threads, false);
+        let id_stats = protocol_stats(
+            &g,
+            &id_p,
+            seq.child(100 + i as u64),
+            trials,
+            cfg.threads,
+            false,
+        );
+        let token_stats = protocol_stats(
+            &g,
+            &token_p,
+            seq.child(200 + i as u64),
+            trials,
+            cfg.threads,
+            false,
+        );
         let nf = f64::from(n);
         let id_mean = id_stats.steps.mean();
         let token_mean = token_stats.steps.mean();
@@ -158,7 +180,10 @@ mod tests {
         let t = influence_table(&cfg);
         for row in 0..t.num_rows() {
             let eps: f64 = t.cell(row, 3).parse().unwrap();
-            assert!(eps < 0.95, "row {row}: influence exponent {eps} ≈ 1 (sets too big)");
+            assert!(
+                eps < 0.95,
+                "row {row}: influence exponent {eps} ≈ 1 (sets too big)"
+            );
             let untouched_exp: f64 = t.cell(row, 5).parse().unwrap();
             assert!(
                 untouched_exp > 0.5,

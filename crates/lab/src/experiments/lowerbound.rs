@@ -31,8 +31,8 @@ use crate::RunConfig;
 use popele_core::IdentifierProtocol;
 use popele_dynamics::isolation::ContaminationTracker;
 use popele_engine::{Executor, Protocol, Role};
-use popele_graph::renitent::lemma38;
 use popele_graph::families;
+use popele_graph::renitent::lemma38;
 use popele_math::dist::Poisson;
 use popele_math::rng::SeedSeq;
 

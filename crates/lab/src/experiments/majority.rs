@@ -138,7 +138,13 @@ mod tests {
     fn narrow_margin_not_faster_than_landslide() {
         let cfg = RunConfig::default();
         let t = margin_table(&cfg);
-        let landslide: f64 = t.cell(0, 3).split_whitespace().next().unwrap().parse().unwrap();
+        let landslide: f64 = t
+            .cell(0, 3)
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         let narrow: f64 = t
             .cell(t.num_rows() - 1, 3)
             .split_whitespace()

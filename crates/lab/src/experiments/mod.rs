@@ -5,6 +5,7 @@ pub mod broadcast;
 pub mod clocks;
 pub mod conductance;
 pub mod dense;
+pub mod engine;
 pub mod lowerbound;
 pub mod majority;
 pub mod propagation;
@@ -12,13 +13,20 @@ pub mod renitent;
 pub mod table1;
 pub mod walks;
 
-use popele_engine::monte_carlo::{run_trials, TrialOptions, TrialStats};
+use popele_engine::monte_carlo::{run_trials_auto, TrialOptions, TrialStats};
 use popele_engine::Protocol;
 use popele_graph::Graph;
 
 /// Shared helper: Monte-Carlo stabilization statistics for a protocol on
 /// a graph.
-pub(crate) fn protocol_stats<P: Protocol>(
+///
+/// Runs on the compiled dense engine whenever the protocol's reachable
+/// state space fits the `u16` id budget (token, star, majority, and
+/// small-parameter fast instances), falling back to the generic engine
+/// otherwise (identifier, large fast parameterizations). The two engines
+/// are trace-identical per seed, so this changes wall-clock time only —
+/// which is what makes the full-mode sweeps at paper scale feasible.
+pub(crate) fn protocol_stats<P: Protocol + Clone>(
     g: &Graph,
     p: &P,
     master_seed: u64,
@@ -26,7 +34,7 @@ pub(crate) fn protocol_stats<P: Protocol>(
     threads: usize,
     census: bool,
 ) -> TrialStats {
-    let results = run_trials(
+    let results = run_trials_auto(
         g,
         p,
         master_seed,

@@ -27,13 +27,16 @@ fn propagation_table(cfg: &RunConfig) -> Table {
         "Distance-k propagation times",
         "Lemma 14: Pr[T_k < k·m/(Δe³)] ≤ 1/n for k ≥ ln n; E[X(path of length k)] = k·m (Lemma 5)",
         &[
-            "graph", "k", "k·m", "mean T_k", "T_k/(k·m)", "threshold", "Pr[T_k<thr]",
+            "graph",
+            "k",
+            "k·m",
+            "mean T_k",
+            "T_k/(k·m)",
+            "threshold",
+            "Pr[T_k<thr]",
         ],
     );
-    let cases: [(&str, Graph); 2] = [
-        ("cycle", families::cycle(n)),
-        ("path", families::path(n)),
-    ];
+    let cases: [(&str, Graph); 2] = [("cycle", families::cycle(n)), ("path", families::path(n))];
     for (ci, (label, g)) in cases.into_iter().enumerate() {
         let m = g.num_edges();
         for (ki, k) in [n / 4, n / 2].into_iter().enumerate() {

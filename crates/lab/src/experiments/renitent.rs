@@ -17,8 +17,8 @@ use popele_core::params::identifier_bits;
 use popele_core::IdentifierProtocol;
 use popele_dynamics::broadcast::{estimate_broadcast_time, BroadcastConfig, SourceStrategy};
 use popele_dynamics::isolation::estimate_isolation;
-use popele_graph::renitent::{cycle_cover, lemma38, theorem39_graph};
 use popele_graph::families;
+use popele_graph::renitent::{cycle_cover, lemma38, theorem39_graph};
 use popele_math::fit::power_fit;
 use popele_math::rng::SeedSeq;
 
@@ -154,16 +154,21 @@ fn theorem39_table(cfg: &RunConfig) -> Table {
         "Theorem 39: graphs with prescribed election time",
         "Targets T(n): both broadcast time and identifier-protocol stabilization track Θ(T)",
         &[
-            "target", "base n", "graph n", "T target", "B measured", "B/T",
-            "election mean", "election/T",
+            "target",
+            "base n",
+            "graph n",
+            "T target",
+            "B measured",
+            "B/T",
+            "election mean",
+            "election/T",
         ],
     );
     // Two targets in the theorem's admissible range [n log n, n³],
     // exercising the star regime (n^1.5) and the clique regime (n^2.7).
-    let targets: [(&str, fn(f64) -> f64); 2] = [
-        ("n^1.5", |x| x.powf(1.5)),
-        ("n^2.7", |x| x.powf(2.7)),
-    ];
+    #[allow(clippy::type_complexity)]
+    let targets: [(&str, fn(f64) -> f64); 2] =
+        [("n^1.5", |x| x.powf(1.5)), ("n^2.7", |x| x.powf(2.7))];
     for (ti, (tlabel, tf)) in targets.into_iter().enumerate() {
         for (si, &base_n) in sizes.iter().enumerate() {
             let nf = f64::from(base_n);
@@ -208,10 +213,7 @@ mod tests {
         let t = cycle_table(&cfg);
         let fit_row = t.num_rows() - 1;
         let exp_text = t.cell(fit_row, 1);
-        let exponent: f64 = exp_text
-            .trim_start_matches("exponent ")
-            .parse()
-            .unwrap();
+        let exponent: f64 = exp_text.trim_start_matches("exponent ").parse().unwrap();
         assert!(
             (exponent - 2.0).abs() < 0.4,
             "cycle isolation exponent {exponent}"

@@ -94,7 +94,13 @@ fn family_table(cfg: &RunConfig, family: Family) -> Table {
         format!("Table 1 row: {}", family.label()),
         format!("paper expectation: {}", family.expectation()),
         &[
-            "protocol", "n", "m", "steps mean±ci", "median", "timeouts", "states used",
+            "protocol",
+            "n",
+            "m",
+            "steps mean±ci",
+            "median",
+            "timeouts",
+            "states used",
         ],
     );
     for c in Contender::ALL {

@@ -136,11 +136,7 @@ fn gnp_hitting_table(cfg: &RunConfig) -> Table {
     for (i, &n) in sizes.iter().enumerate() {
         let g = random::erdos_renyi_connected(n, 0.5, seq.child(i as u64), 100);
         let h = classic_worst_hitting(&g);
-        table.push_row(vec![
-            n.to_string(),
-            fmt_num(h),
-            fmt_num(h / f64::from(n)),
-        ]);
+        table.push_row(vec![n.to_string(), fmt_num(h), fmt_num(h / f64::from(n))]);
     }
     table
 }
@@ -180,7 +176,10 @@ mod tests {
             // Mean cover time lies between the worst hitting time (up to
             // start-vertex effects) and the Matthews upper bound.
             assert!(c >= 0.5 * h, "row {row}: C {c} vs H {h}");
-            assert!(c <= matthews * 1.1, "row {row}: C {c} vs Matthews {matthews}");
+            assert!(
+                c <= matthews * 1.1,
+                "row {row}: C {c} vs Matthews {matthews}"
+            );
         }
     }
 

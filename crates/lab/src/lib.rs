@@ -19,6 +19,7 @@
 //! | `conductance` | Corollary 25 on regular graphs | [`experiments::conductance`] |
 //! | `ablation` | design-choice sweeps (h, L, α, k) | [`experiments::ablation`] |
 //! | `majority` | Section 8 extension: exact majority | [`experiments::majority`] |
+//! | `engine` | generic vs compiled engine equivalence/throughput | [`experiments::engine`] |
 //!
 //! Run everything with the CLI:
 //!
@@ -104,11 +105,14 @@ pub enum ExperimentId {
     Ablation,
     /// Exact-majority extension (Section 8).
     Majority,
+    /// Generic-vs-compiled engine equivalence and throughput.
+    Engine,
 }
 
 impl ExperimentId {
     /// All experiments, in recommended execution order.
-    pub const ALL: [ExperimentId; 11] = [
+    pub const ALL: [ExperimentId; 12] = [
+        ExperimentId::Engine,
         ExperimentId::Clocks,
         ExperimentId::Broadcast,
         ExperimentId::Propagation,
@@ -137,6 +141,7 @@ impl ExperimentId {
             "conductance" => Some(Self::Conductance),
             "ablation" => Some(Self::Ablation),
             "majority" => Some(Self::Majority),
+            "engine" => Some(Self::Engine),
             _ => None,
         }
     }
@@ -156,6 +161,7 @@ impl ExperimentId {
             Self::Conductance => "conductance",
             Self::Ablation => "ablation",
             Self::Majority => "majority",
+            Self::Engine => "engine",
         }
     }
 
@@ -174,6 +180,7 @@ impl ExperimentId {
             Self::Conductance => experiments::conductance::run(cfg),
             Self::Ablation => experiments::ablation::run(cfg),
             Self::Majority => experiments::majority::run(cfg),
+            Self::Engine => experiments::engine::run(cfg),
         }
     }
 }

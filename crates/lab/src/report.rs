@@ -21,11 +21,7 @@ impl Table {
     ///
     /// Panics if `headers` is empty.
     #[must_use]
-    pub fn new(
-        title: impl Into<String>,
-        caption: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, caption: impl Into<String>, headers: &[&str]) -> Self {
         assert!(!headers.is_empty(), "table needs at least one column");
         Self {
             title: title.into(),
@@ -123,7 +119,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -145,7 +145,13 @@ impl Table {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
             .collect::<String>()
             .split('-')
             .filter(|s| !s.is_empty())
@@ -230,7 +236,12 @@ mod tests {
         let path = sample().write_csv(&dir).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("n,value"));
-        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("demo-table"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("demo-table"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -238,7 +249,7 @@ mod tests {
     fn number_formatting() {
         assert_eq!(fmt_num(0.0), "0");
         assert_eq!(fmt_num(42.0), "42");
-        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(2.23456), "2.23");
         assert_eq!(fmt_num(1.5e7), "1.500e7");
         assert!(fmt_ci(10.0, 2.5).contains('±'));
     }

@@ -104,7 +104,10 @@ pub fn geometric_sum_tail(p_min: f64, expectation: f64, lambda: f64, tail: Tail)
     assert!(expectation >= 0.0);
     match tail {
         Tail::Upper => assert!(lambda >= 1.0, "upper tail requires λ ≥ 1"),
-        Tail::Lower => assert!(lambda > 0.0 && lambda <= 1.0, "lower tail requires 0 < λ ≤ 1"),
+        Tail::Lower => assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "lower tail requires 0 < λ ≤ 1"
+        ),
     }
     (-p_min * expectation * rate_c(lambda)).exp()
 }

@@ -5,7 +5,7 @@
 //! implemented here so the sampling logic is auditable and deterministic
 //! across `rand` versions.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Geometric distribution on `{1, 2, 3, …}`: number of Bernoulli(`p`)
 /// trials up to and including the first success.

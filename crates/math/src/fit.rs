@@ -83,7 +83,10 @@ impl PowerFit {
 /// Panics if fewer than two points are given or any coordinate is ≤ 0.
 #[must_use]
 pub fn power_fit(points: &[(f64, f64)]) -> PowerFit {
-    assert!(points.len() >= 2, "need at least two points for a power fit");
+    assert!(
+        points.len() >= 2,
+        "need at least two points for a power fit"
+    );
     let logged: Vec<(f64, f64)> = points
         .iter()
         .map(|&(x, y)| {

@@ -80,9 +80,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *slot = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -211,11 +211,7 @@ pub fn power_iteration(a: &Matrix, iterations: usize) -> (f64, Vec<f64>) {
 /// Estimates the second-largest eigenvalue of a symmetric matrix by deflated
 /// power iteration against a known top eigenpair.
 #[must_use]
-pub fn second_eigenvalue(
-    a: &Matrix,
-    top_vec: &[f64],
-    iterations: usize,
-) -> f64 {
+pub fn second_eigenvalue(a: &Matrix, top_vec: &[f64], iterations: usize) -> f64 {
     assert_eq!(a.rows(), a.cols());
     let n = a.rows();
     let mut v: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();

@@ -83,7 +83,7 @@ pub fn small_rng(seed: u64) -> SmallRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
+    use rand::Rng;
 
     #[test]
     fn splitmix_known_values_differ() {

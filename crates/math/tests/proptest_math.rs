@@ -74,7 +74,7 @@ proptest! {
     #[test]
     fn linear_fit_residuals_flat(seed in any::<u64>()) {
         let mut rng = small_rng(seed);
-        use rand::RngExt;
+        use rand::Rng;
         let points: Vec<(f64, f64)> = (0..30)
             .map(|i| (f64::from(i), 3.0 * f64::from(i) + rng.random::<f64>() * 10.0))
             .collect();
@@ -121,7 +121,7 @@ proptest! {
     #[test]
     fn solve_roundtrip(seed in any::<u64>(), n in 2usize..15) {
         let mut rng = small_rng(seed);
-        use rand::RngExt;
+        use rand::Rng;
         let mut a = Matrix::zeros(n, n);
         for i in 0..n {
             let mut row_sum = 0.0;

@@ -1,0 +1,378 @@
+//! Vendored, minimal subset of the `criterion` 0.5 API.
+//!
+//! The build environment is hermetic (no crates.io access), so this crate
+//! reimplements the benchmarking surface the workspace's bench targets
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then
+//! collects `sample_size` samples within `measurement_time`; each sample
+//! times a batch of iterations and the reported estimate is the median
+//! per-iteration time. Results are printed to stdout and also recorded in
+//! a process-wide registry readable via [`take_measurements`], which the
+//! workspace uses to emit machine-readable baselines (e.g.
+//! `BENCH_engine.json`).
+//!
+//! Set `CRITERION_QUICK=1` to shrink warm-up/measurement times by 10×
+//! (used by CI smoke runs).
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One recorded benchmark estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Full benchmark id, `group/function[/parameter]`.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Number of samples collected.
+    pub samples: usize,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far in this process.
+#[must_use]
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().expect("measurement registry poisoned"))
+}
+
+fn record(m: Measurement) {
+    MEASUREMENTS
+        .lock()
+        .expect("measurement registry poisoned")
+        .push(m);
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Units-of-work declaration for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures; handed to benchmark functions.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    result: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, measuring a
+        // rough per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let samples = self.config.sample_size.max(2);
+        let budget = self.config.measurement_time.as_secs_f64();
+        // Batch size so all samples fit roughly inside the budget.
+        let batch = ((budget / samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut timings = Vec::with_capacity(samples);
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            timings.push(dt * 1e9 / batch as f64);
+            total_iters += batch;
+            // Do not run absurdly over budget on slow benchmarks.
+            if measure_start.elapsed().as_secs_f64() > 4.0 * budget && timings.len() >= 2 {
+                break;
+            }
+        }
+        self.result = Some((timings, total_iters));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Config {
+    fn scaled(&self) -> Config {
+        if std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1") {
+            Config {
+                warm_up_time: self.warm_up_time / 10,
+                measurement_time: self.measurement_time / 10,
+                sample_size: self.sample_size.min(10),
+            }
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            sample_size: 100,
+        }
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, &self.config.scaled(), f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput (recorded for display only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with shared setup `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.config.scaled(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.config.scaled(), f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher<'_>)>(id: &str, config: &Config, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    let Some((mut timings, iterations)) = bencher.result else {
+        eprintln!("{id}: benchmark closure never called Bencher::iter");
+        return;
+    };
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = timings[timings.len() / 2];
+    let mean = timings.iter().sum::<f64>() / timings.len() as f64;
+    let min = timings[0];
+    println!(
+        "{id:<50} time: [{} {} {}] ({} samples, {iterations} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(timings[timings.len() - 1]),
+        timings.len(),
+    );
+    record(Measurement {
+        id: id.to_string(),
+        median_ns: median,
+        mean_ns: mean,
+        min_ns: min,
+        samples: timings.len(),
+        iterations,
+    });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// configuration (both criterion forms are supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(50))
+            .sample_size(5);
+        let mut group = c.benchmark_group("shim");
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        let ms = take_measurements();
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().any(|m| m.id == "shim/sum/100"));
+        assert!(ms.iter().all(|m| m.median_ns > 0.0 && m.iterations > 0));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("clique").to_string(), "clique");
+    }
+}

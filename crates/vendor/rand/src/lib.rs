@@ -1,0 +1,398 @@
+//! Vendored, dependency-free subset of the `rand` 0.9 API.
+//!
+//! The build environment of this workspace is hermetic (no crates.io
+//! access), so instead of the real `rand` crate the workspace vendors the
+//! exact API surface it consumes:
+//!
+//! * [`RngCore`] — raw 64-bit generator interface;
+//! * [`Rng`] — the user-facing extension trait with [`Rng::random`],
+//!   [`Rng::random_range`] and [`Rng::random_bool`] (the rand 0.9 method
+//!   names; the pre-0.9 `gen_*` names are not provided);
+//! * [`SeedableRng`] with [`SeedableRng::seed_from_u64`];
+//! * [`rngs::SmallRng`] — a small, fast, non-cryptographic generator
+//!   (xoshiro256++, the same family the real `SmallRng` uses on 64-bit
+//!   targets), seeded via splitmix64 expansion;
+//! * [`seq::SliceRandom`] — Fisher–Yates [`seq::SliceRandom::shuffle`]
+//!   and uniform [`seq::SliceRandom::choose`].
+//!
+//! Everything is deterministic per seed; nothing reads OS entropy. The
+//! statistical quality is that of xoshiro256++, which is more than
+//! adequate for the simulation workloads here (and is validated by the
+//! scheduler-statistics and distribution tests of the workspace).
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an `RngCore` — the vendored
+/// stand-in for rand's `StandardUniform` distribution.
+pub trait Standard: Sized {
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit: xoshiro's low bits are the weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `(x >> 11) · 2⁻⁵³` construction).
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types that support unbiased uniform range sampling.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`; `high > low`.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`; `high >= low`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Unbiased bounded sampling in `[0, n)` via Lemire's multiply-shift
+/// method with rejection.
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut x = rng.next_u64();
+    let mut m = u128::from(x) * u128::from(n);
+    let mut lo = m as u64;
+    if lo < n {
+        let threshold = n.wrapping_neg() % n;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = u128::from(x) * u128::from(n);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample from an empty range");
+                let span = (high as $u).wrapping_sub(low as $u);
+                low.wrapping_add(bounded_u64(rng, u64::from(span)) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample from an empty range");
+                let span = (high as $u).wrapping_sub(low as $u);
+                if u64::from(span) == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(bounded_u64(rng, u64::from(span) + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, i32 => u32, i64 => u64);
+
+impl UniformInt for usize {
+    #[inline]
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "cannot sample from an empty range");
+        low + bounded_u64(rng, (high - low) as u64) as usize
+    }
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "cannot sample from an empty range");
+        let span = (high - low) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as usize;
+        }
+        low + bounded_u64(rng, span + 1) as usize
+    }
+}
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] (mirrors the rand 0.9 `Rng` trait).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard uniform distribution.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it with
+    /// splitmix64 (the reference seeding procedure for xoshiro).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = super::splitmix64(&mut state);
+            }
+            // xoshiro requires a nonzero state; splitmix64 output is zero
+            // for at most one of the four words, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: usize = rng.random_range(0..17);
+            assert!(x < 17);
+            let y: u64 = rng.random_range(5..=9);
+            assert!((5..=9).contains(&y));
+            let z: u32 = rng.random_range(3..4);
+            assert_eq!(z, 3);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 8];
+        let trials = 80_000;
+        for _ in 0..trials {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            let freq = f64::from(c) / f64::from(trials);
+            assert!((freq - 0.125).abs() < 0.01, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..40_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / 40_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn bool_is_fair() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let heads = (0..40_000).filter(|_| rng.random::<bool>()).count();
+        assert!((heads as f64 / 40_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn random_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..40_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((hits as f64 / 40_000.0 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

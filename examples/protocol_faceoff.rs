@@ -60,7 +60,7 @@ fn main() {
             g.num_nodes(),
         ));
 
-        let mut report = |label: &str, stats: TrialStats| {
+        let report = |label: &str, stats: TrialStats| {
             println!(
                 "{:<10} {:<12} {:>14.0} {:>10.0} {:>8}",
                 name,
@@ -70,9 +70,18 @@ fn main() {
                 stats.max_distinct_states.unwrap_or(0)
             );
         };
-        report("token", TrialStats::from_results(&run_trials(&g, &token, 1, opts)));
-        report("identifier", TrialStats::from_results(&run_trials(&g, &id, 2, opts)));
-        report("fast", TrialStats::from_results(&run_trials(&g, &fast, 3, opts)));
+        report(
+            "token",
+            TrialStats::from_results(&run_trials(&g, &token, 1, opts)),
+        );
+        report(
+            "identifier",
+            TrialStats::from_results(&run_trials(&g, &id, 2, opts)),
+        );
+        report(
+            "fast",
+            TrialStats::from_results(&run_trials(&g, &fast, 3, opts)),
+        );
         println!();
     }
 }

@@ -15,7 +15,10 @@ fn table1_graphs() -> Vec<(&'static str, Graph)> {
         ("cycle", families::cycle(20)),
         ("star", families::star(20)),
         ("torus", families::torus(4, 5)),
-        ("rand-regular", random::random_regular_connected(20, 4, 1, 100)),
+        (
+            "rand-regular",
+            random::random_regular_connected(20, 4, 1, 100),
+        ),
         ("gnp", random::erdos_renyi_connected(20, 0.5, 2, 100)),
         ("binary-tree", families::binary_tree(21)),
         ("lollipop", families::lollipop(10, 10)),
@@ -107,7 +110,9 @@ fn deterministic_across_protocol_instances() {
     let build = || {
         let g = random::erdos_renyi_connected(24, 0.5, 9, 100);
         let p = IdentifierProtocol::new(10);
-        let out = Executor::new(&g, &p, 31).run_until_stable(MAX_STEPS).unwrap();
+        let out = Executor::new(&g, &p, 31)
+            .run_until_stable(MAX_STEPS)
+            .unwrap();
         (out.stabilization_step, out.leader)
     };
     assert_eq!(build(), build());
@@ -118,6 +123,8 @@ fn token_with_candidate_subset_elects_candidate() {
     let g = families::torus(4, 4);
     let candidates = vec![3u32, 7, 11];
     let p = TokenProtocol::with_candidates(candidates.clone());
-    let out = Executor::new(&g, &p, 17).run_until_stable(MAX_STEPS).unwrap();
+    let out = Executor::new(&g, &p, 17)
+        .run_until_stable(MAX_STEPS)
+        .unwrap();
     assert!(candidates.contains(&out.leader.unwrap()));
 }

@@ -82,7 +82,10 @@ fn fast_oracle_exact_along_executions() {
             let exhaustive = check_stable_and_correct(&p, &g, exec.states(), DEFAULT_CONFIG_LIMIT);
             match exhaustive {
                 Verdict::Stable => {
-                    assert!(exec.is_stable(), "step {step} on {g}: oracle too conservative")
+                    assert!(
+                        exec.is_stable(),
+                        "step {step} on {g}: oracle too conservative"
+                    )
                 }
                 Verdict::Unstable => {
                     assert!(!exec.is_stable(), "step {step} on {g}: oracle too eager")
@@ -118,7 +121,11 @@ fn initial_configurations_are_unstable() {
         check_stable_and_correct(
             &id,
             &g,
-            &[id.initial_state(0), id.initial_state(1), id.initial_state(2)],
+            &[
+                id.initial_state(0),
+                id.initial_state(1),
+                id.initial_state(2)
+            ],
             DEFAULT_CONFIG_LIMIT
         ),
         Verdict::Unstable

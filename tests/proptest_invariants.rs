@@ -12,7 +12,7 @@ use proptest::prelude::*;
 fn connected_graph() -> impl Strategy<Value = Graph> {
     (2u32..=24, any::<u64>(), 0usize..=40).prop_map(|(n, seed, extra)| {
         let mut rng = popele::math::rng::small_rng(seed);
-        use rand::RngExt;
+        use rand::Rng;
         let mut b = GraphBuilder::new(n);
         // Random spanning tree: attach node v to a uniform earlier node.
         for v in 1..n {
@@ -129,11 +129,11 @@ proptest! {
         let schedule = record_schedule(&g, t, seed);
         let transition = |a: &u64, b: &u64| (a.wrapping_mul(7).wrapping_add(*b ^ 0x9E37), b.wrapping_add(a >> 3));
         let pattern = InteractionPattern::from_schedule(&schedule, 0, t);
-        let before = pattern.replay(|v| u64::from(v), transition)[&pattern.root()];
+        let before = pattern.replay(u64::from, transition)[&pattern.root()];
         if let Some(unfolded) = pattern.unfold_once() {
             prop_assert_eq!(unfolded.internal_interactions(), pattern.internal_interactions() - 1);
             prop_assert!(unfolded.num_nodes() <= 2 * pattern.num_nodes());
-            let after = unfolded.replay(|v| u64::from(v), transition)[&unfolded.root()];
+            let after = unfolded.replay(u64::from, transition)[&unfolded.root()];
             prop_assert_eq!(before, after);
         } else {
             prop_assert_eq!(pattern.internal_interactions(), 0);
@@ -168,8 +168,8 @@ proptest! {
 
 mod fast_protocol_props {
     use super::*;
-    use popele::protocols::params::FastParams;
     use popele::protocols::fast::{FastProtocol, Status};
+    use popele::protocols::params::FastParams;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
