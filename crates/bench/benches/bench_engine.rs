@@ -1,7 +1,9 @@
 //! Two-engine benchmark: the generic reference [`Executor`] vs the
 //! compiled dense-state [`DenseExecutor`] on identical workloads —
 //! full leader elections of the 6-state token protocol on `clique(1000)`
-//! and `cycle(1000)`, plus fixed-step throughput on the same graphs.
+//! and `cycle(1000)`, plus fixed-step throughput on the same graphs and
+//! on `cycle(120000)`, whose node count exceeds the packed decoder's
+//! 16-bit range and therefore exercises the CSR edge decoder.
 //!
 //! Both engines consume identical seed sequences, so they execute the
 //! exact same interaction sequences; the measured ratio is pure engine
@@ -20,11 +22,20 @@ use std::time::Duration;
 const FIXED_STEPS: u64 = 2_000_000;
 const ELECTION_MAX: u64 = u64::MAX;
 
-fn graphs() -> Vec<(&'static str, Graph)> {
+fn election_graphs() -> Vec<(&'static str, Graph)> {
     vec![
         ("clique_1000", families::clique(1000)),
         ("cycle_1000", families::cycle(1000)),
     ]
+}
+
+/// The steps group adds a >2¹⁶-node sparse graph: elections there would
+/// take minutes, but fixed-step throughput isolates exactly what the
+/// CSR decoder changes.
+fn steps_graphs() -> Vec<(&'static str, Graph)> {
+    let mut graphs = election_graphs();
+    graphs.push(("cycle_120000", families::cycle(120_000)));
+    graphs
 }
 
 /// Each benchmark *iteration* runs one full cycle of elections over a
@@ -46,7 +57,7 @@ fn seed_cycle(name: &str) -> u64 {
 fn bench_elections(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/election");
     let p = TokenProtocol::all_candidates();
-    for (name, g) in graphs() {
+    for (name, g) in election_graphs() {
         let compiled = CompiledProtocol::compile_default(&p, g.num_nodes()).unwrap();
         let seeds = seed_cycle(name);
         group.bench_with_input(BenchmarkId::new("generic", name), &g, |b, g| {
@@ -84,7 +95,7 @@ fn bench_elections(c: &mut Criterion) {
 fn bench_fixed_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/steps");
     let p = TokenProtocol::all_candidates();
-    for (name, g) in graphs() {
+    for (name, g) in steps_graphs() {
         let compiled = CompiledProtocol::compile_default(&p, g.num_nodes()).unwrap();
         group.bench_with_input(BenchmarkId::new("generic", name), &g, |b, g| {
             let mut exec = Executor::new(g, &p, 0);
@@ -122,8 +133,11 @@ fn render_json(ms: &[Measurement]) -> String {
         String::from("{\n  \"benchmark\": \"engine: generic executor vs compiled dense core\",\n");
     let _ = writeln!(out, "  \"workloads\": [");
     let mut first = true;
-    for group in ["engine/election", "engine/steps"] {
-        for (name, _) in graphs() {
+    for (group, graphs) in [
+        ("engine/election", election_graphs()),
+        ("engine/steps", steps_graphs()),
+    ] {
+        for (name, _) in graphs {
             let generic = median_of(ms, &format!("{group}/generic/{name}"));
             let dense = median_of(ms, &format!("{group}/dense/{name}"));
             let (Some(generic), Some(dense)) = (generic, dense) else {

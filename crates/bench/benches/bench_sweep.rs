@@ -1,0 +1,116 @@
+//! Sweep-campaign benchmarks: end-to-end orchestration cost of a mini
+//! grid (spec enumeration, engine selection, per-shard checkpointing,
+//! summary rendering) and the checkpoint serialization round trip that
+//! runs after every shard of a real campaign.
+//!
+//! The simulation kernels themselves are covered by `bench_engine`;
+//! this bench watches the *harness* around them, which must stay cheap
+//! enough to checkpoint at fine shard granularity.
+
+use criterion::{black_box, Criterion};
+use popele_lab::sweep::{
+    run_campaign, CampaignOptions, Checkpoint, ProtocolSpec, SweepSpec, TrialRecord,
+};
+use popele_lab::workloads::Family;
+use std::time::Duration;
+
+fn mini_spec(out_tag: &str) -> SweepSpec {
+    SweepSpec {
+        name: format!("bench-{out_tag}"),
+        protocols: vec![ProtocolSpec::Token, ProtocolSpec::Majority],
+        families: vec![Family::Clique, Family::Cycle],
+        sizes: vec![16, 32],
+        trials_per_cell: 4,
+        shard_trials: 2,
+        max_steps: 1 << 22,
+        master_seed: 0xBE7C4,
+        threads: 1,
+        ..SweepSpec::default()
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let out_dir = std::env::temp_dir().join("popele-bench-sweep");
+    let mut group = c.benchmark_group("sweep/campaign");
+    group.sample_size(10);
+    group.bench_function("mini_grid_fresh", |b| {
+        let spec = mini_spec("fresh");
+        b.iter(|| {
+            // A fresh campaign every iteration: all 16 shards run.
+            std::fs::remove_dir_all(out_dir.join(&spec.name)).ok();
+            let outcome = run_campaign(
+                &spec,
+                &CampaignOptions {
+                    out_dir: out_dir.clone(),
+                    ..CampaignOptions::default()
+                },
+            )
+            .expect("campaign runs");
+            black_box(outcome.ran_shards)
+        });
+    });
+    group.bench_function("mini_grid_resume_noop", |b| {
+        // Fully-checkpointed campaign: measures pure resume overhead
+        // (checkpoint load + summary regeneration, zero simulation).
+        let spec = mini_spec("resume");
+        std::fs::remove_dir_all(out_dir.join(&spec.name)).ok();
+        run_campaign(
+            &spec,
+            &CampaignOptions {
+                out_dir: out_dir.clone(),
+                ..CampaignOptions::default()
+            },
+        )
+        .expect("campaign runs");
+        b.iter(|| {
+            let outcome = run_campaign(
+                &spec,
+                &CampaignOptions {
+                    out_dir: out_dir.clone(),
+                    ..CampaignOptions::default()
+                },
+            )
+            .expect("campaign resumes");
+            black_box(outcome.resumed_shards)
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+fn bench_checkpoint_roundtrip(c: &mut Criterion) {
+    // A checkpoint the size of a serious campaign: 500 shards × 8
+    // trials. Render + parse happen once per completed shard, so they
+    // must stay well under a shard's simulation time.
+    let spec = mini_spec("roundtrip");
+    let mut ck = Checkpoint::new(&spec);
+    for shard in 0..500 {
+        let records: Vec<TrialRecord> = (0..8)
+            .map(|t| TrialRecord {
+                trial: shard * 8 + t,
+                steps: Some(1_000_000 + (shard * 8 + t) as u64 * 137),
+                leader: Some((t * 13) as u32),
+            })
+            .collect();
+        ck.shards
+            .insert(format!("token/cycle/8000/s{shard}"), records);
+    }
+    let text = ck.render();
+    let mut group = c.benchmark_group("sweep/checkpoint");
+    group.bench_function("render_500_shards", |b| {
+        b.iter(|| black_box(ck.render().len()));
+    });
+    group.bench_function("parse_500_shards", |b| {
+        b.iter(|| black_box(Checkpoint::from_text(&text).expect("parses").shards.len()));
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(20);
+    bench_campaign(&mut c);
+    bench_checkpoint_roundtrip(&mut c);
+}

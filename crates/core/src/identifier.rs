@@ -377,6 +377,7 @@ mod tests {
                 max_steps: 10_000_000,
                 census: true,
                 threads: 1,
+                ..TrialOptions::default()
             },
         );
         let stats = TrialStats::from_results(&results);

@@ -42,6 +42,14 @@ pub struct TrialResult {
 pub struct TrialOptions {
     /// Number of independent executions.
     pub trials: usize,
+    /// Global index of the first trial. Trial `j` of this call uses
+    /// child seed `first_trial + j` of the master seed and reports that
+    /// global index in [`TrialResult::trial`], so a batch of
+    /// `trials` executions starting at `first_trial` is exactly the
+    /// slice `[first_trial, first_trial + trials)` of one big run —
+    /// the mechanism sweep campaigns use to shard a cell into
+    /// independently checkpointable, bit-identical pieces.
+    pub first_trial: usize,
     /// Per-trial step budget.
     pub max_steps: u64,
     /// Whether to record the distinct-state census (slower).
@@ -54,6 +62,7 @@ impl Default for TrialOptions {
     fn default() -> Self {
         Self {
             trials: 16,
+            first_trial: 0,
             max_steps: u64::MAX,
             census: false,
             threads: 0,
@@ -63,8 +72,41 @@ impl Default for TrialOptions {
 
 /// Runs `options.trials` independent executions of `protocol` on `graph`.
 ///
-/// Results are returned in trial order. Each trial uses child seed `i` of
-/// `master_seed`, so results are independent of the thread count.
+/// Results are returned in trial order. Each trial uses child seed
+/// `options.first_trial + i` of `master_seed`, so results are independent
+/// of the thread count (and, for sharded campaigns, of how a trial range
+/// is split into calls).
+///
+/// # Examples
+///
+/// ```
+/// use popele_engine::monte_carlo::{run_trials, TrialOptions, TrialStats};
+/// # use popele_engine::{LeaderCountOracle, Protocol, Role};
+/// # #[derive(Clone, Copy)]
+/// # struct Absorb;
+/// # impl Protocol for Absorb {
+/// #     type State = bool;
+/// #     type Oracle = LeaderCountOracle;
+/// #     fn initial_state(&self, _node: u32) -> bool { true }
+/// #     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+/// #         if *a && *b { (true, false) } else { (*a, *b) }
+/// #     }
+/// #     fn output(&self, s: &bool) -> Role {
+/// #         if *s { Role::Leader } else { Role::Follower }
+/// #     }
+/// #     fn oracle(&self) -> LeaderCountOracle { LeaderCountOracle::new() }
+/// # }
+///
+/// let g = popele_graph::families::clique(12);
+/// let results = run_trials(&g, &Absorb, 42, TrialOptions {
+///     trials: 8,
+///     max_steps: 1 << 22,
+///     ..TrialOptions::default()
+/// });
+/// let stats = TrialStats::from_results(&results);
+/// assert_eq!(stats.steps.len(), 8);
+/// assert_eq!(stats.timeouts, 0);
+/// ```
 #[must_use]
 pub fn run_trials<P: Protocol>(
     graph: &Graph,
@@ -76,6 +118,7 @@ pub fn run_trials<P: Protocol>(
     let threads = resolve_threads(options.threads, options.trials);
 
     let run_one = |trial: usize| -> TrialResult {
+        let trial = options.first_trial + trial;
         let mut exec = Executor::new(graph, protocol, seq.child(trial as u64));
         if options.census {
             exec.enable_state_census();
@@ -108,6 +151,37 @@ pub fn run_trials<P: Protocol>(
 /// thread builds **one** executor and [`DenseExecutor::reset`]s it per
 /// trial (a reset is exactly equivalent to fresh construction), so
 /// per-trial setup is O(n) regardless of graph size.
+///
+/// # Examples
+///
+/// ```
+/// use popele_engine::monte_carlo::{run_trials, run_trials_dense, TrialOptions};
+/// use popele_engine::CompiledProtocol;
+/// # use popele_engine::{LeaderCountOracle, Protocol, Role};
+/// # #[derive(Clone, Copy)]
+/// # struct Absorb;
+/// # impl Protocol for Absorb {
+/// #     type State = bool;
+/// #     type Oracle = LeaderCountOracle;
+/// #     fn initial_state(&self, _node: u32) -> bool { true }
+/// #     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+/// #         if *a && *b { (true, false) } else { (*a, *b) }
+/// #     }
+/// #     fn output(&self, s: &bool) -> Role {
+/// #         if *s { Role::Leader } else { Role::Follower }
+/// #     }
+/// #     fn oracle(&self) -> LeaderCountOracle { LeaderCountOracle::new() }
+/// # }
+///
+/// let g = popele_graph::families::clique(12);
+/// let compiled = CompiledProtocol::compile_default(&Absorb, 12).unwrap();
+/// let opts = TrialOptions { trials: 4, max_steps: 1 << 22, ..TrialOptions::default() };
+/// // The compiled engine is trace-identical to the generic reference.
+/// assert_eq!(
+///     run_trials_dense(&g, &compiled, 7, opts),
+///     run_trials(&g, &Absorb, 7, opts),
+/// );
+/// ```
 #[must_use]
 pub fn run_trials_dense<P: Protocol>(
     graph: &Graph,
@@ -119,6 +193,7 @@ pub fn run_trials_dense<P: Protocol>(
     let threads = resolve_threads(options.threads, options.trials);
 
     let run_one = |exec: &mut DenseExecutor<'_, P>, trial: usize| -> TrialResult {
+        let trial = options.first_trial + trial;
         exec.reset(seq.child(trial as u64));
         match exec.run_until_stable(options.max_steps) {
             Ok(outcome) => TrialResult {
@@ -154,6 +229,34 @@ pub fn run_trials_dense<P: Protocol>(
 /// fast-protocol instances take the compiled path; protocols with large
 /// state spaces (e.g. the identifier protocol at realistic `k`) fall
 /// back. Either way the results are identical — only the speed differs.
+///
+/// # Examples
+///
+/// ```
+/// use popele_engine::monte_carlo::{run_trials_auto, TrialOptions};
+/// # use popele_engine::{LeaderCountOracle, Protocol, Role};
+/// # #[derive(Clone, Copy)]
+/// # struct Absorb;
+/// # impl Protocol for Absorb {
+/// #     type State = bool;
+/// #     type Oracle = LeaderCountOracle;
+/// #     fn initial_state(&self, _node: u32) -> bool { true }
+/// #     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+/// #         if *a && *b { (true, false) } else { (*a, *b) }
+/// #     }
+/// #     fn output(&self, s: &bool) -> Role {
+/// #         if *s { Role::Leader } else { Role::Follower }
+/// #     }
+/// #     fn oracle(&self) -> LeaderCountOracle { LeaderCountOracle::new() }
+/// # }
+///
+/// let g = popele_graph::families::cycle(10);
+/// let opts = TrialOptions { trials: 4, max_steps: 1 << 22, ..TrialOptions::default() };
+/// // Thread count never changes results, only wall-clock time.
+/// let sequential = run_trials_auto(&g, &Absorb, 3, TrialOptions { threads: 1, ..opts });
+/// let parallel = run_trials_auto(&g, &Absorb, 3, TrialOptions { threads: 4, ..opts });
+/// assert_eq!(sequential, parallel);
+/// ```
 #[must_use]
 pub fn run_trials_auto<P: Protocol + Clone>(
     graph: &Graph,
@@ -302,6 +405,7 @@ mod tests {
                 max_steps: 1 << 22,
                 census: true,
                 threads: 2,
+                ..TrialOptions::default()
             },
         );
         assert_eq!(results.len(), 8);
@@ -324,6 +428,7 @@ mod tests {
             max_steps: 1 << 22,
             census: false,
             threads,
+            ..TrialOptions::default()
         };
         let seq = run_trials(&g, &Absorb, 7, opts(1));
         let par = run_trials(&g, &Absorb, 7, opts(4));
@@ -339,6 +444,7 @@ mod tests {
             max_steps: 1 << 22,
             census: true,
             threads: 1,
+            ..TrialOptions::default()
         };
         let generic = run_trials(&g, &Absorb, 99, opts);
         let dense = run_trials_dense(&g, &compiled, 99, opts);
@@ -356,12 +462,37 @@ mod tests {
             max_steps: 1 << 22,
             census: false,
             threads,
+            ..TrialOptions::default()
         };
         let one = run_trials_dense(&g, &compiled, 7, opts(1));
         let four = run_trials_dense(&g, &compiled, 7, opts(4));
         let eight = run_trials_dense(&g, &compiled, 7, opts(8));
         assert_eq!(one, four);
         assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn sharded_trials_equal_one_big_run() {
+        // Splitting a trial range into `first_trial`-offset shards must
+        // reproduce the monolithic run bit for bit, on both engines.
+        let g = families::clique(12);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 12).unwrap();
+        let opts = |first_trial, trials| TrialOptions {
+            trials,
+            first_trial,
+            max_steps: 1 << 22,
+            census: false,
+            threads: 2,
+        };
+        let whole = run_trials(&g, &Absorb, 77, opts(0, 9));
+        let mut sharded = Vec::new();
+        for (start, len) in [(0, 4), (4, 3), (7, 2)] {
+            sharded.extend(run_trials(&g, &Absorb, 77, opts(start, len)));
+            let dense = run_trials_dense(&g, &compiled, 77, opts(start, len));
+            assert_eq!(&sharded[start..start + len], &dense[..]);
+        }
+        assert_eq!(whole, sharded);
+        assert_eq!(whole[5].trial, 5);
     }
 
     #[test]
@@ -376,6 +507,7 @@ mod tests {
                 max_steps: 2,
                 census: false,
                 threads: 1,
+                ..TrialOptions::default()
             },
         );
         let stats = TrialStats::from_results(&results);

@@ -1,14 +1,21 @@
-//! Experiment CLI: regenerates the paper's tables.
+//! Experiment CLI: regenerates the paper's tables and runs sweep
+//! campaigns.
 //!
 //! ```text
 //! popele-lab [EXPERIMENT ...] [--quick|--full] [--seed N] [--threads N] [--out DIR]
+//! popele-lab sweep [--quick|--full] [--name NAME] [--protocols P,..] [--families F,..]
+//!                  [--sizes N,..] [--trials N] [--shard N] [--max-steps N] [--max-edges N]
+//!                  [--seed N] [--threads N] [--out DIR] [--max-shards N] [--fresh]
 //!
 //! EXPERIMENT ∈ {table1, broadcast, propagation, walks, clocks, renitent, dense, all}
 //! ```
 //!
 //! Tables are printed to stdout and written as CSV under `--out`
-//! (default `results/`).
+//! (default `results/`); sweep campaigns additionally write a resumable
+//! `checkpoint.json` and a `summary.json` under `--out/NAME/`.
 
+use popele_lab::sweep::{run_campaign, CampaignOptions, ProtocolSpec, SweepSpec};
+use popele_lab::workloads::Family;
 use popele_lab::{ExperimentId, RunConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,14 +23,162 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: popele-lab [EXPERIMENT ...] [--quick|--full] [--seed N] [--threads N] [--out DIR]\n\
-         experiments: all {}",
+         \x20      popele-lab sweep [--quick|--full] [--name NAME] [--protocols P,..]\n\
+         \x20                       [--families F,..] [--sizes N,..] [--trials N] [--shard N]\n\
+         \x20                       [--max-steps N] [--max-edges N] [--seed N] [--threads N]\n\
+         \x20                       [--out DIR] [--max-shards N] [--fresh]\n\
+         experiments: all {}\n\
+         sweep protocols: {}\n\
+         sweep families: {}",
         ExperimentId::ALL
             .iter()
             .map(|e| e.name())
             .collect::<Vec<_>>()
+            .join(" "),
+        ProtocolSpec::ALL
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(" "),
+        Family::ALL
+            .iter()
+            .map(|f| f.label())
+            .collect::<Vec<_>>()
             .join(" ")
     );
     std::process::exit(2)
+}
+
+/// Parses a comma-separated list through `parse_one`, exiting with
+/// usage on any bad element.
+fn parse_list<T>(raw: &str, parse_one: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    let items: Option<Vec<T>> = raw.split(',').map(|s| parse_one(s.trim())).collect();
+    match items {
+        Some(items) if !items.is_empty() => items,
+        _ => {
+            eprintln!("could not parse list: {raw}");
+            usage()
+        }
+    }
+}
+
+/// Runs `popele-lab sweep ...`.
+fn sweep_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut spec = SweepSpec::default();
+    let mut options = CampaignOptions {
+        progress: true,
+        ..CampaignOptions::default()
+    };
+    let mut fresh = false;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--quick" => {}
+            "--full" => {
+                // Full mode: the paper-scale preset — more trials and a
+                // budget that lets the quasilinear protocols finish at
+                // the largest sizes (the slow pairs still time out; that
+                // is the result).
+                spec.trials_per_cell = 8;
+                spec.shard_trials = 2;
+                spec.max_steps = 400_000_000;
+            }
+            "--name" => spec.name = value("--name"),
+            "--protocols" => {
+                spec.protocols = parse_list(&value("--protocols"), ProtocolSpec::parse);
+            }
+            "--families" => spec.families = parse_list(&value("--families"), Family::parse),
+            "--sizes" => {
+                // Workload sizes start at 4 (`Family::generate` asserts
+                // it); reject smaller ones here as a usage error.
+                spec.sizes = parse_list(&value("--sizes"), |s| {
+                    s.parse().ok().filter(|&n: &u32| n >= 4)
+                });
+            }
+            "--trials" => {
+                spec.trials_per_cell = value("--trials").parse().unwrap_or_else(|_| usage())
+            }
+            "--shard" => spec.shard_trials = value("--shard").parse().unwrap_or_else(|_| usage()),
+            "--max-steps" => {
+                spec.max_steps = value("--max-steps").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-edges" => {
+                spec.max_edges = value("--max-edges").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => spec.master_seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--threads" => spec.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--out" => options.out_dir = PathBuf::from(value("--out")),
+            "--max-shards" => {
+                options.interrupt_after =
+                    Some(value("--max-shards").parse().unwrap_or_else(|_| usage()));
+            }
+            "--fresh" => fresh = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown sweep flag: {other}");
+                usage()
+            }
+        }
+    }
+
+    if !SweepSpec::valid_name(&spec.name) {
+        eprintln!(
+            "invalid campaign name {:?}: must be non-empty and free of path separators",
+            spec.name
+        );
+        usage()
+    }
+    if fresh {
+        std::fs::remove_dir_all(options.out_dir.join(&spec.name)).ok();
+    }
+    println!(
+        "# popele-lab sweep — campaign: {}, grid: {} protocols × {} families × {} sizes, \
+         {} trials/cell (shards of {}), budget {} steps/trial, seed {}",
+        spec.name,
+        spec.protocols.len(),
+        spec.families.len(),
+        spec.sizes.len(),
+        spec.trials_per_cell,
+        spec.shard_trials.max(1),
+        spec.max_steps,
+        spec.master_seed
+    );
+    let started = std::time::Instant::now();
+    match run_campaign(&spec, &options) {
+        Ok(outcome) => {
+            for table in &outcome.tables {
+                println!("\n{}", table.render());
+            }
+            if outcome.completed {
+                println!(
+                    "# campaign complete in {:.1?}: {} shards run, {} resumed; outputs in {}",
+                    started.elapsed(),
+                    outcome.ran_shards,
+                    outcome.resumed_shards,
+                    outcome.dir.display()
+                );
+            } else {
+                println!(
+                    "# campaign paused after {} shards ({} resumed) in {:.1?}; rerun the same \
+                     command to continue from {}",
+                    outcome.ran_shards,
+                    outcome.resumed_shards,
+                    started.elapsed(),
+                    outcome.dir.join("checkpoint.json").display()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -31,7 +186,11 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut selected: Vec<ExperimentId> = Vec::new();
 
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("sweep") {
+        return sweep_main(argv.into_iter().skip(1));
+    }
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => cfg.quick = true,

@@ -43,6 +43,7 @@ pub(crate) fn protocol_stats<P: Protocol + Clone>(
             max_steps: 4_000_000_000,
             census,
             threads,
+            ..TrialOptions::default()
         },
     );
     TrialStats::from_results(&results)

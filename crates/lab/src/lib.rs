@@ -31,6 +31,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 pub mod workloads;
 
 use std::fmt;

@@ -1,0 +1,310 @@
+//! Resume-safe campaign checkpoints.
+//!
+//! A [`Checkpoint`] holds every completed shard's trial results plus
+//! per-cell graph metadata, keyed by the stable shard/cell keys of
+//! [`crate::sweep::spec`]. It is saved after **every** shard (atomically:
+//! write to a temp file, then rename), so a killed campaign loses at most
+//! the shard in flight. Because shard results are bit-identical to the
+//! corresponding slice of an uninterrupted run (per-trial seeds are
+//! globally indexed) and serialization is canonical (keys sorted, one
+//! deterministic number rendering), the checkpoint an interrupted-then-
+//! resumed campaign ends with is *byte*-identical to the one a straight
+//! run writes — the resume test asserts exactly that.
+
+use super::json::Json;
+use super::spec::SweepSpec;
+use popele_engine::monte_carlo::TrialResult;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Result of one trial, as persisted.
+///
+/// The census is never enabled in sweeps, so only the stabilization
+/// step (or timeout) and the elected leader are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Global trial index within the cell.
+    pub trial: usize,
+    /// Stabilization step; `None` records a budget timeout.
+    pub steps: Option<u64>,
+    /// Elected leader, when one was stable at the end.
+    pub leader: Option<u32>,
+}
+
+impl From<&TrialResult> for TrialRecord {
+    fn from(r: &TrialResult) -> Self {
+        Self {
+            trial: r.trial,
+            steps: r.stabilization_step,
+            leader: r.leader,
+        }
+    }
+}
+
+/// Graph metadata of a cell, recorded when its first shard runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellMeta {
+    /// Actual node count (families may round the nominal size).
+    pub n: u32,
+    /// Edge count.
+    pub m: u64,
+}
+
+/// Persistent state of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of the producing [`SweepSpec`]; loading under a
+    /// different fingerprint is refused.
+    pub fingerprint: String,
+    /// Completed shards: shard key → trial records (ascending trials).
+    pub shards: BTreeMap<String, Vec<TrialRecord>>,
+    /// Cell key → graph metadata.
+    pub cells: BTreeMap<String, CellMeta>,
+}
+
+impl Checkpoint {
+    /// Empty checkpoint for a spec.
+    #[must_use]
+    pub fn new(spec: &SweepSpec) -> Self {
+        Self {
+            fingerprint: spec.fingerprint(),
+            shards: BTreeMap::new(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Canonical JSON rendering (sorted keys; a pure function of the
+    /// contents).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let shards = self
+            .shards
+            .iter()
+            .map(|(key, records)| {
+                let rows = records
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("trial".into(), Json::from_u64(r.trial as u64)),
+                            ("steps".into(), Json::from_opt_u64(r.steps)),
+                            ("leader".into(), Json::from_opt_u64(r.leader.map(u64::from))),
+                        ])
+                    })
+                    .collect();
+                (key.clone(), Json::Arr(rows))
+            })
+            .collect();
+        let cells = self
+            .cells
+            .iter()
+            .map(|(key, meta)| {
+                (
+                    key.clone(),
+                    Json::Obj(vec![
+                        ("n".into(), Json::from_u64(u64::from(meta.n))),
+                        ("m".into(), Json::from_u64(meta.m)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("fingerprint".into(), Json::Str(self.fingerprint.clone())),
+            ("cells".into(), Json::Obj(cells)),
+            ("shards".into(), Json::Obj(shards)),
+        ])
+        .render()
+    }
+
+    /// Parses a rendered checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a missing/mistyped field.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        let fingerprint = root
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("missing fingerprint")?
+            .to_string();
+        let mut cells = BTreeMap::new();
+        if let Some(Json::Obj(members)) = root.get("cells") {
+            for (key, meta) in members {
+                let n = meta
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or("cell missing n")?;
+                let m = meta
+                    .get("m")
+                    .and_then(Json::as_u64)
+                    .ok_or("cell missing m")?;
+                cells.insert(
+                    key.clone(),
+                    CellMeta {
+                        n: u32::try_from(n).map_err(|e| e.to_string())?,
+                        m,
+                    },
+                );
+            }
+        }
+        let mut shards = BTreeMap::new();
+        if let Some(Json::Obj(members)) = root.get("shards") {
+            for (key, rows) in members {
+                let rows = rows.as_arr().ok_or("shard records must be an array")?;
+                let mut records = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let trial = row
+                        .get("trial")
+                        .and_then(Json::as_u64)
+                        .ok_or("record missing trial")?;
+                    let steps = match row.get("steps") {
+                        Some(Json::Null) | None => None,
+                        Some(v) => Some(v.as_u64().ok_or("steps must be an integer")?),
+                    };
+                    let leader = match row.get("leader") {
+                        Some(Json::Null) | None => None,
+                        Some(v) => {
+                            let raw = v.as_u64().ok_or("leader must be an integer")?;
+                            Some(u32::try_from(raw).map_err(|e| e.to_string())?)
+                        }
+                    };
+                    records.push(TrialRecord {
+                        trial: trial as usize,
+                        steps,
+                        leader,
+                    });
+                }
+                shards.insert(key.clone(), records);
+            }
+        }
+        Ok(Self {
+            fingerprint,
+            shards,
+            cells,
+        })
+    }
+
+    /// Loads a checkpoint from disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors propagate; parse errors surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_text(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+
+    /// Atomically writes the checkpoint (temp file + rename), so a kill
+    /// mid-save never corrupts the previous checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// All records of a cell, in ascending trial order, assembled from
+    /// its shards.
+    #[must_use]
+    pub fn cell_records(&self, cell_key: &str) -> Vec<TrialRecord> {
+        let prefix = format!("{cell_key}/s");
+        let mut records: Vec<TrialRecord> = self
+            .shards
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .flat_map(|(_, rs)| rs.iter().copied())
+            .collect();
+        records.sort_by_key(|r| r.trial);
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let spec = SweepSpec::default();
+        let mut ck = Checkpoint::new(&spec);
+        ck.cells
+            .insert("token/cycle/2000".into(), CellMeta { n: 2000, m: 2000 });
+        ck.shards.insert(
+            "token/cycle/2000/s0".into(),
+            vec![
+                TrialRecord {
+                    trial: 0,
+                    steps: Some(123_456),
+                    leader: Some(17),
+                },
+                TrialRecord {
+                    trial: 1,
+                    steps: None,
+                    leader: None,
+                },
+            ],
+        );
+        ck.shards.insert(
+            "token/cycle/2000/s1".into(),
+            vec![TrialRecord {
+                trial: 2,
+                steps: Some(99),
+                leader: Some(0),
+            }],
+        );
+        ck
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_and_byte_stable() {
+        let ck = sample();
+        let text = ck.render();
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(ck, back);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn cell_records_merge_shards_in_trial_order() {
+        let ck = sample();
+        let records = ck.cell_records("token/cycle/2000");
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.trial).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // A prefix of another cell key must not leak in.
+        assert!(ck.cell_records("token/cycle/200").is_empty());
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("popele-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_checkpoint_is_invalid_data() {
+        let dir = std::env::temp_dir().join("popele-checkpoint-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        std::fs::write(&path, "{\"fingerprint\": 3}").unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

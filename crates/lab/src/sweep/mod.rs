@@ -1,0 +1,66 @@
+//! Sweep campaigns: sharded Monte-Carlo grids over protocols × graph
+//! families × sizes.
+//!
+//! The paper's headline results (Table 1, Theorems 16/21/24) are
+//! statements about how stabilization time scales across *graph
+//! families*. This module makes such cross-family measurements cheap:
+//! declare a grid once ([`SweepSpec`]), run it with checkpointed,
+//! resume-safe sharding ([`run_campaign`]), and get per-cell statistics
+//! plus fitted scaling exponents ([`summary`]) as deterministic JSON and
+//! CSV under `results/<name>/`.
+//!
+//! # Reproducibility contract
+//!
+//! For a fixed spec (grid + master seed + step budget), the campaign's
+//! `checkpoint.json` and `summary.json` are **byte-identical**:
+//!
+//! * across thread counts (per-trial seeds are derived, not consumed in
+//!   execution order);
+//! * across engines (the compiled dense engine is trace-identical to the
+//!   generic one; [`popele_engine::monte_carlo::run_trials_auto`] picks
+//!   freely);
+//! * across interruptions — kill the process after any shard, rerun the
+//!   same command, and the completed campaign's outputs match an
+//!   uninterrupted run byte for byte (`tests/sweep_resume.rs` asserts
+//!   this);
+//! * across grid edits that don't touch a cell: a cell's trial seeds
+//!   derive from its *key* (`token/cycle/2000`), so adding a protocol or
+//!   size never silently changes existing cells' numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use popele_lab::sweep::{run_campaign, CampaignOptions, ProtocolSpec, SweepSpec};
+//! use popele_lab::workloads::Family;
+//!
+//! let spec = SweepSpec {
+//!     name: "doc-example".into(),
+//!     protocols: vec![ProtocolSpec::Token],
+//!     families: vec![Family::Clique, Family::Cycle],
+//!     sizes: vec![8, 16],
+//!     trials_per_cell: 2,
+//!     shard_trials: 1,
+//!     max_steps: 1 << 22,
+//!     ..SweepSpec::default()
+//! };
+//! let out_dir = std::env::temp_dir().join("popele-sweep-doc");
+//! # std::fs::remove_dir_all(&out_dir).ok();
+//! let outcome = run_campaign(
+//!     &spec,
+//!     &CampaignOptions { out_dir: out_dir.clone(), ..CampaignOptions::default() },
+//! )
+//! .unwrap();
+//! assert!(outcome.completed);
+//! assert_eq!(outcome.ran_shards, 2 * 2 * 2);
+//! # std::fs::remove_dir_all(&out_dir).ok();
+//! ```
+
+pub mod checkpoint;
+pub mod json;
+pub mod runner;
+pub mod spec;
+pub mod summary;
+
+pub use checkpoint::{CellMeta, Checkpoint, TrialRecord};
+pub use runner::{checkpoint_path, run_campaign, summary_path, CampaignOptions, CampaignOutcome};
+pub use spec::{CellSpec, ProtocolSpec, ShardSpec, SweepSpec};

@@ -1,0 +1,344 @@
+//! Campaign execution: shards through `run_trials_auto`, checkpoint
+//! after every shard, outputs at the end.
+//!
+//! The runner is deliberately boring: enumerate the spec's shards in
+//! their deterministic order, skip the ones the checkpoint already
+//! holds, run the rest (each through the engine-selecting
+//! [`run_trials_auto`] with a globally-indexed `first_trial`), and save
+//! the checkpoint atomically after each one. All the reproducibility
+//! guarantees live below (seed derivation in the spec, trace-identical
+//! engines, canonical serialization); the runner just never reorders or
+//! re-derives anything.
+
+use super::checkpoint::{CellMeta, Checkpoint};
+use super::spec::{CellSpec, ProtocolSpec, SweepSpec};
+use super::summary;
+use crate::report::Table;
+use crate::workloads::{broadcast_guess, Family};
+use popele_core::params::{identifier_bits, FastParams};
+use popele_core::{
+    FastProtocol, IdentifierProtocol, MajorityProtocol, StarProtocol, TokenProtocol,
+};
+use popele_engine::monte_carlo::{run_trials_auto, TrialOptions, TrialResult};
+use popele_graph::Graph;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Execution options orthogonal to the grid itself.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Directory under which `<spec.name>/` is created.
+    pub out_dir: PathBuf,
+    /// Stop after this many *newly run* shards (checkpoint hits do not
+    /// count), leaving a resumable checkpoint behind. `None` runs to
+    /// completion. This is how the CLI's `--max-shards` budgets a long
+    /// campaign across invocations — and how the resume tests simulate
+    /// a kill.
+    pub interrupt_after: Option<usize>,
+    /// Print per-shard progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            out_dir: PathBuf::from("results"),
+            interrupt_after: None,
+            progress: false,
+        }
+    }
+}
+
+/// What a [`run_campaign`] call did.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Whether every shard of the grid is now complete (outputs were
+    /// written) or the run stopped at `interrupt_after`.
+    pub completed: bool,
+    /// Shards executed by this call.
+    pub ran_shards: usize,
+    /// Shards already present in the checkpoint (resumed work).
+    pub resumed_shards: usize,
+    /// Campaign directory (`out_dir/<name>`).
+    pub dir: PathBuf,
+    /// Rendered summary tables (empty unless completed).
+    pub tables: Vec<Table>,
+}
+
+/// Path of a campaign's checkpoint file.
+#[must_use]
+pub fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("checkpoint.json")
+}
+
+/// Path of a campaign's summary JSON.
+#[must_use]
+pub fn summary_path(dir: &Path) -> PathBuf {
+    dir.join("summary.json")
+}
+
+/// Runs (or resumes) a campaign.
+///
+/// If a checkpoint with the spec's fingerprint exists under the
+/// campaign directory its shards are reused; a checkpoint from a
+/// *different* grid is an error (use a different campaign name, or
+/// delete the directory). On completion, `summary.json` plus per-table
+/// CSVs are written next to the checkpoint and the summary tables are
+/// returned.
+///
+/// For a fixed spec the bytes of `checkpoint.json` and `summary.json`
+/// are identical regardless of thread count and of how often the run
+/// was interrupted and resumed.
+///
+/// # Errors
+///
+/// Propagates I/O errors; an incompatible existing checkpoint or an
+/// invalid campaign name (see [`SweepSpec::valid_name`]) surfaces as
+/// [`io::ErrorKind::InvalidInput`].
+pub fn run_campaign(spec: &SweepSpec, options: &CampaignOptions) -> io::Result<CampaignOutcome> {
+    if !SweepSpec::valid_name(&spec.name) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid campaign name {:?}", spec.name),
+        ));
+    }
+    let dir = options.out_dir.join(&spec.name);
+    std::fs::create_dir_all(&dir)?;
+    let ckpt_path = checkpoint_path(&dir);
+
+    let mut checkpoint = if ckpt_path.exists() {
+        let loaded = Checkpoint::load(&ckpt_path)?;
+        if loaded.fingerprint != spec.fingerprint() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "checkpoint {} belongs to a different grid\n  have: {}\n  want: {}",
+                    ckpt_path.display(),
+                    loaded.fingerprint,
+                    spec.fingerprint()
+                ),
+            ));
+        }
+        loaded
+    } else {
+        Checkpoint::new(spec)
+    };
+
+    let shards = spec.shards();
+    let total = shards.len();
+    let mut ran = 0usize;
+    let mut resumed = 0usize;
+    // Consecutive shards share their (family, size) graph; build it once.
+    let mut cached: Option<(Family, u32, Graph)> = None;
+
+    for (i, shard) in shards.iter().enumerate() {
+        let key = shard.key();
+        if checkpoint.shards.contains_key(&key) {
+            resumed += 1;
+            continue;
+        }
+        if options.interrupt_after == Some(ran) {
+            return Ok(CampaignOutcome {
+                completed: false,
+                ran_shards: ran,
+                resumed_shards: resumed,
+                dir,
+                tables: Vec::new(),
+            });
+        }
+        let (family, size) = (shard.cell.family, shard.cell.size);
+        let graph_is_cached = matches!(&cached, Some((f, s, _)) if *f == family && *s == size);
+        if !graph_is_cached {
+            cached = Some((
+                family,
+                size,
+                family.generate(size, spec.graph_seed(family, size)),
+            ));
+        }
+        let graph = &cached.as_ref().expect("just cached").2;
+        if options.progress {
+            eprintln!(
+                "[sweep {}] shard {}/{total}: {key} (n={}, m={})",
+                spec.name,
+                i + 1,
+                graph.num_nodes(),
+                graph.num_edges()
+            );
+        }
+        checkpoint
+            .cells
+            .entry(shard.cell.key())
+            .or_insert(CellMeta {
+                n: graph.num_nodes(),
+                m: graph.num_edges() as u64,
+            });
+        let results = run_shard(spec, &shard.cell, graph, shard.first_trial, shard.trials);
+        checkpoint
+            .shards
+            .insert(key, results.iter().map(Into::into).collect());
+        checkpoint.save(&ckpt_path)?;
+        ran += 1;
+    }
+
+    let tables = summary::tables(spec, &checkpoint);
+    std::fs::write(summary_path(&dir), summary::render(spec, &checkpoint))?;
+    for table in &tables {
+        table.write_csv(&dir)?;
+    }
+    Ok(CampaignOutcome {
+        completed: true,
+        ran_shards: ran,
+        resumed_shards: resumed,
+        dir,
+        tables,
+    })
+}
+
+/// Runs one shard of a cell: instantiates the protocol for the concrete
+/// graph (deterministically) and hands it to the engine-selecting
+/// Monte-Carlo entry point.
+fn run_shard(
+    spec: &SweepSpec,
+    cell: &CellSpec,
+    graph: &Graph,
+    first_trial: usize,
+    trials: usize,
+) -> Vec<TrialResult> {
+    let options = TrialOptions {
+        trials,
+        first_trial,
+        max_steps: spec.max_steps,
+        census: false,
+        threads: spec.threads,
+    };
+    let seed = spec.cell_seed(cell);
+    match cell.protocol {
+        ProtocolSpec::Token => {
+            run_trials_auto(graph, &TokenProtocol::all_candidates(), seed, options)
+        }
+        ProtocolSpec::Identifier => {
+            let p = IdentifierProtocol::new(identifier_bits(graph.num_nodes(), false));
+            run_trials_auto(graph, &p, seed, options)
+        }
+        ProtocolSpec::Fast => {
+            // The a-priori broadcast guess is deterministic in the
+            // graph, keeping the cell self-contained (no measurement
+            // sub-experiment whose seeds would have to be checkpointed).
+            let params = FastParams::practical(
+                broadcast_guess(graph),
+                graph.max_degree(),
+                graph.num_edges(),
+                graph.num_nodes(),
+            );
+            run_trials_auto(graph, &FastProtocol::new(params), seed, options)
+        }
+        ProtocolSpec::Star => run_trials_auto(graph, &StarProtocol::new(), seed, options),
+        ProtocolSpec::Majority => {
+            // Fixed 60/40 opinion split, nudged off an exact tie.
+            let n = graph.num_nodes();
+            let mut a = (u64::from(n) * 3 / 5).max(1) as u32;
+            if 2 * a == n {
+                a += 1;
+            }
+            run_trials_auto(graph, &MajorityProtocol::new(a, n), seed, options)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(name: &str) -> SweepSpec {
+        SweepSpec {
+            name: name.into(),
+            protocols: vec![ProtocolSpec::Token, ProtocolSpec::Majority],
+            families: vec![Family::Clique, Family::Star],
+            sizes: vec![8, 12],
+            trials_per_cell: 3,
+            shard_trials: 2,
+            max_steps: 1 << 22,
+            master_seed: 0xFEED,
+            threads: 1,
+            max_edges: 1 << 20,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("popele-runner-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn campaign_completes_and_writes_outputs() {
+        let out = temp_dir("complete");
+        let spec = tiny_spec("t1");
+        let outcome = run_campaign(
+            &spec,
+            &CampaignOptions {
+                out_dir: out.clone(),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(outcome.completed);
+        // 8 cells × 2 shards each (3 trials in shards of 2).
+        assert_eq!(outcome.ran_shards, 16);
+        assert_eq!(outcome.resumed_shards, 0);
+        assert!(checkpoint_path(&outcome.dir).exists());
+        assert!(summary_path(&outcome.dir).exists());
+        assert!(!outcome.tables.is_empty());
+        // Re-running resumes everything and reruns nothing.
+        let again = run_campaign(
+            &spec,
+            &CampaignOptions {
+                out_dir: out.clone(),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(again.ran_shards, 0);
+        assert_eq!(again.resumed_shards, 16);
+        std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn path_like_campaign_names_are_refused() {
+        for bad in ["", "..", "evil/name"] {
+            let spec = SweepSpec {
+                name: bad.into(),
+                ..tiny_spec(bad)
+            };
+            let err = run_campaign(&spec, &CampaignOptions::default()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn incompatible_checkpoint_is_refused() {
+        let out = temp_dir("refuse");
+        let spec = tiny_spec("t2");
+        run_campaign(
+            &spec,
+            &CampaignOptions {
+                out_dir: out.clone(),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        let mut other = spec;
+        other.master_seed ^= 1;
+        let err = run_campaign(
+            &other,
+            &CampaignOptions {
+                out_dir: out.clone(),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_dir_all(&out).ok();
+    }
+}

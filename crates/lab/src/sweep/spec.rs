@@ -1,0 +1,437 @@
+//! Declarative sweep grids: protocols × graph families × sizes.
+//!
+//! A [`SweepSpec`] names every cell of a campaign up front; all
+//! randomness derives from the master seed through *stable cell keys*
+//! (strings like `token/cycle/2000`), so a cell's results do not depend
+//! on which other cells share the grid, on execution order, or on the
+//! thread count. [`SweepSpec::shards`] slices each cell's trial range
+//! into fixed-size shards — the unit of checkpointing — whose
+//! [`popele_engine::monte_carlo::TrialOptions::first_trial`] offsets
+//! make the concatenation of shard results bit-identical to one
+//! monolithic run.
+
+use crate::workloads::Family;
+use popele_math::rng::SeedSeq;
+use std::fmt;
+
+/// A protocol the sweep layer knows how to instantiate per graph.
+///
+/// Parameterized protocols (identifier bits, fast-protocol clock and
+/// level parameters) are derived deterministically from the concrete
+/// graph, exactly as the Table 1 experiment derives them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolSpec {
+    /// 6-state token baseline (Theorem 16).
+    Token,
+    /// Time-optimal identifier protocol (Theorem 21) at practical
+    /// `k(n)` bits; its `O(n⁴)` state space falls back to the generic
+    /// engine by design.
+    Identifier,
+    /// Space-efficient fast protocol (Theorem 24) with practical
+    /// parameters derived from a deterministic broadcast-time guess.
+    Fast,
+    /// Trivial 3-state star protocol (Table 1 "Stars" row).
+    Star,
+    /// Exact-majority extension (Section 8) with a fixed 60/40 split.
+    Majority,
+}
+
+impl ProtocolSpec {
+    /// Every sweepable protocol, in canonical order.
+    pub const ALL: [ProtocolSpec; 5] = [
+        ProtocolSpec::Token,
+        ProtocolSpec::Identifier,
+        ProtocolSpec::Fast,
+        ProtocolSpec::Star,
+        ProtocolSpec::Majority,
+    ];
+
+    /// CLI / key name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolSpec::Token => "token",
+            ProtocolSpec::Identifier => "identifier",
+            ProtocolSpec::Fast => "fast",
+            ProtocolSpec::Star => "star",
+            ProtocolSpec::Majority => "majority",
+        }
+    }
+
+    /// Parses a [`Self::label`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|p| p.label() == name)
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A full campaign grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Campaign name; outputs land under `<out>/<name>/`.
+    pub name: String,
+    /// Protocols to sweep.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Graph families to sweep.
+    pub families: Vec<Family>,
+    /// Nominal sizes to sweep (families may round, e.g. the torus to a
+    /// square).
+    pub sizes: Vec<u32>,
+    /// Trials per cell.
+    pub trials_per_cell: usize,
+    /// Trials per shard (the checkpointing granule); the last shard of
+    /// a cell may be shorter.
+    pub shard_trials: usize,
+    /// Per-trial step budget; exhausting it records a timeout, which is
+    /// a first-class result (the paper's slow protocol × family pairs
+    /// are *expected* to blow any practical budget at scale).
+    pub max_steps: u64,
+    /// Master seed; every cell, graph and trial seed derives from it.
+    pub master_seed: u64,
+    /// Worker threads per shard; `0` = one per core. Never affects
+    /// results. Note the effective parallelism is additionally capped
+    /// at [`Self::shard_trials`]: shards run sequentially (so the
+    /// checkpoint advances in deterministic order) and a shard has only
+    /// `shard_trials` independent trials to hand out. Raise the shard
+    /// size to use more cores at the cost of coarser checkpoints.
+    pub threads: usize,
+    /// Cells whose family would need more than this many edges are
+    /// skipped (recorded as such in the summary) instead of
+    /// materializing a multi-gigabyte edge list.
+    pub max_edges: u64,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self {
+            name: "sweep".into(),
+            protocols: vec![
+                ProtocolSpec::Token,
+                ProtocolSpec::Identifier,
+                ProtocolSpec::Fast,
+            ],
+            families: vec![
+                Family::Cycle,
+                Family::Star,
+                Family::Torus,
+                Family::RandomRegular4,
+            ],
+            sizes: vec![2_000, 16_000, 80_000],
+            trials_per_cell: 4,
+            shard_trials: 2,
+            max_steps: 30_000_000,
+            master_seed: 0xC0FFEE,
+            threads: 0,
+            max_edges: 1 << 27,
+        }
+    }
+}
+
+/// One cell of the grid: a (protocol, family, nominal size) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Protocol under test.
+    pub protocol: ProtocolSpec,
+    /// Graph family.
+    pub family: Family,
+    /// Nominal size.
+    pub size: u32,
+}
+
+impl CellSpec {
+    /// Stable key of the cell, e.g. `token/cycle/2000`. Seeds and
+    /// checkpoint entries are addressed by this key, so a cell's
+    /// results are independent of the rest of the grid.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.protocol.label(),
+            self.family.label(),
+            self.size
+        )
+    }
+}
+
+/// One shard of a cell: a contiguous trial range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The cell this shard belongs to.
+    pub cell: CellSpec,
+    /// Index of the shard within its cell.
+    pub shard: usize,
+    /// Global index of the shard's first trial within the cell.
+    pub first_trial: usize,
+    /// Number of trials in this shard.
+    pub trials: usize,
+}
+
+impl ShardSpec {
+    /// Stable checkpoint key, e.g. `token/cycle/2000/s1`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{}/s{}", self.cell.key(), self.shard)
+    }
+}
+
+/// FNV-1a hash of a key string — the stable bridge from cell keys to
+/// seed-sequence children.
+#[must_use]
+fn key_hash(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+impl SweepSpec {
+    /// Whether `name` is safe to use as the campaign's directory name:
+    /// non-empty and free of path separators or parent references, so
+    /// `<out>/<name>` can never resolve outside (or *to*) the output
+    /// directory — which matters because the CLI's `--fresh` deletes it.
+    #[must_use]
+    pub fn valid_name(name: &str) -> bool {
+        !name.is_empty() && name != "." && name != ".." && !name.contains(['/', '\\'])
+    }
+
+    /// The grid's cells, family-major then size then protocol, so
+    /// consecutive cells share a graph and the runner can reuse it.
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for &family in &self.families {
+            for &size in &self.sizes {
+                for &protocol in &self.protocols {
+                    cells.push(CellSpec {
+                        protocol,
+                        family,
+                        size,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Why a cell cannot run, if it cannot: its graph would exceed the
+    /// edge budget, or its protocol's stability oracle is only exact on
+    /// a family it is not paired with (the star protocol off stars).
+    /// Skipped cells are excluded from [`Self::shards`] and recorded as
+    /// skipped — with this reason — in the campaign summary.
+    #[must_use]
+    pub fn cell_skip_reason(&self, cell: &CellSpec) -> Option<String> {
+        if cell.family.approx_edges(cell.size) > self.max_edges {
+            return Some(format!(
+                "~{} edges exceed the max_edges budget of {}",
+                cell.family.approx_edges(cell.size),
+                self.max_edges
+            ));
+        }
+        if cell.protocol == ProtocolSpec::Star && cell.family != Family::Star {
+            return Some("the star protocol's oracle is only exact on stars".into());
+        }
+        None
+    }
+
+    /// All runnable shards, in deterministic execution order (skipped
+    /// cells excluded — they appear only in the summary's skip list).
+    #[must_use]
+    pub fn shards(&self) -> Vec<ShardSpec> {
+        let shard_trials = self.shard_trials.max(1);
+        let mut shards = Vec::new();
+        for cell in self.cells() {
+            if self.cell_skip_reason(&cell).is_some() {
+                continue;
+            }
+            let mut first_trial = 0;
+            let mut shard = 0;
+            while first_trial < self.trials_per_cell {
+                let trials = shard_trials.min(self.trials_per_cell - first_trial);
+                shards.push(ShardSpec {
+                    cell,
+                    shard,
+                    first_trial,
+                    trials,
+                });
+                first_trial += trials;
+                shard += 1;
+            }
+        }
+        shards
+    }
+
+    /// The master seed of a cell's trial sequence. Derived from the
+    /// cell *key*, not its position, so adding or removing other
+    /// protocols/families/sizes never changes this cell's results.
+    #[must_use]
+    pub fn cell_seed(&self, cell: &CellSpec) -> u64 {
+        SeedSeq::new(self.master_seed).child(key_hash(&cell.key()))
+    }
+
+    /// The seed used to generate the `(family, size)` graph — shared by
+    /// every protocol in the grid, so protocols are compared on the
+    /// *same* random graph instance.
+    #[must_use]
+    pub fn graph_seed(&self, family: Family, size: u32) -> u64 {
+        let key = format!("graph/{}/{}", family.label(), size);
+        SeedSeq::new(self.master_seed).child(key_hash(&key))
+    }
+
+    /// Canonical one-line fingerprint of everything that determines the
+    /// campaign's results. Checkpoints store it; resuming with a
+    /// different grid is refused instead of silently mixing results.
+    /// (`threads` is deliberately absent: it never affects results.)
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let list = |items: Vec<String>| items.join(",");
+        format!(
+            "v1;protocols={};families={};sizes={};trials={};shard={};max_steps={};seed={};max_edges={}",
+            list(self.protocols.iter().map(|p| p.label().to_string()).collect()),
+            list(self.families.iter().map(|f| f.label().to_string()).collect()),
+            list(self.sizes.iter().map(|s| s.to_string()).collect()),
+            self.trials_per_cell,
+            self.shard_trials.max(1),
+            self.max_steps,
+            self.master_seed,
+            self.max_edges,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepSpec {
+        SweepSpec {
+            protocols: vec![ProtocolSpec::Token, ProtocolSpec::Majority],
+            families: vec![Family::Clique, Family::Cycle],
+            sizes: vec![8, 12],
+            trials_per_cell: 5,
+            shard_trials: 2,
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn protocol_labels_roundtrip() {
+        for p in ProtocolSpec::ALL {
+            assert_eq!(ProtocolSpec::parse(p.label()), Some(p));
+            assert_eq!(format!("{p}"), p.label());
+        }
+        assert_eq!(ProtocolSpec::parse("nope"), None);
+    }
+
+    #[test]
+    fn family_labels_roundtrip() {
+        for f in Family::ALL {
+            assert_eq!(Family::parse(f.label()), Some(f));
+        }
+        assert_eq!(Family::parse("nope"), None);
+    }
+
+    #[test]
+    fn grid_enumeration_and_sharding() {
+        let spec = tiny();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].key(), "token/clique/8");
+        assert_eq!(cells[1].key(), "majority/clique/8");
+        // 5 trials in shards of 2 → 2 + 2 + 1 per cell.
+        let shards = spec.shards();
+        assert_eq!(shards.len(), 8 * 3);
+        assert_eq!(shards[2].key(), "token/clique/8/s2");
+        assert_eq!(shards[2].first_trial, 4);
+        assert_eq!(shards[2].trials, 1);
+        assert_eq!(
+            shards.iter().map(|s| s.trials).sum::<usize>(),
+            8 * spec.trials_per_cell
+        );
+    }
+
+    #[test]
+    fn cell_seeds_are_grid_independent() {
+        let spec = tiny();
+        let mut bigger = tiny();
+        bigger.protocols.push(ProtocolSpec::Majority);
+        bigger.sizes.push(16);
+        let cell = CellSpec {
+            protocol: ProtocolSpec::Token,
+            family: Family::Cycle,
+            size: 12,
+        };
+        assert_eq!(spec.cell_seed(&cell), bigger.cell_seed(&cell));
+        assert_eq!(
+            spec.graph_seed(Family::Cycle, 12),
+            bigger.graph_seed(Family::Cycle, 12)
+        );
+        // Distinct cells get distinct seeds.
+        let other = CellSpec {
+            protocol: ProtocolSpec::Star,
+            ..cell
+        };
+        assert_ne!(spec.cell_seed(&cell), spec.cell_seed(&other));
+    }
+
+    #[test]
+    fn oversized_cells_are_excluded_from_shards() {
+        let mut spec = tiny();
+        spec.max_edges = 30; // clique(12) has 66 edges, cycle(12) has 12
+        let shards = spec.shards();
+        assert!(shards
+            .iter()
+            .all(|s| !(s.cell.family == Family::Clique && s.cell.size == 12)));
+        assert!(shards
+            .iter()
+            .any(|s| s.cell.family == Family::Clique && s.cell.size == 8));
+        assert!(spec
+            .cell_skip_reason(&CellSpec {
+                protocol: ProtocolSpec::Token,
+                family: Family::Clique,
+                size: 12,
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn star_protocol_restricted_to_stars() {
+        let spec = SweepSpec {
+            protocols: vec![ProtocolSpec::Star],
+            families: vec![Family::Star, Family::Cycle],
+            sizes: vec![8],
+            ..SweepSpec::default()
+        };
+        let cells: Vec<_> = spec.shards().iter().map(|s| s.cell).collect();
+        assert!(cells.iter().all(|c| c.family == Family::Star));
+        assert!(!cells.is_empty());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(SweepSpec::valid_name("sweep"));
+        assert!(SweepSpec::valid_name("table1-repro.v2"));
+        for bad in ["", ".", "..", "a/b", "a\\b", "../escape"] {
+            assert!(!SweepSpec::valid_name(bad), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_relevant_fields_only() {
+        let spec = tiny();
+        let mut same_results = tiny();
+        same_results.threads = 7;
+        same_results.name = "other".into();
+        assert_eq!(spec.fingerprint(), same_results.fingerprint());
+        let mut different = tiny();
+        different.master_seed ^= 1;
+        assert_ne!(spec.fingerprint(), different.fingerprint());
+    }
+}

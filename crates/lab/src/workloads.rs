@@ -38,6 +38,39 @@ impl Family {
         Family::DenseGnp,
     ];
 
+    /// Every family, in the canonical order used by sweep campaigns.
+    pub const ALL: [Family; 7] = [
+        Family::Clique,
+        Family::Cycle,
+        Family::Star,
+        Family::Torus,
+        Family::RandomRegular4,
+        Family::DenseGnp,
+        Family::Hypercube,
+    ];
+
+    /// Parses a [`Self::label`] back into the family (CLI use).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|f| f.label() == name)
+    }
+
+    /// Upper estimate of the edge count of the size-`n` member, used by
+    /// sweep campaigns to refuse cells whose explicit edge list would
+    /// not fit in memory (a `clique(50_000)` has 1.25 billion edges).
+    #[must_use]
+    pub fn approx_edges(self, n: u32) -> u64 {
+        let n = u64::from(n);
+        match self {
+            Family::Clique => n * (n - 1) / 2,
+            Family::Cycle => n,
+            Family::Star => n - 1,
+            Family::Torus | Family::RandomRegular4 => 2 * n,
+            Family::DenseGnp => n * (n - 1) / 4 + n,
+            Family::Hypercube => n / 2 * u64::from(64 - n.leading_zeros()),
+        }
+    }
+
     /// Human-readable label.
     #[must_use]
     pub fn label(self) -> &'static str {

@@ -1,0 +1,169 @@
+//! The sweep reproducibility contract, end to end: a campaign's
+//! `checkpoint.json` and `summary.json` must be **byte**-identical
+//! across interrupt-and-resume cycles and across thread counts.
+//!
+//! Interruption is simulated with `CampaignOptions::interrupt_after`,
+//! which stops the runner between shards — exactly where a kill lands,
+//! up to the shard in flight, which a real kill would simply lose and a
+//! resume re-run (checkpoint saves are atomic: temp file + rename, so a
+//! kill mid-save leaves the previous checkpoint intact).
+
+use popele_lab::sweep::{
+    checkpoint_path, run_campaign, summary_path, CampaignOptions, Checkpoint, ProtocolSpec,
+    SweepSpec,
+};
+use popele_lab::workloads::Family;
+use std::path::{Path, PathBuf};
+
+fn spec(threads: usize) -> SweepSpec {
+    SweepSpec {
+        name: "campaign".into(),
+        protocols: vec![ProtocolSpec::Token, ProtocolSpec::Majority],
+        families: vec![Family::Clique, Family::Cycle, Family::Star],
+        sizes: vec![8, 16],
+        trials_per_cell: 5,
+        shard_trials: 2,
+        max_steps: 1 << 22,
+        master_seed: 0xAB5EED,
+        threads,
+        max_edges: 1 << 20,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("popele-sweep-resume-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn output_bytes(dir: &Path) -> (String, String) {
+    let campaign = dir.join("campaign");
+    (
+        std::fs::read_to_string(checkpoint_path(&campaign)).unwrap(),
+        std::fs::read_to_string(summary_path(&campaign)).unwrap(),
+    )
+}
+
+/// 2 protocols × 3 families × 2 sizes, 5 trials in shards of 2 → 12
+/// cells × 3 shards.
+const TOTAL_SHARDS: usize = 36;
+
+#[test]
+fn interrupted_resumed_campaign_is_byte_identical_to_a_straight_run() {
+    // Reference: one uninterrupted single-threaded run.
+    let straight_dir = temp_dir("straight");
+    let outcome = run_campaign(
+        &spec(1),
+        &CampaignOptions {
+            out_dir: straight_dir.clone(),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(outcome.completed);
+    assert_eq!(outcome.ran_shards, TOTAL_SHARDS);
+    let (straight_ckpt, straight_summary) = output_bytes(&straight_dir);
+
+    // Same campaign, killed twice mid-grid and resumed each time with a
+    // *different* thread count — neither interruption points nor thread
+    // counts may leak into the outputs.
+    let resumed_dir = temp_dir("resumed");
+    let opts = |interrupt_after| CampaignOptions {
+        out_dir: resumed_dir.clone(),
+        interrupt_after,
+        ..CampaignOptions::default()
+    };
+    let first = run_campaign(&spec(2), &opts(Some(5))).unwrap();
+    assert!(!first.completed);
+    assert_eq!(first.ran_shards, 5);
+    // The mid-grid checkpoint is already a valid, loadable artifact
+    // holding exactly the shards run so far.
+    let partial = Checkpoint::load(&checkpoint_path(&resumed_dir.join("campaign"))).unwrap();
+    assert_eq!(partial.shards.len(), 5);
+
+    let second = run_campaign(&spec(4), &opts(Some(13))).unwrap();
+    assert!(!second.completed);
+    assert_eq!(second.resumed_shards, 5);
+    assert_eq!(second.ran_shards, 13);
+
+    let last = run_campaign(&spec(3), &opts(None)).unwrap();
+    assert!(last.completed);
+    assert_eq!(last.resumed_shards, 18);
+    assert_eq!(last.ran_shards, TOTAL_SHARDS - 18);
+
+    let (resumed_ckpt, resumed_summary) = output_bytes(&resumed_dir);
+    assert_eq!(straight_ckpt, resumed_ckpt, "checkpoint bytes diverged");
+    assert_eq!(straight_summary, resumed_summary, "summary bytes diverged");
+
+    std::fs::remove_dir_all(&straight_dir).ok();
+    std::fs::remove_dir_all(&resumed_dir).ok();
+}
+
+#[test]
+fn thread_count_does_not_change_campaign_outputs() {
+    let dir_a = temp_dir("threads-1");
+    let dir_b = temp_dir("threads-8");
+    run_campaign(
+        &spec(1),
+        &CampaignOptions {
+            out_dir: dir_a.clone(),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    run_campaign(
+        &spec(8),
+        &CampaignOptions {
+            out_dir: dir_b.clone(),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(output_bytes(&dir_a), output_bytes(&dir_b));
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn grid_extension_preserves_existing_cells() {
+    // Adding a size to the grid must not change the numbers of cells
+    // that were already in it: cell seeds derive from cell keys.
+    let small = SweepSpec {
+        sizes: vec![8],
+        ..spec(1)
+    };
+    let big = SweepSpec {
+        sizes: vec![8, 12],
+        ..spec(1)
+    };
+    let dir_small = temp_dir("grid-small");
+    let dir_big = temp_dir("grid-big");
+    run_campaign(
+        &small,
+        &CampaignOptions {
+            out_dir: dir_small.clone(),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    run_campaign(
+        &big,
+        &CampaignOptions {
+            out_dir: dir_big.clone(),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    let ckpt_small = Checkpoint::load(&checkpoint_path(&dir_small.join("campaign"))).unwrap();
+    let ckpt_big = Checkpoint::load(&checkpoint_path(&dir_big.join("campaign"))).unwrap();
+    for (key, records) in &ckpt_small.shards {
+        assert_eq!(
+            ckpt_big.shards.get(key),
+            Some(records),
+            "cell {key} changed"
+        );
+    }
+    std::fs::remove_dir_all(&dir_small).ok();
+    std::fs::remove_dir_all(&dir_big).ok();
+}

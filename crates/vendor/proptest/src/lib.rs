@@ -185,7 +185,7 @@ pub mod collection {
     use super::TestRng;
     use rand::Rng;
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut TestRng) -> usize;

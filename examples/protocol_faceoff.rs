@@ -33,6 +33,7 @@ fn main() {
         max_steps: 4_000_000_000,
         census: true,
         threads: 0,
+        ..TrialOptions::default()
     };
 
     println!(

@@ -41,6 +41,7 @@ fn main() {
         max_steps: 4_000_000_000,
         census: true,
         threads: 0,
+        ..TrialOptions::default()
     };
 
     let print_stats = |name: &str, stats: &TrialStats, paper: &str| {

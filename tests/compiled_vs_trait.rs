@@ -204,6 +204,43 @@ fn differential_token_on_large_cliques_exercises_hint_buckets() {
 }
 
 #[test]
+fn differential_token_on_csr_decoded_families() {
+    // Node counts above 2¹⁶ push non-clique graphs onto the CSR edge
+    // decoder (bucketed row hints + per-edge row deltas + column
+    // gather). Trace equality against the generic executor across
+    // sparse families with very different canonical edge-list shapes —
+    // uniform rows (cycle), one giant row (star), 4-regular rows
+    // (torus), and irregular random rows — pins the decode exactly.
+    let p = TokenProtocol::all_candidates();
+    for g in [
+        families::cycle(70_000),
+        families::star(70_000),
+        families::torus(270, 270),
+        popele::graph::random::random_regular_connected(70_000, 4, 11, 200),
+    ] {
+        let n = g.num_nodes();
+        let compiled = CompiledProtocol::compile_default(&p, n).unwrap();
+        let mut generic = Executor::new(&g, &p, 0xC5A);
+        let mut dense = DenseExecutor::new(&g, &compiled, 0xC5A);
+        for _ in 0..3000 {
+            assert_eq!(generic.step(), dense.step(), "{g}");
+        }
+        // Push both engines through their batched paths too, then
+        // compare the full configurations and stability verdicts.
+        generic.run_steps(20_000);
+        dense.run_steps(20_000);
+        for v in 0..n {
+            assert_eq!(
+                generic.states()[v as usize],
+                *dense.state_of(v),
+                "{g} diverged at node {v}"
+            );
+        }
+        assert_eq!(generic.is_stable(), dense.is_stable());
+    }
+}
+
+#[test]
 fn differential_star_protocol() {
     diff_outcomes(
         &StarProtocol::new(),
@@ -251,6 +288,7 @@ fn auto_trials_equal_generic_trials_and_threads_do_not_matter() {
         max_steps: 1 << 32,
         census: true,
         threads,
+        ..TrialOptions::default()
     };
     let generic = run_trials(&g, &p, 0xC0FFEE, opts(1));
     let auto1 = run_trials_auto(&g, &p, 0xC0FFEE, opts(1));
@@ -278,6 +316,7 @@ fn fallback_for_uncompilable_protocols_is_transparent() {
         max_steps: 1 << 32,
         census: false,
         threads: 2,
+        ..TrialOptions::default()
     };
     assert_eq!(
         run_trials(&g, &p, 5, opts),

@@ -27,6 +27,7 @@ fn mean_steps<P: popele::engine::Protocol>(
             max_steps: 2_000_000_000,
             census: false,
             threads: 0,
+            ..TrialOptions::default()
         },
     ));
     assert_eq!(stats.timeouts, 0);
