@@ -90,6 +90,7 @@ fn bench_checkpoint_roundtrip(c: &mut Criterion) {
                 trial: shard * 8 + t,
                 steps: Some(1_000_000 + (shard * 8 + t) as u64 * 137),
                 leader: Some((t * 13) as u32),
+                recovery: None,
             })
             .collect();
         ck.shards

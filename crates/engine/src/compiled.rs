@@ -393,12 +393,18 @@ pub struct DenseExecutor<'a, P: Protocol> {
     leaders: i64,
     census: Option<DenseCensus>,
     /// Pairs pre-drawn from the scheduler in a tight batch (see
-    /// [`DenseExecutor::refill`]); `pairs[cursor..]` are drawn but not
-    /// yet applied. `applied` — not the scheduler's draw count — is the
-    /// execution's step counter.
+    /// [`DenseExecutor::refill`]); `pairs[cursor..filled]` are drawn but
+    /// not yet applied. `applied` — not the scheduler's draw count — is
+    /// the execution's step counter. Refills never draw past the step
+    /// budget of the run call they serve, so bounded runs
+    /// ([`DenseExecutor::run_steps`]) consume the scheduler stream
+    /// exactly as far as the generic engine would — the property that
+    /// lets [`crate::faults`] interleave graph changes with execution on
+    /// both engines identically.
     pairs: Box<[(NodeId, NodeId)]>,
     raw: Box<[usize]>,
     cursor: usize,
+    filled: usize,
     applied: u64,
     decoder: EdgeDecoder,
 }
@@ -552,18 +558,23 @@ const PAIR_BATCH: usize = 256;
 impl<'a, P: Protocol> DenseExecutor<'a, P> {
     /// Creates an executor with every node in its initial state.
     ///
+    /// The compiled node count may exceed the graph's: a compilation for
+    /// `n + k` nodes serves any graph with at most `n + k` nodes, which
+    /// is how fault plans with node churn ([`crate::faults`]) share one
+    /// table across all epochs. (The state enumeration for more nodes is
+    /// a superset, so the table still covers every reachable pair.)
+    ///
     /// # Panics
     ///
-    /// Panics if the graph has no edges or its node count differs from
-    /// the one the protocol was compiled for.
+    /// Panics if the graph has no edges or more nodes than the protocol
+    /// was compiled for.
     #[must_use]
     pub fn new(graph: &'a Graph, compiled: &'a CompiledProtocol<P>, seed: u64) -> Self {
-        assert_eq!(
-            graph.num_nodes(),
-            compiled.num_nodes(),
+        assert!(
+            graph.num_nodes() <= compiled.num_nodes(),
             "graph size does not match the compiled protocol"
         );
-        let ids = compiled.initial.clone();
+        let ids = compiled.initial[..graph.num_nodes() as usize].to_vec();
         let mut oracle = compiled.protocol.oracle();
         let linear = oracle.stable_iff_unique_leader();
         if !linear {
@@ -587,13 +598,15 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
             census: None,
             pairs: vec![(0, 0); PAIR_BATCH].into_boxed_slice(),
             raw: vec![0usize; PAIR_BATCH].into_boxed_slice(),
-            cursor: PAIR_BATCH,
+            cursor: 0,
+            filled: 0,
             applied: 0,
             decoder: EdgeDecoder::for_graph(graph),
         }
     }
 
-    /// Refills the pair buffer with one batch of scheduler draws.
+    /// Refills the pair buffer with one batch of up to `limit ≤
+    /// PAIR_BATCH` scheduler draws.
     ///
     /// Pair sampling is independent of the configuration (the scheduler
     /// is an autonomous RNG stream), so the draws can be batched into a
@@ -601,9 +614,11 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
     /// giving the memory system a window of independent loads to overlap.
     /// The generic executor cannot do this: its per-step trait calls
     /// (transition + oracle) interleave with every draw. Batching never
-    /// changes the interaction sequence, only when it is materialized.
+    /// changes the interaction sequence, only when it is materialized;
+    /// the `limit` keeps bounded runs from drawing past their budget.
     #[inline(never)]
-    fn refill(&mut self) {
+    fn refill(&mut self, limit: usize) {
+        let pairs = &mut self.pairs[..limit];
         match &self.decoder {
             EdgeDecoder::Clique { n, shift, row_hint } => {
                 // One fused loop: the hint table is cache-resident, so
@@ -612,7 +627,7 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
                 // loop-carried dependency, the decode arithmetic of one
                 // iteration overlaps the RNG chain of the next.
                 let n = *n as u32;
-                self.scheduler.fill_raw_with(&mut self.pairs, |r, slot| {
+                self.scheduler.fill_raw_with(pairs, |r, slot| {
                     let e = (r >> 1) as u32;
                     let (mut u, mut start) = row_hint[(e as usize) >> shift];
                     // Almost always zero iterations: a bucket rarely
@@ -629,8 +644,8 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
                 });
             }
             EdgeDecoder::Packed(packed) => {
-                self.scheduler.fill_raw(&mut self.raw);
-                for (slot, &r) in self.pairs.iter_mut().zip(self.raw.iter()) {
+                self.scheduler.fill_raw(&mut self.raw[..limit]);
+                for (slot, &r) in pairs.iter_mut().zip(self.raw.iter()) {
                     let e = packed[r >> 1];
                     let (u, v) = (e >> 16, e & 0xFFFF);
                     let mask = (r as u32 & 1).wrapping_neg(); // 0 or all-ones
@@ -649,8 +664,8 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
                 // independent loads the memory system can overlap. The
                 // hint table stays cache-resident, so reconstructing the
                 // row costs one in-cache read and an add.
-                self.scheduler.fill_raw(&mut self.raw);
-                for (slot, &r) in self.pairs.iter_mut().zip(self.raw.iter()) {
+                self.scheduler.fill_raw(&mut self.raw[..limit]);
+                for (slot, &r) in pairs.iter_mut().zip(self.raw.iter()) {
                     let e = r >> 1;
                     let u = row_hint[e >> *shift] + u32::from(row_delta[e]);
                     let v = col[e];
@@ -659,9 +674,10 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
                     *slot = (u ^ (x & mask), v ^ (x & mask));
                 }
             }
-            EdgeDecoder::Scheduler => self.scheduler.fill_pairs(&mut self.pairs),
+            EdgeDecoder::Scheduler => self.scheduler.fill_pairs(pairs),
         }
         self.cursor = 0;
+        self.filled = limit;
     }
 
     /// Enables the distinct-state census (O(1) per changed state).
@@ -746,8 +762,8 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
     /// responder)` pair.
     #[inline]
     pub fn step(&mut self) -> (NodeId, NodeId) {
-        if self.cursor == self.pairs.len() {
-            self.refill();
+        if self.cursor == self.filled {
+            self.refill(PAIR_BATCH);
         }
         let (u, v) = self.pairs[self.cursor];
         self.cursor += 1;
@@ -815,7 +831,7 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
     /// early (right after the causing change) when `stop_on_stable` and
     /// the oracle reports stability.
     fn run_fused_clique(&mut self, budget: u64, stop_on_stable: bool) {
-        debug_assert_eq!(self.cursor, self.pairs.len(), "pair buffer must be drained");
+        debug_assert_eq!(self.cursor, self.filled, "pair buffer must be drained");
         let EdgeDecoder::Clique { n, shift, row_hint } = &self.decoder else {
             unreachable!("fused path requires the clique decoder")
         };
@@ -904,19 +920,23 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
     /// Applies up to `budget` interactions through buffered pairs (for
     /// already-drawn pairs and the gather decoders) or the fused path.
     fn run_budget(&mut self, budget: u64, stop_on_stable: bool) {
-        if self.cursor < self.pairs.len() {
-            let avail = (self.pairs.len() - self.cursor) as u64;
+        if self.cursor < self.filled {
+            let avail = (self.filled - self.cursor) as u64;
             self.apply_batch(avail.min(budget) as usize, stop_on_stable);
         } else if matches!(self.decoder, EdgeDecoder::Clique { .. }) {
             self.run_fused_clique(budget, stop_on_stable);
         } else {
-            self.refill();
-            let avail = self.pairs.len() as u64;
-            self.apply_batch(avail.min(budget) as usize, stop_on_stable);
+            let limit = budget.min(PAIR_BATCH as u64) as usize;
+            self.refill(limit);
+            self.apply_batch(limit, stop_on_stable);
         }
     }
 
-    /// Runs exactly `k` interactions.
+    /// Runs exactly `k` interactions, consuming the scheduler stream
+    /// exactly `k` draws past the buffered pairs — never further — so
+    /// after the buffer drains, the RNG position matches the generic
+    /// engine's at the same step (the alignment [`crate::faults`] relies
+    /// on to perturb both engines identically).
     pub fn run_steps(&mut self, k: u64) {
         let mut remaining = k;
         while remaining > 0 {
@@ -995,10 +1015,18 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
     }
 
     /// Resets to the initial configuration with a new seed.
+    ///
+    /// Resets states, scheduler and counters only — the executor stays
+    /// bound to whichever graph it currently borrows, so executors that
+    /// ran a fault plan with topology changes should be rebuilt rather
+    /// than reset (the Monte-Carlo harness does exactly that).
     pub fn reset(&mut self, seed: u64) {
-        self.ids.copy_from_slice(&self.compiled.initial);
+        let n = self.graph.num_nodes() as usize;
+        self.ids.clear();
+        self.ids.extend_from_slice(&self.compiled.initial[..n]);
         self.scheduler.reset(seed);
-        self.cursor = self.pairs.len();
+        self.cursor = 0;
+        self.filled = 0;
         self.applied = 0;
         self.leaders = self
             .ids
@@ -1015,6 +1043,118 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
             self.census = None;
             self.enable_state_census();
         }
+    }
+
+    // ---- fault-injection primitives (see `crate::faults`) ------------
+    //
+    // Mirrors of the generic executor's primitives. Topology changes
+    // invalidate the per-graph edge decoder, so every rebind rebuilds it
+    // for the new graph; the scheduler keeps its RNG stream. Rebinds
+    // require the pair buffer to be drained — which it always is after
+    // a `run_steps` call, since bounded runs never draw past their
+    // budget.
+
+    /// Recomputes the derived leader/oracle state after a perturbation
+    /// (corruption or churn) that edited `ids` outside a transition.
+    fn resync_oracle(&mut self) {
+        self.leaders = self
+            .ids
+            .iter()
+            .filter(|&&id| self.compiled.roles[id as usize] == Role::Leader)
+            .count() as i64;
+        if !self.linear {
+            self.oracle.recompute(
+                &self.compiled.protocol,
+                &self.compiled.typed_config(&self.ids),
+            );
+        }
+    }
+
+    /// Rebinds scheduler and decoder to `graph` (states untouched).
+    fn rebind(&mut self, graph: &'a Graph) {
+        assert_eq!(
+            self.cursor, self.filled,
+            "pair buffer must be drained before a graph change"
+        );
+        self.graph = graph;
+        self.scheduler.set_graph(graph);
+        self.decoder = EdgeDecoder::for_graph(graph);
+    }
+
+    /// Rebinds the execution to a graph with the **same node count**
+    /// (edge additions/removals/rewirings), rebuilding the edge decoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ, the new graph has no edges, or
+    /// the pair buffer still holds drawn-but-unapplied pairs.
+    pub fn set_graph(&mut self, graph: &'a Graph) {
+        assert_eq!(
+            graph.num_nodes() as usize,
+            self.ids.len(),
+            "set_graph requires an equal node count (use join_node/leave_node)"
+        );
+        self.rebind(graph);
+    }
+
+    /// Rebinds to a graph with **one more node**: the new node is `n`
+    /// (the old node count) and starts in its initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not have exactly one extra node or the
+    /// protocol was compiled for fewer nodes than the new graph has.
+    pub fn join_node(&mut self, graph: &'a Graph) {
+        assert_eq!(
+            graph.num_nodes() as usize,
+            self.ids.len() + 1,
+            "join_node requires exactly one extra node"
+        );
+        assert!(
+            graph.num_nodes() <= self.compiled.num_nodes(),
+            "protocol was compiled for fewer nodes than the new graph has"
+        );
+        let id = self.compiled.initial[self.ids.len()];
+        if let Some(census) = &mut self.census {
+            census.mark(id);
+        }
+        self.ids.push(id);
+        self.rebind(graph);
+        self.resync_oracle();
+    }
+
+    /// Rebinds to a graph with **one less node**: node `removed` leaves
+    /// and the last node (`n − 1`) is relabelled to `removed` — `graph`
+    /// must already use that relabelling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not have exactly one node less or
+    /// `removed` is out of range.
+    pub fn leave_node(&mut self, graph: &'a Graph, removed: NodeId) {
+        assert_eq!(
+            graph.num_nodes() as usize,
+            self.ids.len() - 1,
+            "leave_node requires exactly one node less"
+        );
+        self.ids.swap_remove(removed as usize);
+        self.rebind(graph);
+        self.resync_oracle();
+    }
+
+    /// State corruption: resets node `v` to its initial state (a crash
+    /// followed by a clean rejoin), leaving all other nodes untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn corrupt_to_initial(&mut self, v: NodeId) {
+        let id = self.compiled.initial[v as usize];
+        if let Some(census) = &mut self.census {
+            census.mark(id);
+        }
+        self.ids[v as usize] = id;
+        self.resync_oracle();
     }
 }
 
@@ -1257,9 +1397,61 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "does not match")]
-    fn graph_size_mismatch_rejected() {
-        let g = families::clique(4);
+    fn graph_larger_than_compilation_rejected() {
+        let g = families::clique(6);
         let compiled = CompiledProtocol::compile_default(&Absorb, 5).unwrap();
         let _ = DenseExecutor::new(&g, &compiled, 0);
+    }
+
+    #[test]
+    fn graph_smaller_than_compilation_accepted() {
+        // A compilation for n + k nodes serves any graph with ≤ n + k
+        // nodes (the churn path relies on this).
+        let g = families::clique(4);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 7).unwrap();
+        let mut exec = DenseExecutor::new(&g, &compiled, 3);
+        assert_eq!(exec.state_ids().len(), 4);
+        let out = exec.run_until_stable(1 << 20).unwrap();
+        assert_eq!(out.leader_count, 1);
+        exec.reset(4);
+        assert_eq!(exec.state_ids().len(), 4);
+        assert_eq!(exec.leader_count(), 4);
+    }
+
+    #[test]
+    fn bounded_runs_consume_scheduler_exactly() {
+        // run_steps must never draw past its budget: after any bounded
+        // run the scheduler's draw count equals the applied step count
+        // (for every decoder; the invariant fault injection rests on).
+        for g in [families::clique(16), families::cycle(16)] {
+            let n = g.num_nodes();
+            let compiled = CompiledProtocol::compile_default(&Absorb, n).unwrap();
+            let mut exec = DenseExecutor::new(&g, &compiled, 11);
+            for k in [1u64, 7, 255, 256, 257, 1000] {
+                exec.run_steps(k);
+            }
+            assert_eq!(exec.steps(), 1 + 7 + 255 + 256 + 257 + 1000);
+            assert_eq!(exec.scheduler.steps(), exec.steps(), "{g}");
+        }
+    }
+
+    #[test]
+    fn corruption_matches_generic() {
+        let g = families::clique(10);
+        let compiled = CompiledProtocol::compile_default(&Absorb, 10).unwrap();
+        let mut generic = Executor::new(&g, &Absorb, 21);
+        let mut dense = DenseExecutor::new(&g, &compiled, 21);
+        generic.run_steps(500);
+        dense.run_steps(500);
+        for v in [0u32, 3, 9] {
+            generic.corrupt_to_initial(v);
+            dense.corrupt_to_initial(v);
+        }
+        assert_eq!(generic.leader_count(), dense.leader_count());
+        for _ in 0..2000 {
+            assert_eq!(generic.step(), dense.step());
+            assert_eq!(generic.is_stable(), dense.is_stable());
+        }
+        assert_eq!(generic.outcome(), dense.outcome());
     }
 }

@@ -211,6 +211,87 @@ impl<'a, P: Protocol> Executor<'a, P> {
             self.census = Some(set);
         }
     }
+
+    // ---- fault-injection primitives (see `crate::faults`) ------------
+    //
+    // Each primitive perturbs the execution *between* steps: the
+    // scheduler's RNG stream continues uninterrupted, so a perturbed run
+    // is still one deterministic interaction sequence, and the compiled
+    // engine applies the identical perturbation at the identical step.
+
+    /// Rebinds the execution to a graph with the **same node count**
+    /// (edge additions/removals/rewirings). States are untouched; the
+    /// scheduler keeps its RNG stream and re-ranges over the new edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ or the new graph has no edges.
+    pub fn set_graph(&mut self, graph: &'a Graph) {
+        assert_eq!(
+            graph.num_nodes() as usize,
+            self.states.len(),
+            "set_graph requires an equal node count (use join_node/leave_node)"
+        );
+        self.graph = graph;
+        self.scheduler.set_graph(graph);
+    }
+
+    /// Rebinds to a graph with **one more node**: the new node is
+    /// `n` (the old node count) and starts in its initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not have exactly one extra node.
+    pub fn join_node(&mut self, graph: &'a Graph) {
+        assert_eq!(
+            graph.num_nodes() as usize,
+            self.states.len() + 1,
+            "join_node requires exactly one extra node"
+        );
+        let s = self.protocol.initial_state(self.states.len() as NodeId);
+        if let Some(census) = &mut self.census {
+            census.insert(s.clone());
+        }
+        self.states.push(s);
+        self.graph = graph;
+        self.scheduler.set_graph(graph);
+        self.oracle.recompute(self.protocol, &self.states);
+    }
+
+    /// Rebinds to a graph with **one less node**: node `removed` leaves
+    /// and the last node (`n − 1`) is relabelled to `removed` to keep
+    /// ids dense — `graph` must already use that relabelling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not have exactly one node less or
+    /// `removed` is out of range.
+    pub fn leave_node(&mut self, graph: &'a Graph, removed: NodeId) {
+        assert_eq!(
+            graph.num_nodes() as usize,
+            self.states.len() - 1,
+            "leave_node requires exactly one node less"
+        );
+        self.states.swap_remove(removed as usize);
+        self.graph = graph;
+        self.scheduler.set_graph(graph);
+        self.oracle.recompute(self.protocol, &self.states);
+    }
+
+    /// State corruption: resets node `v` to its initial state (a crash
+    /// followed by a clean rejoin), leaving all other nodes untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn corrupt_to_initial(&mut self, v: NodeId) {
+        let s = self.protocol.initial_state(v);
+        if let Some(census) = &mut self.census {
+            census.insert(s.clone());
+        }
+        self.states[v as usize] = s;
+        self.oracle.recompute(self.protocol, &self.states);
+    }
 }
 
 #[cfg(test)]

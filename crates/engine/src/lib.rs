@@ -24,7 +24,11 @@
 //!   (with a dense-id fast path for compiled protocols);
 //! * [`monte_carlo`] — a multi-threaded harness running many independent
 //!   seeded trials, with [`monte_carlo::run_trials_auto`] picking the
-//!   compiled engine whenever the protocol's state space fits.
+//!   compiled engine whenever the protocol's state space fits;
+//! * [`faults`] — fault injection and dynamic graphs: deterministic
+//!   [`FaultPlan`] schedules (state corruption, node churn, edge
+//!   rewiring) applied identically by both engines, with
+//!   recovery-oriented metrics ([`faults::Recovery`]).
 //!
 //! # Two engines, one contract
 //!
@@ -83,11 +87,13 @@ mod scheduler;
 
 pub mod compiled;
 pub mod exhaustive;
+pub mod faults;
 pub mod monte_carlo;
 
 pub use compiled::{
     CompileError, CompiledProtocol, DenseExecutor, StateId, DEFAULT_MAX_COMPILED_STATES,
 };
 pub use executor::{Executor, NotStabilized, Outcome};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, ResolvedFaultPlan};
 pub use protocol::{LeaderCountOracle, Protocol, Role, StabilityOracle};
 pub use scheduler::EdgeScheduler;

@@ -14,9 +14,17 @@
 //!   engine when the state space fits, the generic engine otherwise.
 //!   Because the two engines are trace-identical per seed, the choice
 //!   never changes the results, only the wall-clock time.
+//!
+//! Each entry point has a `*_with_faults` counterpart taking a
+//! [`FaultPlan`] (see [`crate::faults`]): per-trial fault realizations
+//! derive from the trial seed via [`fault_seed`], so the determinism
+//! contract — identical results across engines, thread counts and
+//! shardings — extends to fault-injected campaigns, and recovery
+//! metrics are attached to each [`TrialResult`].
 
 use crate::compiled::{CompiledProtocol, DenseExecutor, DEFAULT_MAX_COMPILED_STATES};
 use crate::executor::Executor;
+use crate::faults::{fault_seed, run_with_faults, FaultPlan, Recovery};
 use crate::protocol::Protocol;
 use popele_graph::{Graph, NodeId};
 use popele_math::rng::SeedSeq;
@@ -35,6 +43,10 @@ pub struct TrialResult {
     pub leader: Option<NodeId>,
     /// Distinct states observed, when the census was requested.
     pub distinct_states: Option<usize>,
+    /// Recovery metrics — `Some` exactly when the trial ran under a
+    /// (possibly empty-resolving) fault plan via the `*_with_faults`
+    /// entry points with a nonempty [`FaultPlan`].
+    pub recovery: Option<Recovery>,
 }
 
 /// Options for [`run_trials`].
@@ -129,12 +141,14 @@ pub fn run_trials<P: Protocol>(
                 stabilization_step: Some(outcome.stabilization_step),
                 leader: outcome.leader,
                 distinct_states: outcome.distinct_states,
+                recovery: None,
             },
             Err(_) => TrialResult {
                 trial,
                 stabilization_step: None,
                 leader: None,
                 distinct_states: exec.outcome().distinct_states,
+                recovery: None,
             },
         }
     };
@@ -201,12 +215,14 @@ pub fn run_trials_dense<P: Protocol>(
                 stabilization_step: Some(outcome.stabilization_step),
                 leader: outcome.leader,
                 distinct_states: outcome.distinct_states,
+                recovery: None,
             },
             Err(_) => TrialResult {
                 trial,
                 stabilization_step: None,
                 leader: None,
                 distinct_states: exec.outcome().distinct_states,
+                recovery: None,
             },
         }
     };
@@ -267,6 +283,118 @@ pub fn run_trials_auto<P: Protocol + Clone>(
     match CompiledProtocol::compile(protocol, graph.num_nodes(), DEFAULT_MAX_COMPILED_STATES) {
         Ok(compiled) => run_trials_dense(graph, &compiled, master_seed, options),
         Err(_) => run_trials(graph, protocol, master_seed, options),
+    }
+}
+
+/// Runs `options.trials` independent *fault-injected* executions on the
+/// generic engine.
+///
+/// Trial `i` resolves `plan` with [`fault_seed`] of its own trial seed,
+/// so every trial sees an independent fault realization of the same
+/// schedule, and results stay independent of thread count and sharding
+/// exactly as in [`run_trials`]. With an empty plan this is **identical**
+/// (bit for bit) to [`run_trials`] except that no recovery metrics are
+/// attached — the faulted entry points delegate to the plain ones.
+#[must_use]
+pub fn run_trials_with_faults<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    master_seed: u64,
+    options: TrialOptions,
+    plan: &FaultPlan,
+) -> Vec<TrialResult> {
+    if plan.is_empty() {
+        return run_trials(graph, protocol, master_seed, options);
+    }
+    let seq = SeedSeq::new(master_seed);
+    let threads = resolve_threads(options.threads, options.trials);
+
+    let run_one = |trial: usize| -> TrialResult {
+        let trial = options.first_trial + trial;
+        let seed = seq.child(trial as u64);
+        let resolved = plan.resolve(graph, fault_seed(seed));
+        let mut exec = Executor::new(graph, protocol, seed);
+        if options.census {
+            exec.enable_state_census();
+        }
+        let report = run_with_faults(&mut exec, &resolved, options.max_steps);
+        faulted_result(trial, &report, exec.outcome().distinct_states)
+    };
+
+    fan_out(options.trials, threads, || (), |_, trial| run_one(trial))
+}
+
+/// Runs fault-injected trials on the compiled engine, sharing one
+/// precomputed table across workers and trials.
+///
+/// The table must cover the plan's maximum node count
+/// (`graph.num_nodes() + plan.max_joins()` — see
+/// [`FaultPlan::max_joins`]); [`run_trials_auto_with_faults`] compiles
+/// exactly that. Because topology faults rebind an executor to per-trial
+/// epoch graphs, each trial builds a fresh executor instead of resetting
+/// a shared one — the construction is O(n + m) and fault campaigns are
+/// dominated by simulation anyway. Results are identical to
+/// [`run_trials_with_faults`] for the same arguments.
+#[must_use]
+pub fn run_trials_dense_with_faults<P: Protocol>(
+    graph: &Graph,
+    compiled: &CompiledProtocol<P>,
+    master_seed: u64,
+    options: TrialOptions,
+    plan: &FaultPlan,
+) -> Vec<TrialResult> {
+    if plan.is_empty() {
+        return run_trials_dense(graph, compiled, master_seed, options);
+    }
+    let seq = SeedSeq::new(master_seed);
+    let threads = resolve_threads(options.threads, options.trials);
+
+    let run_one = |trial: usize| -> TrialResult {
+        let trial = options.first_trial + trial;
+        let seed = seq.child(trial as u64);
+        let resolved = plan.resolve(graph, fault_seed(seed));
+        let mut exec = DenseExecutor::new(graph, compiled, seed);
+        if options.census {
+            exec.enable_state_census();
+        }
+        let report = run_with_faults(&mut exec, &resolved, options.max_steps);
+        faulted_result(trial, &report, exec.outcome().distinct_states)
+    };
+
+    fan_out(options.trials, threads, || (), |_, trial| run_one(trial))
+}
+
+/// Fault-injected counterpart of [`run_trials_auto`]: compiles for the
+/// plan's maximum node count (`n + max_joins`) and picks the compiled
+/// engine when the state space fits, the generic engine otherwise.
+/// Either way the results are identical.
+#[must_use]
+pub fn run_trials_auto_with_faults<P: Protocol + Clone>(
+    graph: &Graph,
+    protocol: &P,
+    master_seed: u64,
+    options: TrialOptions,
+    plan: &FaultPlan,
+) -> Vec<TrialResult> {
+    let max_nodes = graph.num_nodes() + plan.max_joins();
+    match CompiledProtocol::compile(protocol, max_nodes, DEFAULT_MAX_COMPILED_STATES) {
+        Ok(compiled) => run_trials_dense_with_faults(graph, &compiled, master_seed, options, plan),
+        Err(_) => run_trials_with_faults(graph, protocol, master_seed, options, plan),
+    }
+}
+
+/// Packs a fault report into a [`TrialResult`].
+fn faulted_result(
+    trial: usize,
+    report: &crate::faults::FaultReport,
+    distinct_states: Option<usize>,
+) -> TrialResult {
+    TrialResult {
+        trial,
+        stabilization_step: report.result.as_ref().ok().map(|o| o.stabilization_step),
+        leader: report.result.as_ref().ok().and_then(|o| o.leader),
+        distinct_states,
+        recovery: Some(report.recovery),
     }
 }
 

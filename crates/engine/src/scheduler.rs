@@ -147,6 +147,24 @@ impl<'g> EdgeScheduler<'g> {
         self.rng = SmallRng::seed_from_u64(seed);
         self.steps = 0;
     }
+
+    /// Rebinds the scheduler to a different graph **without** touching
+    /// the RNG state or the step counter: subsequent draws continue the
+    /// same random stream, now ranged over the new graph's `2m` ordered
+    /// pairs. This is the primitive behind topology fault injection
+    /// ([`crate::faults`]) — the interaction sequence stays a single
+    /// deterministic stream across graph changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new graph has no edges.
+    pub fn set_graph(&mut self, graph: &'g Graph) {
+        assert!(
+            graph.num_edges() > 0,
+            "scheduler requires a graph with at least one edge"
+        );
+        self.edges = graph.edges();
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +242,29 @@ mod tests {
         }
         let freq = f64::from(centre_initiates) / f64::from(trials);
         assert!((freq - 0.5).abs() < 0.01, "centre initiator freq {freq}");
+    }
+
+    #[test]
+    fn set_graph_preserves_rng_stream() {
+        // Two schedulers consuming the same seed must agree on the raw
+        // stream even when one is rebound to another graph mid-stream
+        // (the raw draws only depend on the RNG and the edge count).
+        let a = families::cycle(6);
+        let b = families::clique(6);
+        let mut s = EdgeScheduler::new(&a, 5);
+        let mut t = EdgeScheduler::new(&a, 5);
+        for _ in 0..10 {
+            assert_eq!(s.next_pair(), t.next_pair());
+        }
+        s.set_graph(&b);
+        t.set_graph(&b);
+        assert_eq!(s.num_edges(), b.num_edges());
+        for _ in 0..50 {
+            let (u, v) = s.next_pair();
+            assert!(b.has_edge(u, v));
+            assert_eq!((u, v), t.next_pair());
+        }
+        assert_eq!(s.steps(), 60);
     }
 
     #[test]

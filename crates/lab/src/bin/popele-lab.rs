@@ -14,7 +14,7 @@
 //! (default `results/`); sweep campaigns additionally write a resumable
 //! `checkpoint.json` and a `summary.json` under `--out/NAME/`.
 
-use popele_lab::sweep::{run_campaign, CampaignOptions, ProtocolSpec, SweepSpec};
+use popele_lab::sweep::{run_campaign, CampaignOptions, FaultSpec, ProtocolSpec, SweepSpec};
 use popele_lab::workloads::Family;
 use popele_lab::{ExperimentId, RunConfig};
 use std::path::PathBuf;
@@ -24,12 +24,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: popele-lab [EXPERIMENT ...] [--quick|--full] [--seed N] [--threads N] [--out DIR]\n\
          \x20      popele-lab sweep [--quick|--full] [--name NAME] [--protocols P,..]\n\
-         \x20                       [--families F,..] [--sizes N,..] [--trials N] [--shard N]\n\
-         \x20                       [--max-steps N] [--max-edges N] [--seed N] [--threads N]\n\
-         \x20                       [--out DIR] [--max-shards N] [--fresh]\n\
+         \x20                       [--families F,..] [--sizes N,..] [--faults F,..] [--trials N]\n\
+         \x20                       [--shard N] [--max-steps N] [--max-edges N] [--seed N]\n\
+         \x20                       [--threads N] [--out DIR] [--max-shards N] [--fresh]\n\
          experiments: all {}\n\
          sweep protocols: {}\n\
-         sweep families: {}",
+         sweep families: {}\n\
+         sweep faults: {}",
         ExperimentId::ALL
             .iter()
             .map(|e| e.name())
@@ -41,6 +42,11 @@ fn usage() -> ! {
             .collect::<Vec<_>>()
             .join(" "),
         Family::ALL
+            .iter()
+            .map(|f| f.label())
+            .collect::<Vec<_>>()
+            .join(" "),
+        FaultSpec::ALL
             .iter()
             .map(|f| f.label())
             .collect::<Vec<_>>()
@@ -93,6 +99,7 @@ fn sweep_main(mut args: impl Iterator<Item = String>) -> ExitCode {
                 spec.protocols = parse_list(&value("--protocols"), ProtocolSpec::parse);
             }
             "--families" => spec.families = parse_list(&value("--families"), Family::parse),
+            "--faults" => spec.faults = parse_list(&value("--faults"), FaultSpec::parse),
             "--sizes" => {
                 // Workload sizes start at 4 (`Family::generate` asserts
                 // it); reject smaller ones here as a usage error.
@@ -137,12 +144,13 @@ fn sweep_main(mut args: impl Iterator<Item = String>) -> ExitCode {
         std::fs::remove_dir_all(options.out_dir.join(&spec.name)).ok();
     }
     println!(
-        "# popele-lab sweep — campaign: {}, grid: {} protocols × {} families × {} sizes, \
-         {} trials/cell (shards of {}), budget {} steps/trial, seed {}",
+        "# popele-lab sweep — campaign: {}, grid: {} protocols × {} families × {} sizes × \
+         {} fault profiles, {} trials/cell (shards of {}), budget {} steps/trial, seed {}",
         spec.name,
         spec.protocols.len(),
         spec.families.len(),
         spec.sizes.len(),
+        spec.faults.len(),
         spec.trials_per_cell,
         spec.shard_trials.max(1),
         spec.max_steps,
@@ -163,6 +171,21 @@ fn sweep_main(mut args: impl Iterator<Item = String>) -> ExitCode {
                     outcome.dir.display()
                 );
             } else {
+                // A paused run prints no summary tables, so skipped
+                // cells — recorded with reasons in the summary on
+                // completion — would otherwise stay invisible across
+                // every resume. Echo them here.
+                let skipped: Vec<_> = spec
+                    .cells()
+                    .into_iter()
+                    .filter_map(|c| spec.cell_skip_reason(&c).map(|r| (c, r)))
+                    .collect();
+                if !skipped.is_empty() {
+                    println!("# {} cells are skipped:", skipped.len());
+                    for (cell, reason) in skipped {
+                        println!("#   {}: {}", cell.key(), reason);
+                    }
+                }
                 println!(
                     "# campaign paused after {} shards ({} resumed) in {:.1?}; rerun the same \
                      command to continue from {}",

@@ -6,6 +6,7 @@ pub mod clocks;
 pub mod conductance;
 pub mod dense;
 pub mod engine;
+pub mod faults;
 pub mod lowerbound;
 pub mod majority;
 pub mod propagation;

@@ -20,6 +20,7 @@
 //! | `ablation` | design-choice sweeps (h, L, α, k) | [`experiments::ablation`] |
 //! | `majority` | Section 8 extension: exact majority | [`experiments::majority`] |
 //! | `engine` | generic vs compiled engine equivalence/throughput | [`experiments::engine`] |
+//! | `faults` | recovery under corruption/churn/rewiring (beyond the paper's model) | [`experiments::faults`] |
 //!
 //! Run everything with the CLI:
 //!
@@ -108,11 +109,13 @@ pub enum ExperimentId {
     Majority,
     /// Generic-vs-compiled engine equivalence and throughput.
     Engine,
+    /// Recovery under fault injection (corruption, churn, rewiring).
+    Faults,
 }
 
 impl ExperimentId {
     /// All experiments, in recommended execution order.
-    pub const ALL: [ExperimentId; 12] = [
+    pub const ALL: [ExperimentId; 13] = [
         ExperimentId::Engine,
         ExperimentId::Clocks,
         ExperimentId::Broadcast,
@@ -124,6 +127,7 @@ impl ExperimentId {
         ExperimentId::Conductance,
         ExperimentId::Ablation,
         ExperimentId::Majority,
+        ExperimentId::Faults,
         ExperimentId::Table1,
     ];
 
@@ -143,6 +147,7 @@ impl ExperimentId {
             "ablation" => Some(Self::Ablation),
             "majority" => Some(Self::Majority),
             "engine" => Some(Self::Engine),
+            "faults" => Some(Self::Faults),
             _ => None,
         }
     }
@@ -163,6 +168,7 @@ impl ExperimentId {
             Self::Ablation => "ablation",
             Self::Majority => "majority",
             Self::Engine => "engine",
+            Self::Faults => "faults",
         }
     }
 
@@ -182,6 +188,7 @@ impl ExperimentId {
             Self::Ablation => experiments::ablation::run(cfg),
             Self::Majority => experiments::majority::run(cfg),
             Self::Engine => experiments::engine::run(cfg),
+            Self::Faults => experiments::faults::run(cfg),
         }
     }
 }

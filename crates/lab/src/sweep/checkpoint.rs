@@ -13,15 +13,49 @@
 
 use super::json::Json;
 use super::spec::SweepSpec;
+use popele_engine::faults::Recovery;
 use popele_engine::monte_carlo::TrialResult;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
+/// Recovery metrics of one fault-injected trial, as persisted (a
+/// field-for-field mirror of [`Recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Step of the last applied fault.
+    pub last_fault_step: u64,
+    /// Faults actually applied.
+    pub faults_applied: u32,
+    /// Steps from the last fault to renewed stability (`None`: budget
+    /// ran out first).
+    pub reconvergence: Option<u64>,
+    /// Peak leader count observed at fault boundaries / run end.
+    pub peak_leaders: u32,
+    /// Leader count at the end of the run.
+    pub final_leaders: u32,
+    /// The run ended unstable with zero leader outputs.
+    pub leader_lost: bool,
+}
+
+impl From<Recovery> for RecoveryRecord {
+    fn from(r: Recovery) -> Self {
+        Self {
+            last_fault_step: r.last_fault_step,
+            faults_applied: r.faults_applied,
+            reconvergence: r.reconvergence_steps,
+            peak_leaders: r.peak_leaders,
+            final_leaders: r.final_leaders,
+            leader_lost: r.leader_lost,
+        }
+    }
+}
+
 /// Result of one trial, as persisted.
 ///
 /// The census is never enabled in sweeps, so only the stabilization
-/// step (or timeout) and the elected leader are kept.
+/// step (or timeout), the elected leader and — for faulted cells — the
+/// recovery metrics are kept.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrialRecord {
     /// Global trial index within the cell.
@@ -30,6 +64,10 @@ pub struct TrialRecord {
     pub steps: Option<u64>,
     /// Elected leader, when one was stable at the end.
     pub leader: Option<u32>,
+    /// Recovery metrics, for trials run under a nonempty fault plan.
+    /// Rendered (and parsed) only when present, so fault-free
+    /// checkpoints keep their exact pre-fault-axis byte format.
+    pub recovery: Option<RecoveryRecord>,
 }
 
 impl From<&TrialResult> for TrialRecord {
@@ -38,6 +76,7 @@ impl From<&TrialResult> for TrialRecord {
             trial: r.trial,
             steps: r.stabilization_step,
             leader: r.leader,
+            recovery: r.recovery.map(Into::into),
         }
     }
 }
@@ -85,11 +124,40 @@ impl Checkpoint {
                 let rows = records
                     .iter()
                     .map(|r| {
-                        Json::Obj(vec![
+                        let mut members = vec![
                             ("trial".into(), Json::from_u64(r.trial as u64)),
                             ("steps".into(), Json::from_opt_u64(r.steps)),
                             ("leader".into(), Json::from_opt_u64(r.leader.map(u64::from))),
-                        ])
+                        ];
+                        if let Some(rec) = &r.recovery {
+                            members.push((
+                                "recovery".into(),
+                                Json::Obj(vec![
+                                    (
+                                        "last_fault_step".into(),
+                                        Json::from_u64(rec.last_fault_step),
+                                    ),
+                                    (
+                                        "faults_applied".into(),
+                                        Json::from_u64(u64::from(rec.faults_applied)),
+                                    ),
+                                    (
+                                        "reconvergence".into(),
+                                        Json::from_opt_u64(rec.reconvergence),
+                                    ),
+                                    (
+                                        "peak_leaders".into(),
+                                        Json::from_u64(u64::from(rec.peak_leaders)),
+                                    ),
+                                    (
+                                        "final_leaders".into(),
+                                        Json::from_u64(u64::from(rec.final_leaders)),
+                                    ),
+                                    ("leader_lost".into(), Json::Bool(rec.leader_lost)),
+                                ]),
+                            ));
+                        }
+                        Json::Obj(members)
                     })
                     .collect();
                 (key.clone(), Json::Arr(rows))
@@ -169,10 +237,42 @@ impl Checkpoint {
                             Some(u32::try_from(raw).map_err(|e| e.to_string())?)
                         }
                     };
+                    let recovery = match row.get("recovery") {
+                        Some(Json::Null) | None => None,
+                        Some(rec) => {
+                            let u64_field = |name: &str| {
+                                rec.get(name)
+                                    .and_then(Json::as_u64)
+                                    .ok_or(format!("recovery missing {name}"))
+                            };
+                            let u32_field = |name: &str| -> Result<u32, String> {
+                                u32::try_from(u64_field(name)?).map_err(|e| e.to_string())
+                            };
+                            let reconvergence = match rec.get("reconvergence") {
+                                Some(Json::Null) | None => None,
+                                Some(v) => {
+                                    Some(v.as_u64().ok_or("reconvergence must be an integer")?)
+                                }
+                            };
+                            let leader_lost = match rec.get("leader_lost") {
+                                Some(Json::Bool(b)) => *b,
+                                _ => return Err("recovery missing leader_lost".into()),
+                            };
+                            Some(RecoveryRecord {
+                                last_fault_step: u64_field("last_fault_step")?,
+                                faults_applied: u32_field("faults_applied")?,
+                                reconvergence,
+                                peak_leaders: u32_field("peak_leaders")?,
+                                final_leaders: u32_field("final_leaders")?,
+                                leader_lost,
+                            })
+                        }
+                    };
                     records.push(TrialRecord {
                         trial: trial as usize,
                         steps,
                         leader,
+                        recovery,
                     });
                 }
                 shards.insert(key.clone(), records);
@@ -245,11 +345,20 @@ mod tests {
                     trial: 0,
                     steps: Some(123_456),
                     leader: Some(17),
+                    recovery: None,
                 },
                 TrialRecord {
                     trial: 1,
                     steps: None,
                     leader: None,
+                    recovery: Some(RecoveryRecord {
+                        last_fault_step: 9_000,
+                        faults_applied: 3,
+                        reconvergence: None,
+                        peak_leaders: 7,
+                        final_leaders: 0,
+                        leader_lost: true,
+                    }),
                 },
             ],
         );
@@ -259,6 +368,14 @@ mod tests {
                 trial: 2,
                 steps: Some(99),
                 leader: Some(0),
+                recovery: Some(RecoveryRecord {
+                    last_fault_step: 10,
+                    faults_applied: 1,
+                    reconvergence: Some(89),
+                    peak_leaders: 4,
+                    final_leaders: 1,
+                    leader_lost: false,
+                }),
             }],
         );
         ck

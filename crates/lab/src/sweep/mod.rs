@@ -7,7 +7,12 @@
 //! declare a grid once ([`SweepSpec`]), run it with checkpointed,
 //! resume-safe sharding ([`run_campaign`]), and get per-cell statistics
 //! plus fitted scaling exponents ([`summary`]) as deterministic JSON and
-//! CSV under `results/<name>/`.
+//! CSV under `results/<name>/`. Grids carry a fourth, *adversity* axis:
+//! [`FaultSpec`] profiles (state corruption, node churn, edge rewiring —
+//! see [`popele_engine::faults`]) sweep fault intensity alongside
+//! protocol × family × size, and faulted cells additionally record
+//! recovery metrics (reconvergence time after the last fault, lost
+//! leaders, peak leader-count excursions).
 //!
 //! # Reproducibility contract
 //!
@@ -25,7 +30,12 @@
 //!   this);
 //! * across grid edits that don't touch a cell: a cell's trial seeds
 //!   derive from its *key* (`token/cycle/2000`), so adding a protocol or
-//!   size never silently changes existing cells' numbers.
+//!   size never silently changes existing cells' numbers;
+//! * under fault injection: faulted cells (keys like
+//!   `token/cycle/2000/corrupt`) derive their per-trial fault
+//!   realizations from their trial seeds, so every guarantee above
+//!   extends verbatim to grids with a nonzero fault axis (also asserted
+//!   by `tests/sweep_resume.rs`).
 //!
 //! # Example
 //!
@@ -61,6 +71,9 @@ pub mod runner;
 pub mod spec;
 pub mod summary;
 
-pub use checkpoint::{CellMeta, Checkpoint, TrialRecord};
+pub use checkpoint::{CellMeta, Checkpoint, RecoveryRecord, TrialRecord};
 pub use runner::{checkpoint_path, run_campaign, summary_path, CampaignOptions, CampaignOutcome};
-pub use spec::{CellSpec, ProtocolSpec, ShardSpec, SweepSpec};
+pub use spec::{
+    fault_plan_from_json, fault_plan_to_json, CellSpec, FaultSpec, ProtocolSpec, ShardSpec,
+    SweepSpec,
+};

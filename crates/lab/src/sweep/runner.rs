@@ -3,8 +3,9 @@
 //!
 //! The runner is deliberately boring: enumerate the spec's shards in
 //! their deterministic order, skip the ones the checkpoint already
-//! holds, run the rest (each through the engine-selecting
-//! [`run_trials_auto`] with a globally-indexed `first_trial`), and save
+//! holds, run the rest (each through the engine-selecting, fault-aware
+//! [`run_trials_auto_with_faults`] with a globally-indexed
+//! `first_trial`), and save
 //! the checkpoint atomically after each one. All the reproducibility
 //! guarantees live below (seed derivation in the spec, trace-identical
 //! engines, canonical serialization); the runner just never reorders or
@@ -19,7 +20,8 @@ use popele_core::params::{identifier_bits, FastParams};
 use popele_core::{
     FastProtocol, IdentifierProtocol, MajorityProtocol, StarProtocol, TokenProtocol,
 };
-use popele_engine::monte_carlo::{run_trials_auto, TrialOptions, TrialResult};
+use popele_engine::faults::FaultPlan;
+use popele_engine::monte_carlo::{run_trials_auto_with_faults, TrialOptions, TrialResult};
 use popele_graph::Graph;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -195,8 +197,10 @@ pub fn run_campaign(spec: &SweepSpec, options: &CampaignOptions) -> io::Result<C
 }
 
 /// Runs one shard of a cell: instantiates the protocol for the concrete
-/// graph (deterministically) and hands it to the engine-selecting
-/// Monte-Carlo entry point.
+/// graph (deterministically), derives the cell's fault plan from its
+/// profile, and hands both to the engine-selecting, fault-aware
+/// Monte-Carlo entry point (a fault-free cell's empty plan delegates to
+/// the plain path, bit for bit).
 fn run_shard(
     spec: &SweepSpec,
     cell: &CellSpec,
@@ -212,14 +216,14 @@ fn run_shard(
         threads: spec.threads,
     };
     let seed = spec.cell_seed(cell);
+    let plan: FaultPlan = cell.fault.plan(graph.num_nodes());
+    let run = |p: &dyn DynProtocolRunner| p.run(graph, seed, options, &plan);
     match cell.protocol {
-        ProtocolSpec::Token => {
-            run_trials_auto(graph, &TokenProtocol::all_candidates(), seed, options)
-        }
-        ProtocolSpec::Identifier => {
-            let p = IdentifierProtocol::new(identifier_bits(graph.num_nodes(), false));
-            run_trials_auto(graph, &p, seed, options)
-        }
+        ProtocolSpec::Token => run(&TokenProtocol::all_candidates()),
+        ProtocolSpec::Identifier => run(&IdentifierProtocol::new(identifier_bits(
+            graph.num_nodes(),
+            false,
+        ))),
         ProtocolSpec::Fast => {
             // The a-priori broadcast guess is deterministic in the
             // graph, keeping the cell self-contained (no measurement
@@ -230,18 +234,41 @@ fn run_shard(
                 graph.num_edges(),
                 graph.num_nodes(),
             );
-            run_trials_auto(graph, &FastProtocol::new(params), seed, options)
+            run(&FastProtocol::new(params))
         }
-        ProtocolSpec::Star => run_trials_auto(graph, &StarProtocol::new(), seed, options),
+        ProtocolSpec::Star => run(&StarProtocol::new()),
         ProtocolSpec::Majority => {
-            // Fixed 60/40 opinion split, nudged off an exact tie.
             let n = graph.num_nodes();
-            let mut a = (u64::from(n) * 3 / 5).max(1) as u32;
-            if 2 * a == n {
-                a += 1;
-            }
-            run_trials_auto(graph, &MajorityProtocol::new(a, n), seed, options)
+            run(&MajorityProtocol::new(
+                crate::workloads::majority_split(n),
+                n,
+            ))
         }
+    }
+}
+
+/// Object-safe shim dispatching a concrete protocol into the generic
+/// fault-aware Monte-Carlo entry point (keeps `run_shard`'s per-protocol
+/// match to one line each).
+trait DynProtocolRunner {
+    fn run(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        options: TrialOptions,
+        plan: &FaultPlan,
+    ) -> Vec<TrialResult>;
+}
+
+impl<P: popele_engine::Protocol + Clone> DynProtocolRunner for P {
+    fn run(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        options: TrialOptions,
+        plan: &FaultPlan,
+    ) -> Vec<TrialResult> {
+        run_trials_auto_with_faults(graph, self, seed, options, plan)
     }
 }
 
@@ -261,6 +288,7 @@ mod tests {
             master_seed: 0xFEED,
             threads: 1,
             max_edges: 1 << 20,
+            ..SweepSpec::default()
         }
     }
 

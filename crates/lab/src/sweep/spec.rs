@@ -10,7 +10,9 @@
 //! make the concatenation of shard results bit-identical to one
 //! monolithic run.
 
+use super::json::Json;
 use crate::workloads::Family;
+use popele_engine::faults::{FaultEvent, FaultKind, FaultPlan};
 use popele_math::rng::SeedSeq;
 use std::fmt;
 
@@ -71,6 +73,161 @@ impl fmt::Display for ProtocolSpec {
     }
 }
 
+/// A named fault-intensity profile — the sweepable *adversity axis*.
+///
+/// Each profile maps a concrete graph size to a deterministic
+/// [`FaultPlan`] (see [`FaultSpec::plan`]); the per-trial fault
+/// realization then derives from the trial seed, which derives from the
+/// stable cell key, so fault cells obey the same reproducibility
+/// contract as everything else. The step unit below is
+/// `base(n) = n·bitlen(n)` interactions (`bitlen = ⌊log₂ n⌋ + 1`) — a
+/// few parallel "rounds", so faults strike while (or shortly after)
+/// typical protocols converge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSpec {
+    /// No faults: the baseline axis value (and the default).
+    None,
+    /// Three bursts of state corruption (5% of nodes each, at least 1)
+    /// at steps `4·base`, `8·base`, `12·base`.
+    Corrupt,
+    /// Node churn: joins (degree 2) at `4·base` and `8·base`, leaves at
+    /// `6·base` and `10·base`.
+    Churn,
+    /// Six edge rewirings, every `2·base` steps from `4·base` on.
+    Rewire,
+}
+
+impl FaultSpec {
+    /// Every profile, in canonical order.
+    pub const ALL: [FaultSpec; 4] = [
+        FaultSpec::None,
+        FaultSpec::Corrupt,
+        FaultSpec::Churn,
+        FaultSpec::Rewire,
+    ];
+
+    /// CLI / key name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSpec::None => "none",
+            FaultSpec::Corrupt => "corrupt",
+            FaultSpec::Churn => "churn",
+            FaultSpec::Rewire => "rewire",
+        }
+    }
+
+    /// Parses a [`Self::label`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|f| f.label() == name)
+    }
+
+    /// The profile's concrete schedule for an `n`-node graph. A pure
+    /// function of `(self, n)`, so every shard of a cell derives the
+    /// identical plan.
+    #[must_use]
+    pub fn plan(self, n: u32) -> FaultPlan {
+        let base = u64::from(n.max(2)) * u64::from(32 - n.max(2).leading_zeros());
+        match self {
+            FaultSpec::None => FaultPlan::empty(),
+            FaultSpec::Corrupt => FaultPlan::periodic(
+                FaultKind::CorruptNodes {
+                    count: (n / 20).max(1),
+                },
+                4 * base,
+                4 * base,
+                3,
+            ),
+            FaultSpec::Churn => FaultPlan::at(4 * base, FaultKind::JoinNode { degree: 2 })
+                .and(6 * base, FaultKind::LeaveNode)
+                .and(8 * base, FaultKind::JoinNode { degree: 2 })
+                .and(10 * base, FaultKind::LeaveNode),
+            FaultSpec::Rewire => FaultPlan::periodic(FaultKind::RewireEdge, 4 * base, 2 * base, 6),
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Serializes a [`FaultPlan`] as a deterministic [`Json`] tree (the
+/// canonical embedding of custom plans into sweep artifacts). The
+/// rendering is byte-stable: `render ∘ parse ∘ render = render`, and
+/// [`fault_plan_from_json`] inverts it exactly.
+#[must_use]
+pub fn fault_plan_to_json(plan: &FaultPlan) -> Json {
+    let events = plan
+        .events
+        .iter()
+        .map(|e| {
+            let mut members = vec![("step".to_string(), Json::from_u64(e.step))];
+            let kind = |k: &str| ("kind".to_string(), Json::Str(k.into()));
+            match e.kind {
+                FaultKind::CorruptNodes { count } => {
+                    members.push(kind("corrupt"));
+                    members.push(("count".into(), Json::from_u64(u64::from(count))));
+                }
+                FaultKind::AddEdge => members.push(kind("add-edge")),
+                FaultKind::RemoveEdge => members.push(kind("remove-edge")),
+                FaultKind::RewireEdge => members.push(kind("rewire-edge")),
+                FaultKind::JoinNode { degree } => {
+                    members.push(kind("join"));
+                    members.push(("degree".into(), Json::from_u64(u64::from(degree))));
+                }
+                FaultKind::LeaveNode => members.push(kind("leave")),
+            }
+            Json::Obj(members)
+        })
+        .collect();
+    Json::Obj(vec![("events".into(), Json::Arr(events))])
+}
+
+/// Parses the [`fault_plan_to_json`] representation back into a plan.
+///
+/// # Errors
+///
+/// Returns a message on a missing/mistyped field or an unknown kind.
+pub fn fault_plan_from_json(json: &Json) -> Result<FaultPlan, String> {
+    let rows = json
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("fault plan missing events array")?;
+    let mut events = Vec::with_capacity(rows.len());
+    for row in rows {
+        let step = row
+            .get("step")
+            .and_then(Json::as_u64)
+            .ok_or("event missing step")?;
+        let u32_field = |name: &str| -> Result<u32, String> {
+            let raw = row
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or(format!("event missing {name}"))?;
+            u32::try_from(raw).map_err(|e| e.to_string())
+        };
+        let kind = match row.get("kind").and_then(Json::as_str) {
+            Some("corrupt") => FaultKind::CorruptNodes {
+                count: u32_field("count")?,
+            },
+            Some("add-edge") => FaultKind::AddEdge,
+            Some("remove-edge") => FaultKind::RemoveEdge,
+            Some("rewire-edge") => FaultKind::RewireEdge,
+            Some("join") => FaultKind::JoinNode {
+                degree: u32_field("degree")?,
+            },
+            Some("leave") => FaultKind::LeaveNode,
+            Some(other) => return Err(format!("unknown fault kind {other:?}")),
+            None => return Err("event missing kind".into()),
+        };
+        events.push(FaultEvent { step, kind });
+    }
+    Ok(FaultPlan { events })
+}
+
 /// A full campaign grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepSpec {
@@ -83,6 +240,11 @@ pub struct SweepSpec {
     /// Nominal sizes to sweep (families may round, e.g. the torus to a
     /// square).
     pub sizes: Vec<u32>,
+    /// Fault-intensity profiles to sweep. The default, `[None]`, is the
+    /// classic fault-free grid — and keeps cell keys and the
+    /// fingerprint identical to pre-fault campaigns, so existing
+    /// checkpoints still resume.
+    pub faults: Vec<FaultSpec>,
     /// Trials per cell.
     pub trials_per_cell: usize,
     /// Trials per shard (the checkpointing granule); the last shard of
@@ -123,6 +285,7 @@ impl Default for SweepSpec {
                 Family::RandomRegular4,
             ],
             sizes: vec![2_000, 16_000, 80_000],
+            faults: vec![FaultSpec::None],
             trials_per_cell: 4,
             shard_trials: 2,
             max_steps: 30_000_000,
@@ -133,7 +296,8 @@ impl Default for SweepSpec {
     }
 }
 
-/// One cell of the grid: a (protocol, family, nominal size) triple.
+/// One cell of the grid: a (protocol, family, nominal size, fault
+/// profile) tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellSpec {
     /// Protocol under test.
@@ -142,20 +306,28 @@ pub struct CellSpec {
     pub family: Family,
     /// Nominal size.
     pub size: u32,
+    /// Fault-intensity profile.
+    pub fault: FaultSpec,
 }
 
 impl CellSpec {
-    /// Stable key of the cell, e.g. `token/cycle/2000`. Seeds and
+    /// Stable key of the cell, e.g. `token/cycle/2000` — or
+    /// `token/cycle/2000/corrupt` for a faulted cell. Seeds and
     /// checkpoint entries are addressed by this key, so a cell's
-    /// results are independent of the rest of the grid.
+    /// results are independent of the rest of the grid; fault-free
+    /// cells keep their pre-fault-axis keys (and therefore seeds).
     #[must_use]
     pub fn key(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}",
             self.protocol.label(),
             self.family.label(),
             self.size
-        )
+        );
+        match self.fault {
+            FaultSpec::None => base,
+            fault => format!("{base}/{fault}"),
+        }
     }
 }
 
@@ -202,19 +374,23 @@ impl SweepSpec {
         !name.is_empty() && name != "." && name != ".." && !name.contains(['/', '\\'])
     }
 
-    /// The grid's cells, family-major then size then protocol, so
-    /// consecutive cells share a graph and the runner can reuse it.
+    /// The grid's cells, family-major then size then protocol then
+    /// fault profile, so consecutive cells share a graph and the runner
+    /// can reuse it.
     #[must_use]
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::new();
         for &family in &self.families {
             for &size in &self.sizes {
                 for &protocol in &self.protocols {
-                    cells.push(CellSpec {
-                        protocol,
-                        family,
-                        size,
-                    });
+                    for &fault in &self.faults {
+                        cells.push(CellSpec {
+                            protocol,
+                            family,
+                            size,
+                            fault,
+                        });
+                    }
                 }
             }
         }
@@ -237,6 +413,13 @@ impl SweepSpec {
         }
         if cell.protocol == ProtocolSpec::Star && cell.family != Family::Star {
             return Some("the star protocol's oracle is only exact on stars".into());
+        }
+        if cell.protocol == ProtocolSpec::Star
+            && matches!(cell.fault, FaultSpec::Churn | FaultSpec::Rewire)
+        {
+            return Some(
+                "topology faults break the star shape the star protocol's oracle needs".into(),
+            );
         }
         None
     }
@@ -288,12 +471,22 @@ impl SweepSpec {
     /// Canonical one-line fingerprint of everything that determines the
     /// campaign's results. Checkpoints store it; resuming with a
     /// different grid is refused instead of silently mixing results.
-    /// (`threads` is deliberately absent: it never affects results.)
+    /// (`threads` is deliberately absent: it never affects results. A
+    /// `faults=` clause appears only for a non-default fault axis, so
+    /// pre-fault-axis checkpoints of fault-free grids still resume.)
     #[must_use]
     pub fn fingerprint(&self) -> String {
         let list = |items: Vec<String>| items.join(",");
+        let faults = if self.faults == [FaultSpec::None] {
+            String::new()
+        } else {
+            format!(
+                ";faults={}",
+                list(self.faults.iter().map(|f| f.label().to_string()).collect())
+            )
+        };
         format!(
-            "v1;protocols={};families={};sizes={};trials={};shard={};max_steps={};seed={};max_edges={}",
+            "v1;protocols={};families={};sizes={};trials={};shard={};max_steps={};seed={};max_edges={}{faults}",
             list(self.protocols.iter().map(|p| p.label().to_string()).collect()),
             list(self.families.iter().map(|f| f.label().to_string()).collect()),
             list(self.sizes.iter().map(|s| s.to_string()).collect()),
@@ -367,6 +560,7 @@ mod tests {
             protocol: ProtocolSpec::Token,
             family: Family::Cycle,
             size: 12,
+            fault: FaultSpec::None,
         };
         assert_eq!(spec.cell_seed(&cell), bigger.cell_seed(&cell));
         assert_eq!(
@@ -397,6 +591,7 @@ mod tests {
                 protocol: ProtocolSpec::Token,
                 family: Family::Clique,
                 size: 12,
+                fault: FaultSpec::None,
             })
             .is_some());
     }
@@ -433,5 +628,95 @@ mod tests {
         let mut different = tiny();
         different.master_seed ^= 1;
         assert_ne!(spec.fingerprint(), different.fingerprint());
+    }
+
+    #[test]
+    fn fault_labels_roundtrip() {
+        for f in FaultSpec::ALL {
+            assert_eq!(FaultSpec::parse(f.label()), Some(f));
+            assert_eq!(format!("{f}"), f.label());
+        }
+        assert_eq!(FaultSpec::parse("nope"), None);
+    }
+
+    #[test]
+    fn fault_axis_extends_cell_keys_but_not_fault_free_ones() {
+        let mut cell = CellSpec {
+            protocol: ProtocolSpec::Token,
+            family: Family::Cycle,
+            size: 2000,
+            fault: FaultSpec::None,
+        };
+        // The fault-free key (and therefore its derived seeds) is
+        // exactly the pre-fault-axis key.
+        assert_eq!(cell.key(), "token/cycle/2000");
+        cell.fault = FaultSpec::Corrupt;
+        assert_eq!(cell.key(), "token/cycle/2000/corrupt");
+    }
+
+    #[test]
+    fn default_fault_axis_keeps_the_old_fingerprint_shape() {
+        // A fault-free grid's fingerprint must not mention faults, so
+        // checkpoints written before the fault axis existed still
+        // resume; a faulted grid's must.
+        let spec = tiny();
+        assert!(!spec.fingerprint().contains("faults"));
+        let mut faulted = tiny();
+        faulted.faults = vec![FaultSpec::None, FaultSpec::Rewire];
+        assert!(faulted.fingerprint().ends_with(";faults=none,rewire"));
+        assert_ne!(spec.fingerprint(), faulted.fingerprint());
+        // The fault axis multiplies the cell count.
+        assert_eq!(faulted.cells().len(), 2 * spec.cells().len());
+    }
+
+    #[test]
+    fn star_protocol_skips_topology_faults_but_not_corruption() {
+        let cell = |fault| CellSpec {
+            protocol: ProtocolSpec::Star,
+            family: Family::Star,
+            size: 8,
+            fault,
+        };
+        let spec = SweepSpec {
+            protocols: vec![ProtocolSpec::Star],
+            families: vec![Family::Star],
+            faults: FaultSpec::ALL.to_vec(),
+            ..SweepSpec::default()
+        };
+        assert!(spec.cell_skip_reason(&cell(FaultSpec::None)).is_none());
+        assert!(spec.cell_skip_reason(&cell(FaultSpec::Corrupt)).is_none());
+        assert!(spec.cell_skip_reason(&cell(FaultSpec::Churn)).is_some());
+        assert!(spec.cell_skip_reason(&cell(FaultSpec::Rewire)).is_some());
+    }
+
+    #[test]
+    fn fault_profiles_scale_with_n_and_stay_pure() {
+        for f in FaultSpec::ALL {
+            assert_eq!(f.plan(100), f.plan(100), "{f} not pure");
+        }
+        assert!(FaultSpec::None.plan(100).is_empty());
+        let small = FaultSpec::Corrupt.plan(100);
+        let large = FaultSpec::Corrupt.plan(10_000);
+        assert!(small.events[0].step < large.events[0].step);
+        assert_eq!(FaultSpec::Churn.plan(64).max_joins(), 2);
+    }
+
+    #[test]
+    fn fault_plan_json_roundtrips() {
+        let plan = FaultPlan::at(5, FaultKind::CorruptNodes { count: 3 })
+            .and(10, FaultKind::AddEdge)
+            .and(15, FaultKind::RemoveEdge)
+            .and(20, FaultKind::RewireEdge)
+            .and(25, FaultKind::JoinNode { degree: 2 })
+            .and(30, FaultKind::LeaveNode);
+        let json = fault_plan_to_json(&plan);
+        let text = json.render();
+        let reparsed = Json::parse(&text).unwrap();
+        assert_eq!(fault_plan_from_json(&reparsed).unwrap(), plan);
+        assert_eq!(reparsed.render(), text, "rendering must be byte-stable");
+        assert!(fault_plan_from_json(&Json::Null).is_err());
+        assert!(
+            fault_plan_from_json(&Json::parse(r#"{"events": [{"step": 1}]}"#).unwrap()).is_err()
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use super::checkpoint::Checkpoint;
 use super::json::Json;
-use super::spec::{CellSpec, SweepSpec};
+use super::spec::{CellSpec, FaultSpec, SweepSpec};
 use crate::report::{fmt_num, Table};
 use popele_math::fit::power_fit;
 use popele_math::stats::Summary;
@@ -15,6 +15,13 @@ struct CellDigest {
     m: u64,
     steps: Summary,
     timeouts: usize,
+    /// Reconvergence times (steps from the last fault to renewed
+    /// stability) over recovered trials — empty for fault-free cells.
+    reconvergence: Summary,
+    /// Trials that ended with the unique leader permanently lost.
+    leaders_lost: usize,
+    /// Worst leader-count excursion observed across the cell's trials.
+    peak_leaders: u32,
 }
 
 /// Digests every runnable cell, in grid order.
@@ -32,21 +39,31 @@ fn digest(spec: &SweepSpec, checkpoint: &Checkpoint) -> Vec<CellDigest> {
                 .map(|s| s as f64)
                 .collect();
             let timeouts = records.iter().filter(|r| r.steps.is_none()).count();
+            let recoveries = || records.iter().filter_map(|r| r.recovery);
+            let reconvergence: Summary = recoveries()
+                .filter_map(|r| r.reconvergence)
+                .map(|s| s as f64)
+                .collect();
             CellDigest {
                 cell,
                 n: meta.n,
                 m: meta.m,
                 steps,
                 timeouts,
+                reconvergence,
+                leaders_lost: recoveries().filter(|r| r.leader_lost).count(),
+                peak_leaders: recoveries().map(|r| r.peak_leaders).max().unwrap_or(0),
             }
         })
         .collect()
 }
 
-/// A fitted scaling law for one (protocol, family) row of the grid.
+/// A fitted scaling law for one (protocol, family, fault) row of the
+/// grid.
 struct FitDigest {
     protocol: String,
     family: String,
+    fault: String,
     points: usize,
     exponent: f64,
     coefficient: f64,
@@ -54,38 +71,46 @@ struct FitDigest {
 }
 
 /// Power-law fits of mean stabilization steps against the measured node
-/// count, one per (protocol, family) pair with at least two cells that
-/// produced successful trials at distinct sizes. Timeout-only cells
-/// contribute no point — a fit over censored data would be noise.
+/// count, one per (protocol, family, fault) triple with at least two
+/// cells that produced successful trials at distinct sizes. Fault
+/// profiles fit separately — pooling perturbed and clean cells would
+/// blur both laws. Timeout-only cells contribute no point — a fit over
+/// censored data would be noise.
 fn fits(spec: &SweepSpec, digests: &[CellDigest]) -> Vec<FitDigest> {
     let mut out = Vec::new();
     for &protocol in &spec.protocols {
         for &family in &spec.families {
-            let points: Vec<(f64, f64)> = digests
-                .iter()
-                .filter(|d| {
-                    d.cell.protocol == protocol && d.cell.family == family && !d.steps.is_empty()
-                })
-                .map(|d| (f64::from(d.n), d.steps.mean().max(1.0)))
-                .collect();
-            let distinct_sizes = {
-                let mut xs: Vec<u64> = points.iter().map(|p| p.0 as u64).collect();
-                xs.sort_unstable();
-                xs.dedup();
-                xs.len()
-            };
-            if distinct_sizes < 2 {
-                continue;
+            for &fault in &spec.faults {
+                let points: Vec<(f64, f64)> = digests
+                    .iter()
+                    .filter(|d| {
+                        d.cell.protocol == protocol
+                            && d.cell.family == family
+                            && d.cell.fault == fault
+                            && !d.steps.is_empty()
+                    })
+                    .map(|d| (f64::from(d.n), d.steps.mean().max(1.0)))
+                    .collect();
+                let distinct_sizes = {
+                    let mut xs: Vec<u64> = points.iter().map(|p| p.0 as u64).collect();
+                    xs.sort_unstable();
+                    xs.dedup();
+                    xs.len()
+                };
+                if distinct_sizes < 2 {
+                    continue;
+                }
+                let fit = power_fit(&points);
+                out.push(FitDigest {
+                    protocol: protocol.label().to_string(),
+                    family: family.label().to_string(),
+                    fault: fault.label().to_string(),
+                    points: points.len(),
+                    exponent: fit.exponent,
+                    coefficient: fit.coefficient,
+                    r_squared: fit.r_squared,
+                });
             }
-            let fit = power_fit(&points);
-            out.push(FitDigest {
-                protocol: protocol.label().to_string(),
-                family: family.label().to_string(),
-                points: points.len(),
-                exponent: fit.exponent,
-                coefficient: fit.coefficient,
-                r_squared: fit.r_squared,
-            });
         }
     }
     out
@@ -104,8 +129,8 @@ pub fn tables(spec: &SweepSpec, checkpoint: &Checkpoint) -> Vec<Table> {
             spec.max_steps, spec.master_seed
         ),
         &[
-            "protocol", "family", "size", "n", "m", "ok", "timeouts", "mean", "median", "q10",
-            "q90",
+            "protocol", "family", "size", "fault", "n", "m", "ok", "timeouts", "mean", "median",
+            "q10", "q90",
         ],
     );
     for d in &digests {
@@ -120,6 +145,7 @@ pub fn tables(spec: &SweepSpec, checkpoint: &Checkpoint) -> Vec<Table> {
             d.cell.protocol.label().to_string(),
             d.cell.family.label().to_string(),
             d.cell.size.to_string(),
+            d.cell.fault.label().to_string(),
             d.n.to_string(),
             d.m.to_string(),
             d.steps.len().to_string(),
@@ -144,13 +170,16 @@ pub fn tables(spec: &SweepSpec, checkpoint: &Checkpoint) -> Vec<Table> {
     }
     let mut fit_table = Table::new(
         format!("sweep {} scaling fits", spec.name),
-        "power law mean_steps = C·n^a per (protocol, family), over cells with successes",
-        &["protocol", "family", "points", "exponent", "C", "R^2"],
+        "power law mean_steps = C·n^a per (protocol, family, fault), over cells with successes",
+        &[
+            "protocol", "family", "fault", "points", "exponent", "C", "R^2",
+        ],
     );
     for f in fits(spec, &digests) {
         fit_table.push_row(vec![
             f.protocol,
             f.family,
+            f.fault,
             f.points.to_string(),
             fmt_num(f.exponent),
             fmt_num(f.coefficient),
@@ -158,6 +187,57 @@ pub fn tables(spec: &SweepSpec, checkpoint: &Checkpoint) -> Vec<Table> {
         ]);
     }
     let mut out = vec![cells, fit_table];
+
+    if spec.faults.iter().any(|&f| f != FaultSpec::None) {
+        let mut recovery = Table::new(
+            format!("sweep {} recovery", spec.name),
+            "per faulted cell: reconvergence steps after the last fault over recovered trials, \
+             trials whose unique leader was permanently lost, and the worst leader-count \
+             excursion",
+            &[
+                "protocol",
+                "family",
+                "size",
+                "fault",
+                "recovered",
+                "lost",
+                "peak",
+                "reconv_mean",
+                "reconv_median",
+                "reconv_q90",
+            ],
+        );
+        for d in digests.iter().filter(|d| d.cell.fault != FaultSpec::None) {
+            let stat = |v: f64| {
+                if d.reconvergence.is_empty() {
+                    "-".to_string()
+                } else {
+                    fmt_num(v)
+                }
+            };
+            recovery.push_row(vec![
+                d.cell.protocol.label().to_string(),
+                d.cell.family.label().to_string(),
+                d.cell.size.to_string(),
+                d.cell.fault.label().to_string(),
+                d.reconvergence.len().to_string(),
+                d.leaders_lost.to_string(),
+                d.peak_leaders.to_string(),
+                stat(d.reconvergence.mean()),
+                stat(if d.reconvergence.is_empty() {
+                    0.0
+                } else {
+                    d.reconvergence.median()
+                }),
+                stat(if d.reconvergence.is_empty() {
+                    0.0
+                } else {
+                    d.reconvergence.quantile(0.9)
+                }),
+            ]);
+        }
+        out.push(recovery);
+    }
 
     let skipped: Vec<(CellSpec, String)> = spec
         .cells()
@@ -168,13 +248,14 @@ pub fn tables(spec: &SweepSpec, checkpoint: &Checkpoint) -> Vec<Table> {
         let mut table = Table::new(
             format!("sweep {} skipped cells", spec.name),
             "cells excluded from execution, with the reason",
-            &["protocol", "family", "size", "reason"],
+            &["protocol", "family", "size", "fault", "reason"],
         );
         for (c, reason) in skipped {
             table.push_row(vec![
                 c.protocol.label().to_string(),
                 c.family.label().to_string(),
                 c.size.to_string(),
+                c.fault.label().to_string(),
                 reason,
             ]);
         }
@@ -204,15 +285,43 @@ pub fn render(spec: &SweepSpec, checkpoint: &Checkpoint) -> String {
                     ("max".into(), Json::Num(d.steps.max())),
                 ])
             };
+            let recovery = if d.cell.fault == FaultSpec::None {
+                Json::Null
+            } else {
+                let reconv = if d.reconvergence.is_empty() {
+                    Json::Null
+                } else {
+                    Json::Obj(vec![
+                        ("mean".into(), Json::Num(d.reconvergence.mean())),
+                        ("median".into(), Json::Num(d.reconvergence.median())),
+                        ("q90".into(), Json::Num(d.reconvergence.quantile(0.9))),
+                        ("max".into(), Json::Num(d.reconvergence.max())),
+                    ])
+                };
+                Json::Obj(vec![
+                    (
+                        "recovered".into(),
+                        Json::from_u64(d.reconvergence.len() as u64),
+                    ),
+                    ("lost".into(), Json::from_u64(d.leaders_lost as u64)),
+                    (
+                        "peak_leaders".into(),
+                        Json::from_u64(u64::from(d.peak_leaders)),
+                    ),
+                    ("reconvergence".into(), reconv),
+                ])
+            };
             Json::Obj(vec![
                 ("protocol".into(), Json::Str(d.cell.protocol.label().into())),
                 ("family".into(), Json::Str(d.cell.family.label().into())),
                 ("size".into(), Json::from_u64(u64::from(d.cell.size))),
+                ("fault".into(), Json::Str(d.cell.fault.label().into())),
                 ("n".into(), Json::from_u64(u64::from(d.n))),
                 ("m".into(), Json::from_u64(d.m)),
                 ("successes".into(), Json::from_u64(d.steps.len() as u64)),
                 ("timeouts".into(), Json::from_u64(d.timeouts as u64)),
                 ("steps".into(), stats),
+                ("recovery".into(), recovery),
             ])
         })
         .collect();
@@ -222,6 +331,7 @@ pub fn render(spec: &SweepSpec, checkpoint: &Checkpoint) -> String {
             Json::Obj(vec![
                 ("protocol".into(), Json::Str(f.protocol)),
                 ("family".into(), Json::Str(f.family)),
+                ("fault".into(), Json::Str(f.fault)),
                 ("points".into(), Json::from_u64(f.points as u64)),
                 ("exponent".into(), Json::Num(f.exponent)),
                 ("coefficient".into(), Json::Num(f.coefficient)),
@@ -238,6 +348,7 @@ pub fn render(spec: &SweepSpec, checkpoint: &Checkpoint) -> String {
                     ("protocol".into(), Json::Str(c.protocol.label().into())),
                     ("family".into(), Json::Str(c.family.label().into())),
                     ("size".into(), Json::from_u64(u64::from(c.size))),
+                    ("fault".into(), Json::Str(c.fault.label().into())),
                     ("reason".into(), Json::Str(reason)),
                 ])
             })

@@ -3,7 +3,42 @@
 //! Each [`Family`] maps a nominal size to a concrete graph; random
 //! families receive deterministic seeds. These are the graph classes of
 //! the paper's Table 1 plus supporting families used by individual
-//! lemmas.
+//! lemmas. Experiments, sweep campaigns and the CLI all speak in these
+//! names (`--families cycle,torus`), so a family label appearing in a
+//! results file always denotes the same construction.
+//!
+//! # Examples
+//!
+//! Generate a Table 1 workload and feed it to an executor:
+//!
+//! ```
+//! use popele_lab::workloads::Family;
+//! use popele_engine::Executor;
+//! use popele_core::TokenProtocol;
+//!
+//! // The torus rounds its nominal size to a square; generation is
+//! // deterministic in (family, size, seed).
+//! let g = Family::Torus.generate(20, 7);
+//! assert_eq!(g.num_nodes(), 16);
+//! assert_eq!(g, Family::Torus.generate(20, 7));
+//!
+//! let outcome = Executor::new(&g, &TokenProtocol::all_candidates(), 1)
+//!     .run_until_stable(10_000_000)
+//!     .expect("token protocol stabilizes");
+//! assert_eq!(outcome.leader_count, 1);
+//! ```
+//!
+//! Labels round-trip through [`Family::parse`] (the CLI contract):
+//!
+//! ```
+//! use popele_lab::workloads::Family;
+//!
+//! for family in Family::ALL {
+//!     assert_eq!(Family::parse(family.label()), Some(family));
+//! }
+//! assert_eq!(Family::parse("hypercube"), Some(Family::Hypercube));
+//! assert_eq!(Family::parse("petersen"), None);
+//! ```
 
 use popele_graph::{families, random, Graph};
 
@@ -58,6 +93,18 @@ impl Family {
     /// Upper estimate of the edge count of the size-`n` member, used by
     /// sweep campaigns to refuse cells whose explicit edge list would
     /// not fit in memory (a `clique(50_000)` has 1.25 billion edges).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use popele_lab::workloads::Family;
+    ///
+    /// assert_eq!(Family::Cycle.approx_edges(1000), 1000);
+    /// assert_eq!(Family::Clique.approx_edges(1000), 499_500);
+    /// // Estimates upper-bound the generated graph.
+    /// let g = Family::RandomRegular4.generate(100, 3);
+    /// assert!(g.num_edges() as u64 <= Family::RandomRegular4.approx_edges(100));
+    /// ```
     #[must_use]
     pub fn approx_edges(self, n: u32) -> u64 {
         let n = u64::from(n);
@@ -131,9 +178,49 @@ impl Family {
     }
 }
 
+/// The canonical exact-majority input split used by sweeps and
+/// experiments: a 60/40 opinion split (initial `A` count), nudged off
+/// an exact tie so a majority always exists. Sharing one definition
+/// keeps the `faults` experiment's majority rows comparable to the
+/// sweep's `majority/*` cells.
+///
+/// # Examples
+///
+/// ```
+/// use popele_lab::workloads::majority_split;
+///
+/// assert_eq!(majority_split(100), 60);
+/// // When the 60% floor lands exactly on n/2 (e.g. n = 4 → 2), the
+/// // count is bumped so the split is never a tie.
+/// assert_eq!(majority_split(4), 3);
+/// ```
+#[must_use]
+pub fn majority_split(n: u32) -> u32 {
+    let mut a = (u64::from(n) * 3 / 5).max(1) as u32;
+    if 2 * a == n {
+        a += 1;
+    }
+    a
+}
+
 /// Rough a-priori broadcast-time guess used to parameterize protocols
 /// before the measured estimate is available (only the order of magnitude
 /// matters — it feeds a `log₂`).
+///
+/// # Examples
+///
+/// ```
+/// use popele_graph::families;
+/// use popele_lab::workloads::broadcast_guess;
+///
+/// // Denser, shorter-diameter graphs broadcast faster per edge, but the
+/// // guess grows with the edge count and diameter — compare a cycle to
+/// // a clique of the same size.
+/// let cycle = broadcast_guess(&families::cycle(64));
+/// let clique = broadcast_guess(&families::clique(64));
+/// assert!(cycle > 0.0 && clique > 0.0);
+/// assert!(clique / 64.0 > cycle / 64.0, "clique has far more edges");
+/// ```
 #[must_use]
 pub fn broadcast_guess(g: &Graph) -> f64 {
     let n = f64::from(g.num_nodes());

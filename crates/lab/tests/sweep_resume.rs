@@ -9,8 +9,8 @@
 //! kill mid-save leaves the previous checkpoint intact).
 
 use popele_lab::sweep::{
-    checkpoint_path, run_campaign, summary_path, CampaignOptions, Checkpoint, ProtocolSpec,
-    SweepSpec,
+    checkpoint_path, run_campaign, summary_path, CampaignOptions, Checkpoint, FaultSpec,
+    ProtocolSpec, SweepSpec,
 };
 use popele_lab::workloads::Family;
 use std::path::{Path, PathBuf};
@@ -27,6 +27,7 @@ fn spec(threads: usize) -> SweepSpec {
         master_seed: 0xAB5EED,
         threads,
         max_edges: 1 << 20,
+        ..SweepSpec::default()
     }
 }
 
@@ -123,6 +124,85 @@ fn thread_count_does_not_change_campaign_outputs() {
     assert_eq!(output_bytes(&dir_a), output_bytes(&dir_b));
     std::fs::remove_dir_all(&dir_a).ok();
     std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// A grid with a nonzero fault axis: every fault profile, including the
+/// churn/rewire ones that mutate topology mid-trial.
+fn faulted_spec(threads: usize) -> SweepSpec {
+    SweepSpec {
+        name: "faulted".into(),
+        protocols: vec![ProtocolSpec::Token, ProtocolSpec::Majority],
+        families: vec![Family::Clique, Family::Cycle],
+        sizes: vec![8, 16],
+        faults: vec![
+            FaultSpec::None,
+            FaultSpec::Corrupt,
+            FaultSpec::Churn,
+            FaultSpec::Rewire,
+        ],
+        trials_per_cell: 3,
+        shard_trials: 2,
+        max_steps: 1 << 22,
+        master_seed: 0xFA017,
+        threads,
+        max_edges: 1 << 20,
+    }
+}
+
+#[test]
+fn faulted_campaign_outputs_are_byte_identical_across_threads_and_resume() {
+    // Straight single-threaded reference run.
+    let straight_dir = temp_dir("faulted-straight");
+    let outcome = run_campaign(
+        &faulted_spec(1),
+        &CampaignOptions {
+            out_dir: straight_dir.clone(),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(outcome.completed);
+    let (straight_ckpt, straight_summary) = output_bytes_of(&straight_dir, "faulted");
+
+    // Fault cells actually recorded recovery metrics.
+    let ckpt = Checkpoint::load(&checkpoint_path(&straight_dir.join("faulted"))).unwrap();
+    let corrupt_records = ckpt.cell_records("token/clique/8/corrupt");
+    assert_eq!(corrupt_records.len(), 3);
+    assert!(corrupt_records.iter().all(|r| r.recovery.is_some()));
+    let clean_records = ckpt.cell_records("token/clique/8");
+    assert_eq!(clean_records.len(), 3);
+    assert!(clean_records.iter().all(|r| r.recovery.is_none()));
+    // The summary carries the recovery digest.
+    assert!(straight_summary.contains("\"recovery\""));
+
+    // Interrupted twice, resumed with different thread counts.
+    let resumed_dir = temp_dir("faulted-resumed");
+    let opts = |interrupt_after| CampaignOptions {
+        out_dir: resumed_dir.clone(),
+        interrupt_after,
+        ..CampaignOptions::default()
+    };
+    let first = run_campaign(&faulted_spec(2), &opts(Some(7))).unwrap();
+    assert!(!first.completed);
+    let second = run_campaign(&faulted_spec(4), &opts(Some(19))).unwrap();
+    assert!(!second.completed);
+    let last = run_campaign(&faulted_spec(3), &opts(None)).unwrap();
+    assert!(last.completed);
+
+    let (resumed_ckpt, resumed_summary) = output_bytes_of(&resumed_dir, "faulted");
+    assert_eq!(straight_ckpt, resumed_ckpt, "checkpoint bytes diverged");
+    assert_eq!(straight_summary, resumed_summary, "summary bytes diverged");
+
+    std::fs::remove_dir_all(&straight_dir).ok();
+    std::fs::remove_dir_all(&resumed_dir).ok();
+}
+
+fn output_bytes_of(dir: &Path, name: &str) -> (String, String) {
+    let campaign = dir.join(name);
+    (
+        std::fs::read_to_string(checkpoint_path(&campaign)).unwrap(),
+        std::fs::read_to_string(summary_path(&campaign)).unwrap(),
+    )
 }
 
 #[test]

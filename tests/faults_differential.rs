@@ -1,0 +1,184 @@
+//! The fault-injection subsystem's determinism contract, end to end,
+//! with the paper's real protocols:
+//!
+//! 1. **Empty-plan identity**: running through the fault machinery with
+//!    an empty [`FaultPlan`] is *trace-identical* to today's fault-free
+//!    runs — same interaction sequence, same `Outcome`s, on both
+//!    engines, and the faulted Monte-Carlo entry points return the very
+//!    same results as the plain ones.
+//! 2. **Engine agreement under faults**: for any plan (corruption,
+//!    churn, rewiring) the generic and compiled engines produce
+//!    identical reports — the scheduler stream survives graph changes
+//!    and the dense engine's edge decoders are rebuilt correctly.
+//! 3. **Thread/shard invariance**: fault-injected Monte-Carlo results
+//!    are bit-identical across thread counts and `first_trial` shards.
+
+use popele::engine::faults::{fault_seed, run_with_faults, FaultKind, FaultPlan};
+use popele::engine::monte_carlo::{
+    run_trials_auto, run_trials_auto_with_faults, run_trials_dense_with_faults,
+    run_trials_with_faults, TrialOptions,
+};
+use popele::engine::{CompiledProtocol, DenseExecutor, Executor};
+use popele::graph::families;
+use popele::protocols::{MajorityProtocol, TokenProtocol};
+
+fn opts(threads: usize) -> TrialOptions {
+    TrialOptions {
+        trials: 6,
+        max_steps: 1 << 22,
+        threads,
+        ..TrialOptions::default()
+    }
+}
+
+/// A plan exercising every fault kind.
+fn stress_plan() -> FaultPlan {
+    FaultPlan::at(300, FaultKind::CorruptNodes { count: 3 })
+        .and(600, FaultKind::RewireEdge)
+        .and(900, FaultKind::JoinNode { degree: 2 })
+        .and(1_200, FaultKind::LeaveNode)
+        .and(1_500, FaultKind::AddEdge)
+        .and(1_800, FaultKind::RemoveEdge)
+        .and(2_100, FaultKind::CorruptNodes { count: 2 })
+}
+
+#[test]
+fn empty_plan_is_trace_identical_to_fault_free_runs() {
+    let protocol = TokenProtocol::all_candidates();
+    for g in [
+        families::clique(24),
+        families::cycle(24),
+        families::star(24),
+    ] {
+        let n = g.num_nodes();
+        let empty = FaultPlan::empty();
+        let resolved = empty.resolve(&g, fault_seed(5));
+
+        // Generic engine: the faulted session must walk the exact same
+        // trajectory as a plain run, step for step.
+        let mut plain = Executor::new(&g, &protocol, 5);
+        let baseline = plain.run_until_stable(1 << 24).unwrap();
+        let mut faulted = Executor::new(&g, &protocol, 5);
+        let report = run_with_faults(&mut faulted, &resolved, 1 << 24);
+        assert_eq!(report.result.as_ref().unwrap(), &baseline, "{g}");
+        assert!(report.trajectory.is_empty());
+        assert_eq!(report.recovery.last_fault_step, 0);
+
+        // Compiled engine: same identity.
+        let compiled = CompiledProtocol::compile_default(&protocol, n).unwrap();
+        let mut plain = DenseExecutor::new(&g, &compiled, 5);
+        let dense_baseline = plain.run_until_stable(1 << 24).unwrap();
+        assert_eq!(dense_baseline, baseline);
+        let mut faulted = DenseExecutor::new(&g, &compiled, 5);
+        let report = run_with_faults(&mut faulted, &resolved, 1 << 24);
+        assert_eq!(report.result.unwrap(), baseline, "{g} dense");
+    }
+}
+
+#[test]
+fn empty_plan_monte_carlo_matches_plain_entry_points() {
+    let g = families::cycle(16);
+    let protocol = TokenProtocol::all_candidates();
+    let empty = FaultPlan::empty();
+    let plain = run_trials_auto(&g, &protocol, 77, opts(2));
+    assert_eq!(
+        run_trials_auto_with_faults(&g, &protocol, 77, opts(2), &empty),
+        plain
+    );
+    assert_eq!(
+        run_trials_with_faults(&g, &protocol, 77, opts(2), &empty),
+        plain
+    );
+    assert!(plain.iter().all(|r| r.recovery.is_none()));
+}
+
+#[test]
+fn engines_agree_on_faulted_token_elections() {
+    let protocol = TokenProtocol::all_candidates();
+    let plan = stress_plan();
+    for g in [
+        families::clique(20),
+        families::cycle(20),
+        families::star(20),
+        families::torus(5, 4),
+    ] {
+        let n = g.num_nodes();
+        let compiled = CompiledProtocol::compile_default(&protocol, n + plan.max_joins()).unwrap();
+        for seed in [1u64, 9, 42] {
+            let resolved = plan.resolve(&g, fault_seed(seed));
+            let mut generic = Executor::new(&g, &protocol, seed);
+            let a = run_with_faults(&mut generic, &resolved, 1 << 24);
+            let mut dense = DenseExecutor::new(&g, &compiled, seed);
+            let b = run_with_faults(&mut dense, &resolved, 1 << 24);
+            assert_eq!(a.result, b.result, "{g} seed {seed}");
+            assert_eq!(a.trajectory, b.trajectory, "{g} seed {seed}");
+            assert_eq!(a.recovery, b.recovery, "{g} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn faulted_trials_match_across_engines_and_threads() {
+    let g = families::cycle(18);
+    let protocol = MajorityProtocol::new(11, 18);
+    let plan =
+        FaultPlan::at(400, FaultKind::CorruptNodes { count: 4 }).and(800, FaultKind::RewireEdge);
+    let compiled = CompiledProtocol::compile_default(&protocol, 18).unwrap();
+
+    let generic = run_trials_with_faults(&g, &protocol, 3, opts(1), &plan);
+    let dense = run_trials_dense_with_faults(&g, &compiled, 3, opts(1), &plan);
+    let auto = run_trials_auto_with_faults(&g, &protocol, 3, opts(1), &plan);
+    assert_eq!(generic, dense);
+    assert_eq!(generic, auto);
+    assert!(generic.iter().all(|r| r.recovery.is_some()));
+
+    // Thread counts never leak into results.
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            run_trials_auto_with_faults(&g, &protocol, 3, opts(threads), &plan),
+            generic,
+            "{threads} threads"
+        );
+    }
+}
+
+#[test]
+fn faulted_shards_equal_one_big_run() {
+    let g = families::clique(14);
+    let protocol = TokenProtocol::all_candidates();
+    let plan = FaultPlan::at(500, FaultKind::CorruptNodes { count: 3 })
+        .and(1_000, FaultKind::JoinNode { degree: 3 });
+    let whole = run_trials_auto_with_faults(
+        &g,
+        &protocol,
+        55,
+        TrialOptions {
+            trials: 9,
+            max_steps: 1 << 22,
+            threads: 2,
+            ..TrialOptions::default()
+        },
+        &plan,
+    );
+    let mut sharded = Vec::new();
+    for (first_trial, trials) in [(0, 4), (4, 3), (7, 2)] {
+        sharded.extend(run_trials_auto_with_faults(
+            &g,
+            &protocol,
+            55,
+            TrialOptions {
+                trials,
+                first_trial,
+                max_steps: 1 << 22,
+                threads: 2,
+                ..TrialOptions::default()
+            },
+            &plan,
+        ));
+    }
+    assert_eq!(whole, sharded);
+    // Faults actually fired: corruption re-promotes candidates.
+    assert!(whole
+        .iter()
+        .all(|r| r.recovery.expect("faulted").faults_applied >= 1));
+}

@@ -1,0 +1,94 @@
+#!/bin/sh
+# Markdown link check for the repo's top-level docs.
+#
+# Verifies, for every inline markdown link in the checked files:
+#   * local file targets exist (relative to the repo root);
+#   * `#anchor` fragments (with or without a file part) resolve to a
+#     heading in the target file, using GitHub's slug rules (lowercase,
+#     spaces to dashes, punctuation dropped).
+#
+# External links (http/https/mailto) are intentionally skipped — CI and
+# the dev environment are offline. Usage:
+#
+#   tools/check-md-links.sh [FILE.md ...]     # default: the doc set below
+#
+# Exits nonzero listing every broken link.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FILES="${*:-README.md ARCHITECTURE.md BENCH.md PROTOCOLS.md}"
+
+status=0
+
+# github_slug TEXT -> slug on stdout (newline-terminated)
+github_slug() {
+    printf '%s\n' "$1" |
+        tr '[:upper:]' '[:lower:]' |
+        sed -e 's/`//g' -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+# anchors FILE -> one slug per heading on stdout (fenced code blocks,
+# whose `# comment` lines are not headings, are skipped)
+anchors() {
+    awk '/^```/ { fence = !fence; next } !fence' "$1" |
+        grep -E '^#{1,6} ' | sed -E 's/^#{1,6} //' | while IFS= read -r h; do
+        github_slug "$h"
+    done
+}
+
+for file in $FILES; do
+    if [ ! -f "$file" ]; then
+        echo "MISSING FILE: $file (not in the doc set?)" >&2
+        status=1
+        continue
+    fi
+    # Extract inline link targets: [text](target). One per line; tolerate
+    # several links per line. Reference-style links are not used in this
+    # repo's docs. Split on newlines only, so targets containing spaces
+    # survive. (Known limitation: duplicate headings get no GitHub-style
+    # "-1" suffix in anchors(); none of the checked docs use them.)
+    targets=$(grep -oE '\]\([^)]+\)' "$file" | sed -e 's/^](//' -e 's/)$//' || true)
+    old_ifs=$IFS
+    IFS='
+'
+    for target in $targets; do
+        IFS=$old_ifs
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        path=${target%%#*}
+        fragment=""
+        case "$target" in
+            *'#'*) fragment=${target#*#} ;;
+        esac
+        # Resolve the file part (empty path = same file).
+        if [ -n "$path" ]; then
+            if [ ! -e "$path" ]; then
+                echo "$file: broken path: $target" >&2
+                status=1
+                continue
+            fi
+            anchor_file=$path
+        else
+            anchor_file=$file
+        fi
+        # Resolve the fragment against the target file's headings.
+        if [ -n "$fragment" ]; then
+            case "$anchor_file" in
+                *.md) ;;
+                *) continue ;;  # anchors into non-markdown files: skip
+            esac
+            if ! anchors "$anchor_file" | grep -qxF "$fragment"; then
+                echo "$file: broken anchor: $target" >&2
+                status=1
+            fi
+        fi
+    done
+    IFS=$old_ifs
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check-md-links: OK ($FILES)"
+fi
+exit "$status"
