@@ -1,11 +1,21 @@
-//! Two-engine benchmark: the generic reference [`Executor`] vs the
-//! compiled dense-state [`DenseExecutor`] on identical workloads —
-//! full leader elections of the 6-state token protocol on `clique(1000)`
-//! and `cycle(1000)`, plus fixed-step throughput on the same graphs and
-//! on `cycle(120000)`, whose node count exceeds the packed decoder's
-//! 16-bit range and therefore exercises the CSR edge decoder.
+//! Engine benchmark: the generic reference [`Executor`] vs the two
+//! dense engines on identical workloads.
 //!
-//! Both engines consume identical seed sequences, so they execute the
+//! * **generic vs AOT-dense** ([`DenseExecutor`]): full leader elections
+//!   of the 6-state token protocol on `clique(1000)` and `cycle(1000)`,
+//!   plus fixed-step throughput on the same graphs and on
+//!   `cycle(120000)`, whose node count exceeds the packed decoder's
+//!   16-bit range and therefore exercises the CSR edge decoder.
+//! * **generic vs lazy-dense** ([`LazyDenseExecutor`]): the workloads
+//!   the AOT cap excludes — full elections of the identifier protocol at
+//!   realistic `k` on `cycle(1000)`, `star(1000)` and `torus(32×32)`
+//!   (star is where no-op memoization pays most: the generic engine
+//!   re-runs the oracle on every hub interaction), and fixed-step
+//!   throughput of a full-scale fast-protocol instance on
+//!   `cycle(120000)` (CSR decoder). These are exactly the cells where
+//!   sweep campaigns used to fall back to the generic engine.
+//!
+//! All engines consume identical seed sequences, so they execute the
 //! exact same interaction sequences; the measured ratio is pure engine
 //! overhead. Besides the usual criterion output, this bench writes a
 //! machine-readable `BENCH_engine.json` baseline at the workspace root
@@ -13,13 +23,19 @@
 //! engine can be tracked across commits.
 
 use criterion::{black_box, take_measurements, BenchmarkId, Criterion, Measurement};
-use popele_core::TokenProtocol;
-use popele_engine::{CompiledProtocol, DenseExecutor, Executor};
+use popele_core::params::{identifier_bits, FastParams};
+use popele_core::{FastProtocol, IdentifierProtocol, TokenProtocol};
+use popele_engine::{CompiledProtocol, DenseExecutor, Executor, LazyDenseExecutor};
 use popele_graph::{families, Graph};
 use std::fmt::Write as _;
 use std::time::Duration;
 
 const FIXED_STEPS: u64 = 2_000_000;
+
+/// Lazy-tier steps workload name, shared between the bench loop and
+/// `json_workloads` so a rename cannot silently drop the row from the
+/// JSON baseline (missing measurements are skipped, not errors).
+const FAST_STEPS_WORKLOAD: &str = "fast_cycle_120000";
 const ELECTION_MAX: u64 = u64::MAX;
 
 fn election_graphs() -> Vec<(&'static str, Graph)> {
@@ -38,16 +54,28 @@ fn steps_graphs() -> Vec<(&'static str, Graph)> {
     graphs
 }
 
+/// Lazy-tier election workloads: identifier protocol at the realistic
+/// bit count for each graph (state spaces far beyond the AOT cap).
+fn lazy_election_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("identifier_cycle_1000", families::cycle(1000)),
+        ("identifier_star_1000", families::star(1000)),
+        ("identifier_torus_1024", families::torus(32, 32)),
+    ]
+}
+
 /// Each benchmark *iteration* runs one full cycle of elections over a
 /// fixed seed set, so every sample of both engines measures the exact
 /// same workload (elections vary a lot in length per seed; folding the
 /// whole cycle into one iteration makes the comparison paired rather
 /// than batch-aligned by luck). Executors are constructed once and
 /// `reset` per election — the engines' intended usage for repeated
-/// runs. Cycle elections are ~50× longer than clique ones, so that
-/// graph gets a smaller seed set.
+/// runs (for the lazy engine the reset keeps the pair cache warm, which
+/// is exactly how the Monte-Carlo harness drives it). Cycle elections
+/// are ~50× longer than clique ones, so that graph gets a smaller seed
+/// set.
 fn seed_cycle(name: &str) -> u64 {
-    if name.starts_with("cycle") {
+    if name.contains("cycle") || name.contains("torus") {
         4
     } else {
         16
@@ -89,6 +117,45 @@ fn bench_elections(c: &mut Criterion) {
             });
         });
     }
+    // Lazy tier: identifier elections at realistic k. The AOT engine
+    // cannot take these (the tier the sweep grid spends most wall-clock
+    // on); the race is generic vs lazy.
+    for (name, g) in lazy_election_graphs() {
+        let p = IdentifierProtocol::new(identifier_bits(g.num_nodes(), false));
+        assert!(
+            CompiledProtocol::compile_default(&p, g.num_nodes()).is_err(),
+            "identifier workloads must exceed the AOT cap"
+        );
+        let seeds = seed_cycle(name);
+        group.bench_with_input(BenchmarkId::new("generic", name), &g, |b, g| {
+            let mut exec = Executor::new(g, &p, 0);
+            b.iter(|| {
+                let mut total = 0u64;
+                for seed in 1..=seeds {
+                    exec.reset(seed);
+                    total += exec
+                        .run_until_stable(ELECTION_MAX)
+                        .expect("identifier protocol stabilizes")
+                        .stabilization_step;
+                }
+                black_box(total)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", name), &g, |b, g| {
+            let mut exec = LazyDenseExecutor::new(g, &p, 0);
+            b.iter(|| {
+                let mut total = 0u64;
+                for seed in 1..=seeds {
+                    exec.reset(seed);
+                    total += exec
+                        .run_until_stable(ELECTION_MAX)
+                        .expect("identifier protocol stabilizes")
+                        .stabilization_step;
+                }
+                black_box(total)
+            });
+        });
+    }
     group.finish();
 }
 
@@ -118,6 +185,40 @@ fn bench_fixed_steps(c: &mut Criterion) {
             });
         });
     }
+    // Lazy tier: a full-scale fast-protocol instance (the practical
+    // parameterization sparse families derive at n ≈ 10⁵: h = 17,
+    // L = 17 — ≈ 2200 reachable states, past the AOT cap) at CSR-decoder
+    // scale. Fixed steps rather than elections: full fast elections at
+    // this size take minutes on the generic engine.
+    {
+        let name = FAST_STEPS_WORKLOAD;
+        let g = families::cycle(120_000);
+        let p = FastProtocol::new(FastParams::new(17, 17, 4));
+        assert!(
+            CompiledProtocol::compile_default(&p, g.num_nodes()).is_err(),
+            "full-scale fast params must exceed the AOT cap"
+        );
+        group.bench_with_input(BenchmarkId::new("generic", name), &g, |b, g| {
+            let mut exec = Executor::new(g, &p, 0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = (seed % 16) + 1;
+                exec.reset(seed);
+                exec.run_steps(FIXED_STEPS);
+                black_box(exec.leader_count())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", name), &g, |b, g| {
+            let mut exec = LazyDenseExecutor::new(g, &p, 0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = (seed % 16) + 1;
+                exec.reset(seed);
+                exec.run_steps(FIXED_STEPS);
+                black_box(exec.leader_count())
+            });
+        });
+    }
     group.finish();
 }
 
@@ -125,35 +226,51 @@ fn median_of<'a>(ms: &'a [Measurement], id: &str) -> Option<&'a Measurement> {
     ms.iter().find(|m| m.id == id)
 }
 
+/// Every (group, workload, dense-tier engine label) triple the JSON
+/// reports; the generic engine is the baseline of each row.
+fn json_workloads() -> Vec<(&'static str, String, &'static str)> {
+    let mut rows = Vec::new();
+    for (name, _) in election_graphs() {
+        rows.push(("engine/election", name.to_string(), "dense"));
+    }
+    for (name, _) in lazy_election_graphs() {
+        rows.push(("engine/election", name.to_string(), "lazy"));
+    }
+    for (name, _) in steps_graphs() {
+        rows.push(("engine/steps", name.to_string(), "dense"));
+    }
+    rows.push(("engine/steps", FAST_STEPS_WORKLOAD.to_string(), "lazy"));
+    rows
+}
+
 /// Renders the collected measurements as the `BENCH_engine.json`
 /// baseline (flat JSON written by hand — the workspace is hermetic and
-/// carries no serde).
+/// carries no serde). Each workload row names the dense-tier engine it
+/// raced against the generic baseline (`dense` = AOT-compiled, `lazy` =
+/// lazily-compiling) and keys the median under that engine's name.
 fn render_json(ms: &[Measurement]) -> String {
-    let mut out =
-        String::from("{\n  \"benchmark\": \"engine: generic executor vs compiled dense core\",\n");
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"engine: generic executor vs compiled dense engines\",\n",
+    );
     let _ = writeln!(out, "  \"workloads\": [");
     let mut first = true;
-    for (group, graphs) in [
-        ("engine/election", election_graphs()),
-        ("engine/steps", steps_graphs()),
-    ] {
-        for (name, _) in graphs {
-            let generic = median_of(ms, &format!("{group}/generic/{name}"));
-            let dense = median_of(ms, &format!("{group}/dense/{name}"));
-            let (Some(generic), Some(dense)) = (generic, dense) else {
-                continue;
-            };
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            let speedup = generic.median_ns / dense.median_ns;
-            let _ = write!(
-                out,
-                "    {{\"workload\": \"{group}/{name}\", \"generic_median_ns\": {:.0}, \"dense_median_ns\": {:.0}, \"speedup\": {:.2}}}",
-                generic.median_ns, dense.median_ns, speedup
-            );
+    for (group, name, engine) in json_workloads() {
+        let generic = median_of(ms, &format!("{group}/generic/{name}"));
+        let fast_path = median_of(ms, &format!("{group}/{engine}/{name}"));
+        let (Some(generic), Some(fast_path)) = (generic, fast_path) else {
+            continue;
+        };
+        if !first {
+            out.push_str(",\n");
         }
+        first = false;
+        let speedup = generic.median_ns / fast_path.median_ns;
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{group}/{name}\", \"engine\": \"{engine}\", \
+             \"generic_median_ns\": {:.0}, \"{engine}_median_ns\": {:.0}, \"speedup\": {:.2}}}",
+            generic.median_ns, fast_path.median_ns, speedup
+        );
     }
     out.push_str("\n  ]\n}\n");
     out

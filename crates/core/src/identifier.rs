@@ -154,6 +154,7 @@ impl Protocol for IdentifierProtocol {
             total_candidates: 0,
             candidate_ids: HashMap::new(),
             max_id: 0,
+            max_id_candidates: 0,
         }
     }
 
@@ -172,6 +173,13 @@ pub struct IdOracle {
     total_candidates: usize,
     candidate_ids: HashMap<u64, usize>,
     max_id: u64,
+    /// `candidate_ids[max_id]`, mirrored incrementally so
+    /// [`StabilityOracle::is_stable`] — called on the executors' hot
+    /// paths — is three integer compares instead of a hash lookup. The
+    /// mirror is exact because `max_id` is monotone along executions:
+    /// it only moves when a strictly larger id appears (one hash lookup
+    /// then), never on removals.
+    max_id_candidates: usize,
 }
 
 impl IdOracle {
@@ -185,7 +193,12 @@ impl IdOracle {
         }
         // Identifiers are monotone along executions, so a running max is
         // exact even though `remove` never lowers it.
-        self.max_id = self.max_id.max(s.id);
+        if s.id > self.max_id {
+            self.max_id = s.id;
+            self.max_id_candidates = self.candidate_ids.get(&s.id).copied().unwrap_or(0);
+        } else if s.id == self.max_id && s.inner.candidate {
+            self.max_id_candidates += 1;
+        }
     }
 
     fn remove(&mut self, s: &IdState) {
@@ -202,6 +215,9 @@ impl IdOracle {
             if *c == 0 {
                 self.candidate_ids.remove(&s.id);
             }
+            if s.id == self.max_id {
+                self.max_id_candidates -= 1;
+            }
         }
     }
 }
@@ -212,6 +228,7 @@ impl StabilityOracle<IdentifierProtocol> for IdOracle {
         self.total_candidates = 0;
         self.candidate_ids.clear();
         self.max_id = 0;
+        self.max_id_candidates = 0;
         for s in config {
             self.add(s);
         }
@@ -230,9 +247,7 @@ impl StabilityOracle<IdentifierProtocol> for IdOracle {
     }
 
     fn is_stable(&self) -> bool {
-        self.generating == 0
-            && self.total_candidates == 1
-            && self.candidate_ids.get(&self.max_id) == Some(&1)
+        self.generating == 0 && self.total_candidates == 1 && self.max_id_candidates == 1
     }
 }
 

@@ -1,0 +1,49 @@
+//! The dense-state simulation core: compiled protocols over integer ids.
+//!
+//! Every protocol the paper analyses runs far faster when its typed
+//! states are lowered to dense integer ids and its transition function
+//! to table/cache lookups — the per-interaction hot path becomes two
+//! array reads, one lookup and two array writes, with no cloning,
+//! hashing of typed states, or per-step transition evaluation. This
+//! module family implements that lowering twice, for two regimes:
+//!
+//! * [`table`] — **ahead-of-time** compilation ([`CompiledProtocol`]):
+//!   the reachable state space is enumerated up front into `u16` ids and
+//!   the full `|Λ|²` transition table precomputed. Fastest, shareable
+//!   across threads, but only possible while the closure fits
+//!   [`DEFAULT_MAX_COMPILED_STATES`].
+//! * [`lazy`] — **lazy** compilation ([`LazyTable`]): states interned
+//!   into `u32` ids on first sight, pair successors memoized in a
+//!   growable open-addressed cache on first use. Covers the protocols
+//!   whose state spaces overflow the ahead-of-time cap — the identifier
+//!   protocol at realistic `k` (Theorem 21), full-scale fast-protocol
+//!   instances (Theorem 24) — at a hot-loop cost of one extra hash.
+//! * [`decoder`] — the edge decoders and batched draw machinery both
+//!   engines share: raw scheduler indices are resolved into node pairs
+//!   through shape-specialized decoders (arithmetic clique decode,
+//!   16-bit packed lists, CSR split form) without ever deviating from
+//!   the scheduler's interaction sequence.
+//! * [`exec`] — the executors ([`DenseExecutor`], [`LazyDenseExecutor`])
+//!   mirroring [`crate::Executor`] exactly: same scheduler, same seed
+//!   handling, same oracle semantics, same [`crate::Outcome`]s.
+//!
+//! # Three engines, one contract
+//!
+//! For the same (protocol, graph, seed) all three engines — generic,
+//! AOT-dense, lazy-dense — produce the identical interaction sequence
+//! and outcome; differential tests across the workspace pin this, and
+//! [`crate::monte_carlo::run_trials_auto`] exploits it to pick the
+//! fastest applicable engine per workload without ever changing results.
+
+pub mod decoder;
+pub mod exec;
+pub mod lazy;
+pub mod table;
+
+pub use decoder::{DecoderKind, DECODER_MAX_EDGES, PACKED_MAX_NODES};
+pub use exec::{DenseExecutor, LazyDenseExecutor};
+pub use lazy::{LazyId, LazyTable};
+pub use table::{
+    probe_state_space, CompileError, CompiledProtocol, SpaceProbe, StateId,
+    DEFAULT_MAX_COMPILED_STATES, MAX_STATE_IDS, PROBE_EVAL_BUDGET,
+};

@@ -8,7 +8,7 @@
 //! the incremental [`crate::StabilityOracle`]s on tiny instances (`n ≤ 6`,
 //! small state spaces).
 
-use crate::compiled::{CompiledProtocol, StateId};
+use crate::dense::{CompiledProtocol, StateId};
 use crate::protocol::{Protocol, Role};
 use popele_graph::Graph;
 use std::collections::{HashSet, VecDeque};
@@ -237,7 +237,7 @@ pub fn validate_oracle_on_execution_compiled<P: Protocol>(
     max_steps: u64,
     limit: usize,
 ) -> u64 {
-    use crate::compiled::DenseExecutor;
+    use crate::dense::DenseExecutor;
 
     let mut exec = DenseExecutor::new(graph, compiled, seed);
     for step in 0..=max_steps {

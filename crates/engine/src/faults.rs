@@ -28,12 +28,12 @@
 //! * an **empty plan is trace-identical** to a plain
 //!   [`Executor::run_until_stable`] / [`DenseExecutor`] run (the session
 //!   adds no RNG draws and no extra scheduler activity);
-//! * the **generic and compiled engines produce identical results**
-//!   under any plan: the scheduler's RNG stream continues across graph
-//!   changes ([`crate::EdgeScheduler::set_graph`]), bounded runs never
-//!   draw past an event step, and both engines apply the identical
-//!   resolved actions at the identical steps (topology changes rebuild
-//!   the dense engine's per-graph edge decoder);
+//! * the **generic, compiled and lazy engines produce identical
+//!   results** under any plan: the scheduler's RNG stream continues
+//!   across graph changes ([`crate::EdgeScheduler::set_graph`]), bounded
+//!   runs never draw past an event step, and every engine applies the
+//!   identical resolved actions at the identical steps (topology changes
+//!   rebuild the dense engines' per-graph edge decoders);
 //! * results are **independent of thread count** in the Monte-Carlo
 //!   harness, because the fault seed of trial `i` derives from trial
 //!   `i`'s seed alone.
@@ -92,7 +92,7 @@
 //! );
 //! ```
 
-use crate::compiled::DenseExecutor;
+use crate::dense::{DenseExecutor, LazyDenseExecutor};
 use crate::executor::{Executor, NotStabilized, Outcome};
 use crate::protocol::Protocol;
 use popele_graph::properties::is_connected;
@@ -493,10 +493,10 @@ pub struct ResolvedFaultPlan {
     pub skipped: usize,
 }
 
-/// The executor surface the fault session drives — implemented by both
-/// [`Executor`] and [`DenseExecutor`], which is what makes fault
-/// injection engine-agnostic (and lets the differential tests pin the
-/// two engines to identical faulted runs).
+/// The executor surface the fault session drives — implemented by
+/// [`Executor`], [`DenseExecutor`] and [`LazyDenseExecutor`], which is
+/// what makes fault injection engine-agnostic (and lets the differential
+/// tests pin all engines to identical faulted runs).
 pub trait FaultTarget<'g> {
     /// Steps applied so far.
     fn steps(&self) -> u64;
@@ -525,65 +525,46 @@ pub trait FaultTarget<'g> {
     fn leave_node(&mut self, graph: &'g Graph, removed: NodeId);
 }
 
-impl<'g, P: Protocol> FaultTarget<'g> for Executor<'g, P> {
-    fn steps(&self) -> u64 {
-        Executor::steps(self)
-    }
-    fn run_steps(&mut self, k: u64) {
-        Executor::run_steps(self, k);
-    }
-    fn run_until_stable(&mut self, max_steps: u64) -> Result<Outcome, NotStabilized> {
-        Executor::run_until_stable(self, max_steps)
-    }
-    fn outcome(&self) -> Outcome {
-        Executor::outcome(self)
-    }
-    fn leader_count(&self) -> usize {
-        Executor::leader_count(self)
-    }
-    fn corrupt_to_initial(&mut self, v: NodeId) {
-        Executor::corrupt_to_initial(self, v);
-    }
-    fn set_graph(&mut self, graph: &'g Graph) {
-        Executor::set_graph(self, graph);
-    }
-    fn join_node(&mut self, graph: &'g Graph) {
-        Executor::join_node(self, graph);
-    }
-    fn leave_node(&mut self, graph: &'g Graph, removed: NodeId) {
-        Executor::leave_node(self, graph, removed);
-    }
+/// Implements [`FaultTarget`] by delegating every method to the
+/// executor's inherent method of the same name. The engines expose
+/// identical fault-primitive surfaces by design; one definition serves
+/// all three, and a new trait method fails to compile until every
+/// engine grows the matching inherent counterpart.
+macro_rules! impl_fault_target {
+    ($($exec:ident),+ $(,)?) => {$(
+        impl<'g, P: Protocol> FaultTarget<'g> for $exec<'g, P> {
+            fn steps(&self) -> u64 {
+                $exec::steps(self)
+            }
+            fn run_steps(&mut self, k: u64) {
+                $exec::run_steps(self, k);
+            }
+            fn run_until_stable(&mut self, max_steps: u64) -> Result<Outcome, NotStabilized> {
+                $exec::run_until_stable(self, max_steps)
+            }
+            fn outcome(&self) -> Outcome {
+                $exec::outcome(self)
+            }
+            fn leader_count(&self) -> usize {
+                $exec::leader_count(self)
+            }
+            fn corrupt_to_initial(&mut self, v: NodeId) {
+                $exec::corrupt_to_initial(self, v);
+            }
+            fn set_graph(&mut self, graph: &'g Graph) {
+                $exec::set_graph(self, graph);
+            }
+            fn join_node(&mut self, graph: &'g Graph) {
+                $exec::join_node(self, graph);
+            }
+            fn leave_node(&mut self, graph: &'g Graph, removed: NodeId) {
+                $exec::leave_node(self, graph, removed);
+            }
+        }
+    )+};
 }
 
-impl<'g, P: Protocol> FaultTarget<'g> for DenseExecutor<'g, P> {
-    fn steps(&self) -> u64 {
-        DenseExecutor::steps(self)
-    }
-    fn run_steps(&mut self, k: u64) {
-        DenseExecutor::run_steps(self, k);
-    }
-    fn run_until_stable(&mut self, max_steps: u64) -> Result<Outcome, NotStabilized> {
-        DenseExecutor::run_until_stable(self, max_steps)
-    }
-    fn outcome(&self) -> Outcome {
-        DenseExecutor::outcome(self)
-    }
-    fn leader_count(&self) -> usize {
-        DenseExecutor::leader_count(self)
-    }
-    fn corrupt_to_initial(&mut self, v: NodeId) {
-        DenseExecutor::corrupt_to_initial(self, v);
-    }
-    fn set_graph(&mut self, graph: &'g Graph) {
-        DenseExecutor::set_graph(self, graph);
-    }
-    fn join_node(&mut self, graph: &'g Graph) {
-        DenseExecutor::join_node(self, graph);
-    }
-    fn leave_node(&mut self, graph: &'g Graph, removed: NodeId) {
-        DenseExecutor::leave_node(self, graph, removed);
-    }
-}
+impl_fault_target!(Executor, DenseExecutor, LazyDenseExecutor);
 
 /// Leader count observed right after a fault was applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -716,7 +697,7 @@ pub fn run_with_faults<'g, T: FaultTarget<'g>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compiled::CompiledProtocol;
+    use crate::dense::CompiledProtocol;
     use crate::protocol::{LeaderCountOracle, Role};
     use popele_graph::families;
 
@@ -883,8 +864,14 @@ mod tests {
         let mut dense = DenseExecutor::new(&g, &compiled, 11);
         let dense_report = run_with_faults(&mut dense, &resolved, 300_000);
 
+        let mut lazy = LazyDenseExecutor::new(&g, &Absorb, 11);
+        let lazy_report = run_with_faults(&mut lazy, &resolved, 300_000);
+
         assert_eq!(generic_report.result, dense_report.result);
         assert_eq!(generic_report.trajectory, dense_report.trajectory);
         assert_eq!(generic_report.recovery, dense_report.recovery);
+        assert_eq!(generic_report.result, lazy_report.result);
+        assert_eq!(generic_report.trajectory, lazy_report.trajectory);
+        assert_eq!(generic_report.recovery, lazy_report.recovery);
     }
 }

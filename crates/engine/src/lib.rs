@@ -14,38 +14,48 @@
 //! * [`Executor`] — applies a protocol under a scheduler and reports the
 //!   stabilization step, the elected leader, and (optionally) a census of
 //!   distinct states for space-complexity measurements;
-//! * [`CompiledProtocol`] / [`DenseExecutor`] — the compiled dense-state
-//!   core: the reachable state space is enumerated once into `u16` ids
-//!   and the full `|Λ|²` transition table precomputed, so the hot loop is
-//!   two array reads, one table lookup and two array writes;
+//! * [`CompiledProtocol`] / [`DenseExecutor`] — the ahead-of-time
+//!   compiled dense-state core: the reachable state space is enumerated
+//!   once into `u16` ids and the full `|Λ|²` transition table
+//!   precomputed, so the hot loop is two array reads, one table lookup
+//!   and two array writes;
+//! * [`LazyDenseExecutor`] — the lazily-compiling dense engine: states
+//!   interned into `u32` ids on first sight, pair successors memoized on
+//!   first use, which brings protocols whose state spaces overflow the
+//!   ahead-of-time cap (the identifier protocol at realistic `k`,
+//!   full-scale fast-protocol instances) onto the same dense hot loop;
 //! * [`exhaustive`] — a brute-force reachability checker implementing the
 //!   *definition* of stability (every reachable configuration has the same
 //!   output) on tiny instances, used to validate the incremental oracles
 //!   (with a dense-id fast path for compiled protocols);
 //! * [`monte_carlo`] — a multi-threaded harness running many independent
-//!   seeded trials, with [`monte_carlo::run_trials_auto`] picking the
-//!   compiled engine whenever the protocol's state space fits;
+//!   seeded trials, with [`monte_carlo::run_trials_auto`] picking per
+//!   workload among the three engines (AOT-compiled → lazy-compiled →
+//!   generic) and recording the choice in each trial result;
 //! * [`faults`] — fault injection and dynamic graphs: deterministic
 //!   [`FaultPlan`] schedules (state corruption, node churn, edge
 //!   rewiring) applied identically by both engines, with
 //!   recovery-oriented metrics ([`faults::Recovery`]).
 //!
-//! # Two engines, one contract
+//! # Three engines, one contract
 //!
 //! [`Executor`] is the *reference* implementation: it evaluates
 //! [`Protocol::transition`] on typed states every step and works for any
 //! protocol, including ones whose state space cannot be enumerated.
-//! [`DenseExecutor`] is the *compiled* implementation used for
-//! paper-scale runs (`n` up to 10⁶, billions of steps): it requires a
-//! successful [`CompiledProtocol::compile`] — which fails once the BFS
+//! [`DenseExecutor`] is the *ahead-of-time compiled* implementation used
+//! for paper-scale runs (`n` up to 10⁶, billions of steps): it requires
+//! a successful [`CompiledProtocol::compile`] — which fails once the BFS
 //! closure over the reachable states exceeds the `u16` id space or the
-//! requested cap (see [`compiled`] for when that happens) — and is
-//! guaranteed to produce bit-identical traces and [`Outcome`]s to the
-//! generic engine for the same protocol, graph and seed. That guarantee
-//! is enforced by differential tests; if you add a protocol whose oracle
-//! `apply` is not a pure function of the `(old, new)` state pairs, the
-//! compiled engine's no-op skipping would break it, and the differential
-//! test is what will catch it.
+//! requested cap (see [`dense::table`] for when that happens).
+//! [`LazyDenseExecutor`] covers the gap between the two: it needs no
+//! up-front enumeration (states and transitions are interned/memoized as
+//! the execution discovers them), so the protocols the AOT cap excludes
+//! still run on dense ids. All three are guaranteed to produce
+//! bit-identical traces and [`Outcome`]s for the same protocol, graph
+//! and seed. That guarantee is enforced by differential tests; if you
+//! add a protocol whose oracle `apply` is not a pure function of the
+//! `(old, new)` state pairs, the dense engines' no-op skipping would
+//! break it, and the differential test is what will catch it.
 //!
 //! # Examples
 //!
@@ -85,15 +95,17 @@ mod executor;
 mod protocol;
 mod scheduler;
 
-pub mod compiled;
+pub mod dense;
 pub mod exhaustive;
 pub mod faults;
 pub mod monte_carlo;
 
-pub use compiled::{
-    CompileError, CompiledProtocol, DenseExecutor, StateId, DEFAULT_MAX_COMPILED_STATES,
+pub use dense::{
+    CompileError, CompiledProtocol, DenseExecutor, LazyDenseExecutor, LazyTable, StateId,
+    DEFAULT_MAX_COMPILED_STATES,
 };
 pub use executor::{Executor, NotStabilized, Outcome};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, ResolvedFaultPlan};
+pub use monte_carlo::Engine;
 pub use protocol::{LeaderCountOracle, Protocol, Role, StabilityOracle};
 pub use scheduler::EdgeScheduler;

@@ -5,15 +5,18 @@
 //! Trial `i` of a given master seed always produces the same result
 //! regardless of thread count, so experiment outputs are reproducible.
 //!
-//! Three entry points share that contract:
+//! Four entry points share that contract:
 //!
 //! * [`run_trials`] — the generic reference engine ([`Executor`]);
-//! * [`run_trials_dense`] — the compiled engine
+//! * [`run_trials_dense`] — the ahead-of-time compiled engine
 //!   ([`crate::DenseExecutor`]) over a shared [`CompiledProtocol`] table;
-//! * [`run_trials_auto`] — compiles the protocol once and picks the dense
-//!   engine when the state space fits, the generic engine otherwise.
-//!   Because the two engines are trace-identical per seed, the choice
-//!   never changes the results, only the wall-clock time.
+//! * [`run_trials_lazy`] — the lazily-compiling dense engine
+//!   ([`crate::LazyDenseExecutor`]), one warm pair cache per worker;
+//! * [`run_trials_auto`] — the three-way selection point
+//!   (AOT-compiled → lazy-compiled → generic, see [`select_engine`]).
+//!   Because all engines are trace-identical per seed, the choice never
+//!   changes the results, only the wall-clock time; the choice made is
+//!   recorded in [`TrialResult::engine`].
 //!
 //! Each entry point has a `*_with_faults` counterpart taking a
 //! [`FaultPlan`] (see [`crate::faults`]): per-trial fault realizations
@@ -22,18 +25,60 @@
 //! shardings — extends to fault-injected campaigns, and recovery
 //! metrics are attached to each [`TrialResult`].
 
-use crate::compiled::{CompiledProtocol, DenseExecutor, DEFAULT_MAX_COMPILED_STATES};
+use crate::dense::table::{overflow_walk, WalkVerdict};
+use crate::dense::{
+    CompiledProtocol, DenseExecutor, LazyDenseExecutor, DEFAULT_MAX_COMPILED_STATES,
+    PROBE_EVAL_BUDGET,
+};
 use crate::executor::Executor;
 use crate::faults::{fault_seed, run_with_faults, FaultPlan, Recovery};
 use crate::protocol::Protocol;
 use popele_graph::{Graph, NodeId};
 use popele_math::rng::SeedSeq;
 use popele_math::stats::Summary;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Which simulation engine executed a trial (or batch of trials).
+///
+/// Provenance metadata: all engines are trace-identical per seed, so the
+/// tag never affects the observable result — and accordingly it is
+/// **excluded from [`TrialResult`]'s equality**, which is what lets
+/// differential tests assert `generic_results == lazy_results` directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The generic reference [`Executor`] (typed states, per-step
+    /// transition evaluation).
+    Generic,
+    /// The ahead-of-time compiled [`crate::DenseExecutor`] (`u16` ids,
+    /// full `|Λ|²` table).
+    Dense,
+    /// The lazily-compiling [`crate::LazyDenseExecutor`] (`u32` ids,
+    /// on-demand pair cache).
+    LazyDense,
+}
+
+impl Engine {
+    /// Stable lowercase label (used by reports and the lab CLI).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Generic => "generic",
+            Engine::Dense => "dense",
+            Engine::LazyDense => "lazy",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Result of one Monte-Carlo trial.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Eq)]
 pub struct TrialResult {
     /// Seed index of the trial.
     pub trial: usize,
@@ -47,6 +92,22 @@ pub struct TrialResult {
     /// (possibly empty-resolving) fault plan via the `*_with_faults`
     /// entry points with a nonempty [`FaultPlan`].
     pub recovery: Option<Recovery>,
+    /// Which engine ran the trial. Pure provenance — see [`Engine`] —
+    /// and therefore **not** part of `PartialEq`: results from different
+    /// engines compare equal whenever the observable outcome is equal,
+    /// which is exactly the trace-identity contract.
+    pub engine: Engine,
+}
+
+impl PartialEq for TrialResult {
+    fn eq(&self, other: &Self) -> bool {
+        // `engine` is deliberately excluded (provenance, not outcome).
+        self.trial == other.trial
+            && self.stabilization_step == other.stabilization_step
+            && self.leader == other.leader
+            && self.distinct_states == other.distinct_states
+            && self.recovery == other.recovery
+    }
 }
 
 /// Options for [`run_trials`].
@@ -142,6 +203,7 @@ pub fn run_trials<P: Protocol>(
                 leader: outcome.leader,
                 distinct_states: outcome.distinct_states,
                 recovery: None,
+                engine: Engine::Generic,
             },
             Err(_) => TrialResult {
                 trial,
@@ -149,6 +211,7 @@ pub fn run_trials<P: Protocol>(
                 leader: None,
                 distinct_states: exec.outcome().distinct_states,
                 recovery: None,
+                engine: Engine::Generic,
             },
         }
     };
@@ -216,6 +279,7 @@ pub fn run_trials_dense<P: Protocol>(
                 leader: outcome.leader,
                 distinct_states: outcome.distinct_states,
                 recovery: None,
+                engine: Engine::Dense,
             },
             Err(_) => TrialResult {
                 trial,
@@ -223,6 +287,7 @@ pub fn run_trials_dense<P: Protocol>(
                 leader: None,
                 distinct_states: exec.outcome().distinct_states,
                 recovery: None,
+                engine: Engine::Dense,
             },
         }
     };
@@ -237,14 +302,190 @@ pub fn run_trials_dense<P: Protocol>(
     fan_out(options.trials, threads, fresh_executor, run_one)
 }
 
-/// Runs trials on the compiled engine when `protocol` compiles within the
-/// default state cap, falling back to the generic engine otherwise.
+/// Runs `options.trials` independent executions on the lazily-compiling
+/// dense engine.
+///
+/// Seed derivation matches [`run_trials`] exactly, and the lazy engine
+/// is trace-identical to the generic one, so the two functions return
+/// identical results for any protocol. Each worker thread builds **one**
+/// [`LazyDenseExecutor`] and [`LazyDenseExecutor::reset`]s it per trial;
+/// the reset deliberately keeps the interner and pair cache warm, so all
+/// trials after a worker's first run against an already-populated cache
+/// (the cache affects speed only, never the trace — results stay
+/// independent of thread count and sharding).
+///
+/// # Examples
+///
+/// ```
+/// use popele_engine::monte_carlo::{run_trials, run_trials_lazy, TrialOptions};
+/// # use popele_engine::{LeaderCountOracle, Protocol, Role};
+/// # #[derive(Clone, Copy)]
+/// # struct Absorb;
+/// # impl Protocol for Absorb {
+/// #     type State = bool;
+/// #     type Oracle = LeaderCountOracle;
+/// #     fn initial_state(&self, _node: u32) -> bool { true }
+/// #     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+/// #         if *a && *b { (true, false) } else { (*a, *b) }
+/// #     }
+/// #     fn output(&self, s: &bool) -> Role {
+/// #         if *s { Role::Leader } else { Role::Follower }
+/// #     }
+/// #     fn oracle(&self) -> LeaderCountOracle { LeaderCountOracle::new() }
+/// # }
+///
+/// let g = popele_graph::families::clique(12);
+/// let opts = TrialOptions { trials: 4, max_steps: 1 << 22, ..TrialOptions::default() };
+/// // The lazy engine is trace-identical to the generic reference.
+/// assert_eq!(
+///     run_trials_lazy(&g, &Absorb, 7, opts),
+///     run_trials(&g, &Absorb, 7, opts),
+/// );
+/// ```
+#[must_use]
+pub fn run_trials_lazy<P: Protocol + Clone>(
+    graph: &Graph,
+    protocol: &P,
+    master_seed: u64,
+    options: TrialOptions,
+) -> Vec<TrialResult> {
+    let seq = SeedSeq::new(master_seed);
+    let threads = resolve_threads(options.threads, options.trials);
+
+    let run_one = |exec: &mut LazyDenseExecutor<'_, P>, trial: usize| -> TrialResult {
+        let trial = options.first_trial + trial;
+        exec.reset(seq.child(trial as u64));
+        match exec.run_until_stable(options.max_steps) {
+            Ok(outcome) => TrialResult {
+                trial,
+                stabilization_step: Some(outcome.stabilization_step),
+                leader: outcome.leader,
+                distinct_states: outcome.distinct_states,
+                recovery: None,
+                engine: Engine::LazyDense,
+            },
+            Err(_) => TrialResult {
+                trial,
+                stabilization_step: None,
+                leader: None,
+                distinct_states: exec.outcome().distinct_states,
+                recovery: None,
+                engine: Engine::LazyDense,
+            },
+        }
+    };
+    let fresh_executor = || {
+        let mut exec = LazyDenseExecutor::new(graph, protocol, 0);
+        if options.census {
+            exec.enable_state_census();
+        }
+        exec
+    };
+
+    fan_out(options.trials, threads, fresh_executor, run_one)
+}
+
+/// Outcome of the internal engine selection: the compiled table rides
+/// along when the AOT path won, so `run_trials_auto` never compiles
+/// twice.
+enum Selected<P: Protocol> {
+    Dense(CompiledProtocol<P>),
+    Lazy,
+    Generic,
+}
+
+/// Picks the engine for `protocol` on an `num_nodes`-node graph:
+///
+/// 1. **AOT-compiled** ([`Engine::Dense`]) when the reachable state
+///    space fits [`DEFAULT_MAX_COMPILED_STATES`] — fastest, shareable
+///    table;
+/// 2. **lazy-compiled** ([`Engine::LazyDense`]) when it does not but the
+///    protocol declares a finite [`Protocol::state_space_bound`] — the
+///    per-run visited slice is then small enough to intern profitably
+///    (the identifier protocol at realistic `k`, full-scale fast
+///    instances);
+/// 3. **generic** ([`Engine::Generic`]) otherwise: a protocol that
+///    cannot even bound its state space may intern without limit, and
+///    the generic engine caps memory at O(n) states.
+///
+/// Selection is cheap on the rejection path: a bounded-frontier probe
+/// ([`probe_state_space`] with [`PROBE_EVAL_BUDGET`]) detects
+/// cap-overflowing state spaces in microseconds instead of running the
+/// full BFS closure to overflow on every call (sweep campaigns call this
+/// once per shard). Only the rare inconclusive case — a slow-closing
+/// state space that might still fit — pays for a full compile attempt,
+/// which keeps the AOT/non-AOT split bit-for-bit identical to compiling
+/// unconditionally.
+fn select<P: Protocol + Clone>(protocol: &P, num_nodes: u32) -> Selected<P> {
+    // Phase-1 walk only (not the full probe): on the accept path the
+    // probe's closure and the compile's enumeration would be the same
+    // work twice, so anything short of a certified overflow goes
+    // straight to a single compile attempt.
+    let aot = match overflow_walk(
+        protocol,
+        num_nodes,
+        DEFAULT_MAX_COMPILED_STATES,
+        PROBE_EVAL_BUDGET,
+    ) {
+        (WalkVerdict::Exceeds, _) => None,
+        (WalkVerdict::Exhausted | WalkVerdict::Budget, _) => {
+            CompiledProtocol::compile_default(protocol, num_nodes).ok()
+        }
+    };
+    match aot {
+        Some(compiled) => Selected::Dense(compiled),
+        None if protocol.state_space_bound().is_some() => Selected::Lazy,
+        None => Selected::Generic,
+    }
+}
+
+/// The engine [`run_trials_auto`] will pick for `protocol` on a graph
+/// with `num_nodes` nodes — exposed so tests and reports can assert the
+/// selection without running trials.
+///
+/// # Examples
+///
+/// ```
+/// use popele_engine::monte_carlo::{select_engine, Engine};
+/// # use popele_engine::{LeaderCountOracle, Protocol, Role};
+/// # #[derive(Clone, Copy)]
+/// # struct Absorb;
+/// # impl Protocol for Absorb {
+/// #     type State = bool;
+/// #     type Oracle = LeaderCountOracle;
+/// #     fn initial_state(&self, _node: u32) -> bool { true }
+/// #     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+/// #         if *a && *b { (true, false) } else { (*a, *b) }
+/// #     }
+/// #     fn output(&self, s: &bool) -> Role {
+/// #         if *s { Role::Leader } else { Role::Follower }
+/// #     }
+/// #     fn oracle(&self) -> LeaderCountOracle { LeaderCountOracle::new() }
+/// # }
+///
+/// // A two-state protocol compiles ahead of time at any size.
+/// assert_eq!(select_engine(&Absorb, 1_000_000), Engine::Dense);
+/// ```
+#[must_use]
+pub fn select_engine<P: Protocol + Clone>(protocol: &P, num_nodes: u32) -> Engine {
+    match select(protocol, num_nodes) {
+        Selected::Dense(_) => Engine::Dense,
+        Selected::Lazy => Engine::LazyDense,
+        Selected::Generic => Engine::Generic,
+    }
+}
+
+/// Runs trials on the fastest applicable engine: AOT-compiled when
+/// `protocol` compiles within the default state cap, the lazy-compiling
+/// dense engine when it does not but the state space is declared finite,
+/// and the generic reference engine otherwise (see [`select_engine`]).
 ///
 /// This is the engine-selection point the experiment harness uses: the
 /// constant-state protocols (token, star, majority) and small-parameter
-/// fast-protocol instances take the compiled path; protocols with large
-/// state spaces (e.g. the identifier protocol at realistic `k`) fall
-/// back. Either way the results are identical — only the speed differs.
+/// fast-protocol instances take the AOT path; the identifier protocol at
+/// realistic `k` and full-scale fast instances take the lazy path.
+/// Whatever is picked, the results are identical — only the speed
+/// differs — and the choice is recorded in [`TrialResult::engine`].
 ///
 /// # Examples
 ///
@@ -280,9 +521,10 @@ pub fn run_trials_auto<P: Protocol + Clone>(
     master_seed: u64,
     options: TrialOptions,
 ) -> Vec<TrialResult> {
-    match CompiledProtocol::compile(protocol, graph.num_nodes(), DEFAULT_MAX_COMPILED_STATES) {
-        Ok(compiled) => run_trials_dense(graph, &compiled, master_seed, options),
-        Err(_) => run_trials(graph, protocol, master_seed, options),
+    match select(protocol, graph.num_nodes()) {
+        Selected::Dense(compiled) => run_trials_dense(graph, &compiled, master_seed, options),
+        Selected::Lazy => run_trials_lazy(graph, protocol, master_seed, options),
+        Selected::Generic => run_trials(graph, protocol, master_seed, options),
     }
 }
 
@@ -318,7 +560,12 @@ pub fn run_trials_with_faults<P: Protocol>(
             exec.enable_state_census();
         }
         let report = run_with_faults(&mut exec, &resolved, options.max_steps);
-        faulted_result(trial, &report, exec.outcome().distinct_states)
+        faulted_result(
+            trial,
+            &report,
+            exec.outcome().distinct_states,
+            Engine::Generic,
+        )
     };
 
     fan_out(options.trials, threads, || (), |_, trial| run_one(trial))
@@ -358,16 +605,62 @@ pub fn run_trials_dense_with_faults<P: Protocol>(
             exec.enable_state_census();
         }
         let report = run_with_faults(&mut exec, &resolved, options.max_steps);
-        faulted_result(trial, &report, exec.outcome().distinct_states)
+        faulted_result(
+            trial,
+            &report,
+            exec.outcome().distinct_states,
+            Engine::Dense,
+        )
     };
 
     fan_out(options.trials, threads, || (), |_, trial| run_one(trial))
 }
 
-/// Fault-injected counterpart of [`run_trials_auto`]: compiles for the
-/// plan's maximum node count (`n + max_joins`) and picks the compiled
-/// engine when the state space fits, the generic engine otherwise.
-/// Either way the results are identical.
+/// Runs fault-injected trials on the lazily-compiling dense engine.
+///
+/// As in [`run_trials_dense_with_faults`], each trial builds a fresh
+/// executor (topology faults rebind executors to per-trial epoch
+/// graphs), so — unlike the fault-free [`run_trials_lazy`] — the pair
+/// cache is per-trial rather than per-worker. Results are identical to
+/// [`run_trials_with_faults`] for the same arguments.
+#[must_use]
+pub fn run_trials_lazy_with_faults<P: Protocol + Clone>(
+    graph: &Graph,
+    protocol: &P,
+    master_seed: u64,
+    options: TrialOptions,
+    plan: &FaultPlan,
+) -> Vec<TrialResult> {
+    if plan.is_empty() {
+        return run_trials_lazy(graph, protocol, master_seed, options);
+    }
+    let seq = SeedSeq::new(master_seed);
+    let threads = resolve_threads(options.threads, options.trials);
+
+    let run_one = |trial: usize| -> TrialResult {
+        let trial = options.first_trial + trial;
+        let seed = seq.child(trial as u64);
+        let resolved = plan.resolve(graph, fault_seed(seed));
+        let mut exec = LazyDenseExecutor::new(graph, protocol, seed);
+        if options.census {
+            exec.enable_state_census();
+        }
+        let report = run_with_faults(&mut exec, &resolved, options.max_steps);
+        faulted_result(
+            trial,
+            &report,
+            exec.outcome().distinct_states,
+            Engine::LazyDense,
+        )
+    };
+
+    fan_out(options.trials, threads, || (), |_, trial| run_one(trial))
+}
+
+/// Fault-injected counterpart of [`run_trials_auto`]: selects for the
+/// plan's maximum node count (`n + max_joins`) among the three engines
+/// exactly as [`select_engine`] does. Whatever is picked, the results
+/// are identical.
 #[must_use]
 pub fn run_trials_auto_with_faults<P: Protocol + Clone>(
     graph: &Graph,
@@ -377,9 +670,12 @@ pub fn run_trials_auto_with_faults<P: Protocol + Clone>(
     plan: &FaultPlan,
 ) -> Vec<TrialResult> {
     let max_nodes = graph.num_nodes() + plan.max_joins();
-    match CompiledProtocol::compile(protocol, max_nodes, DEFAULT_MAX_COMPILED_STATES) {
-        Ok(compiled) => run_trials_dense_with_faults(graph, &compiled, master_seed, options, plan),
-        Err(_) => run_trials_with_faults(graph, protocol, master_seed, options, plan),
+    match select(protocol, max_nodes) {
+        Selected::Dense(compiled) => {
+            run_trials_dense_with_faults(graph, &compiled, master_seed, options, plan)
+        }
+        Selected::Lazy => run_trials_lazy_with_faults(graph, protocol, master_seed, options, plan),
+        Selected::Generic => run_trials_with_faults(graph, protocol, master_seed, options, plan),
     }
 }
 
@@ -388,6 +684,7 @@ fn faulted_result(
     trial: usize,
     report: &crate::faults::FaultReport,
     distinct_states: Option<usize>,
+    engine: Engine,
 ) -> TrialResult {
     TrialResult {
         trial,
@@ -395,6 +692,7 @@ fn faulted_result(
         leader: report.result.as_ref().ok().and_then(|o| o.leader),
         distinct_states,
         recovery: Some(report.recovery),
+        engine,
     }
 }
 

@@ -1,19 +1,30 @@
-//! Two-engine comparison: the generic reference executor vs the
-//! compiled dense-state core, on the same protocol/graph/seed workloads.
+//! Engine comparison: the generic reference executor vs the dense
+//! engines (ahead-of-time compiled and lazily compiled), on the same
+//! protocol/graph/seed workloads.
 //!
 //! This experiment serves two purposes:
 //!
-//! 1. **Equivalence evidence** — for every workload it asserts that both
-//!    engines elect the same leader at the same step (the differential
-//!    contract that lets every other experiment switch engines freely);
+//! 1. **Equivalence evidence** — for every workload it asserts that the
+//!    raced engines elect the same leader at the same step (the
+//!    differential contract that lets every other experiment switch
+//!    engines freely);
 //! 2. **Throughput accounting** — it reports interactions/second for
-//!    both engines and the resulting speedup, the number that makes the
-//!    paper-scale (`n = 10⁵–10⁶`) sweeps feasible on the compiled path.
+//!    both sides of each race and the resulting speedup: the AOT rows
+//!    are what makes the paper-scale (`n = 10⁵–10⁶`) sweeps feasible,
+//!    and the lazy rows are what brings the identifier protocol — the
+//!    paper's flagship, previously stuck on the generic engine — onto
+//!    the compiled path.
+//!
+//! Which engine a workload races is exactly what
+//! [`popele_engine::monte_carlo::select_engine`] would pick for it, so
+//! the table doubles as a selection audit.
 
 use crate::report::{fmt_num, Table};
 use crate::RunConfig;
-use popele_core::{MajorityProtocol, TokenProtocol};
-use popele_engine::{CompiledProtocol, DenseExecutor, Executor, Protocol};
+use popele_core::params::identifier_bits;
+use popele_core::{IdentifierProtocol, MajorityProtocol, TokenProtocol};
+use popele_engine::monte_carlo::{select_engine, Engine};
+use popele_engine::{CompiledProtocol, DenseExecutor, Executor, LazyDenseExecutor, Protocol};
 use popele_graph::{families, Graph};
 use popele_math::rng::SeedSeq;
 use std::time::Instant;
@@ -24,21 +35,30 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
     vec![comparison_table(cfg)]
 }
 
-/// Times `run_until_stable` for both engines on identical seeds and
-/// returns `(generic_ns, dense_ns, steps, leaders_equal)`.
+/// Times `run_until_stable` for the generic engine and the selected
+/// dense engine on identical seeds; returns `(generic_ns, dense_ns,
+/// states, steps, leaders_equal)` where `states` is `|Λ|` for the AOT
+/// engine and the interned-state count for the lazy one.
 fn race<P: Protocol + Clone>(
     g: &Graph,
     p: &P,
+    engine: Engine,
     master_seed: u64,
     trials: usize,
-) -> (f64, f64, u64, bool) {
-    let compiled = CompiledProtocol::compile_default(p, g.num_nodes())
-        .expect("engine experiment uses compilable protocols");
+) -> (f64, f64, usize, u64, bool) {
     let seq = SeedSeq::new(master_seed);
     let mut generic_ns = 0.0;
     let mut dense_ns = 0.0;
     let mut steps = 0u64;
     let mut equal = true;
+
+    let compiled = matches!(engine, Engine::Dense).then(|| {
+        CompiledProtocol::compile_default(p, g.num_nodes()).expect("selection said AOT compiles")
+    });
+    // One lazy executor reused across trials — reset keeps the pair
+    // cache warm, the engine's intended Monte-Carlo usage.
+    let mut lazy = matches!(engine, Engine::LazyDense).then(|| LazyDenseExecutor::new(g, p, 0));
+
     for t in 0..trials {
         let seed = seq.child(t as u64);
         let t0 = Instant::now();
@@ -47,14 +67,26 @@ fn race<P: Protocol + Clone>(
             .expect("stabilizes");
         generic_ns += t0.elapsed().as_nanos() as f64;
         let t1 = Instant::now();
-        let b = DenseExecutor::new(g, &compiled, seed)
-            .run_until_stable(u64::MAX)
-            .expect("stabilizes");
+        let b = match (&compiled, &mut lazy) {
+            (Some(compiled), _) => DenseExecutor::new(g, compiled, seed)
+                .run_until_stable(u64::MAX)
+                .expect("stabilizes"),
+            (_, Some(lazy)) => {
+                lazy.reset(seed);
+                lazy.run_until_stable(u64::MAX).expect("stabilizes")
+            }
+            _ => unreachable!("race is only called for dense-tier engines"),
+        };
         dense_ns += t1.elapsed().as_nanos() as f64;
         equal &= a == b;
         steps += a.stabilization_step;
     }
-    (generic_ns, dense_ns, steps, equal)
+    let states = match (&compiled, &lazy) {
+        (Some(compiled), _) => compiled.num_states(),
+        (_, Some(lazy)) => lazy.table().num_states(),
+        _ => 0,
+    };
+    (generic_ns, dense_ns, states, steps, equal)
 }
 
 fn comparison_table(cfg: &RunConfig) -> Table {
@@ -62,15 +94,28 @@ fn comparison_table(cfg: &RunConfig) -> Table {
     let trials = cfg.trials(3, 10);
     let seq = SeedSeq::new(cfg.master_seed ^ 0xE46);
     let mut table = Table::new(
-        "Engine comparison: generic reference vs compiled dense core",
-        "same protocol/graph/seed ⇒ identical outcomes; speedup is what makes n = 10⁵–10⁶ sweeps feasible",
+        "Engine comparison: generic reference vs compiled dense engines",
+        "same protocol/graph/seed ⇒ identical outcomes; 'engine' is what run_trials_auto selects \
+         (dense = AOT table, lazy = on-demand cache — the identifier protocol's only compiled \
+         path). Lazy speedups track the cache-hit fraction: long runs amortize first-sight \
+         misses, short generation-dominated ones (identifier on clique/torus at these sizes) \
+         stay below 1× — see BENCH.md",
         &[
-            "workload", "n", "|Λ|", "steps", "generic Msteps/s", "dense Msteps/s", "speedup", "outcomes equal",
+            "workload",
+            "engine",
+            "n",
+            "|Λ| seen",
+            "steps",
+            "generic Msteps/s",
+            "compiled Msteps/s",
+            "speedup",
+            "outcomes equal",
         ],
     );
     let token = TokenProtocol::all_candidates();
     let majority = MajorityProtocol::new(n / 3, n);
-    let workloads: Vec<(String, Graph, u64)> = vec![
+    let identifier = IdentifierProtocol::new(identifier_bits(n, false));
+    for (label, g, seed) in [
         (
             format!("token/clique({n})"),
             families::clique(n),
@@ -82,8 +127,7 @@ fn comparison_table(cfg: &RunConfig) -> Table {
             seq.child(1),
         ),
         (format!("token/star({n})"), families::star(n), seq.child(2)),
-    ];
-    for (label, g, seed) in workloads {
+    ] {
         push_race_row(&mut table, &label, &g, &token, seed, trials);
     }
     let g = families::cycle(n);
@@ -95,6 +139,28 @@ fn comparison_table(cfg: &RunConfig) -> Table {
         seq.child(3),
         trials,
     );
+    // The lazy tier: identifier at realistic k — the protocol family
+    // the AOT cap excludes, now on the compiled path.
+    let side = (f64::from(n).sqrt().round()) as u32;
+    for (label, g, seed) in [
+        (
+            format!("identifier/clique({n})"),
+            families::clique(n),
+            seq.child(4),
+        ),
+        (
+            format!("identifier/star({n})"),
+            families::star(n),
+            seq.child(5),
+        ),
+        (
+            format!("identifier/torus({side}x{side})"),
+            families::torus(side, side),
+            seq.child(6),
+        ),
+    ] {
+        push_race_row(&mut table, &label, &g, &identifier, seed, trials);
+    }
     table
 }
 
@@ -106,13 +172,17 @@ fn push_race_row<P: Protocol + Clone>(
     seed: u64,
     trials: usize,
 ) {
-    let states = CompiledProtocol::compile_default(p, g.num_nodes())
-        .expect("compilable")
-        .num_states();
-    let (generic_ns, dense_ns, steps, equal) = race(g, p, seed, trials);
+    let engine = select_engine(p, g.num_nodes());
+    assert_ne!(
+        engine,
+        Engine::Generic,
+        "engine experiment workloads must have a dense-tier engine"
+    );
+    let (generic_ns, dense_ns, states, steps, equal) = race(g, p, engine, seed, trials);
     let msteps = |ns: f64| steps as f64 / ns * 1e3;
     table.push_row(vec![
         label.to_string(),
+        engine.label().to_string(),
         g.num_nodes().to_string(),
         states.to_string(),
         steps.to_string(),
@@ -128,22 +198,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn engines_agree_on_every_workload() {
+    fn engines_agree_and_identifier_rows_use_the_lazy_engine() {
+        // One table build covers both assertions (the races are the
+        // most expensive lab test; don't run them twice).
         let cfg = RunConfig::default();
         let t = comparison_table(&cfg);
-        assert!(t.num_rows() >= 4);
+        assert!(t.num_rows() >= 7);
+        let mut lazy_rows = 0;
         for row in 0..t.num_rows() {
-            assert_eq!(t.cell(row, 7), "true", "row {row}: outcomes diverged");
+            assert_eq!(t.cell(row, 8), "true", "row {row}: outcomes diverged");
+            if t.cell(row, 0).starts_with("identifier/") {
+                assert_eq!(t.cell(row, 1), "lazy", "row {row}");
+                lazy_rows += 1;
+            } else {
+                assert_eq!(t.cell(row, 1), "dense", "row {row}");
+            }
         }
+        assert_eq!(lazy_rows, 3);
     }
 
     #[test]
     fn race_reports_equal_outcomes() {
         let g = families::clique(16);
         let p = TokenProtocol::all_candidates();
-        let (generic_ns, dense_ns, steps, equal) = race(&g, &p, 3, 2);
+        let (generic_ns, dense_ns, states, steps, equal) = race(&g, &p, Engine::Dense, 3, 2);
         assert!(equal);
+        assert!(states >= 2);
         assert!(steps > 0);
         assert!(generic_ns > 0.0 && dense_ns > 0.0);
+        let (generic_ns, lazy_ns, states, _, equal) = race(&g, &p, Engine::LazyDense, 3, 2);
+        assert!(equal);
+        assert!(states >= 2);
+        assert!(generic_ns > 0.0 && lazy_ns > 0.0);
     }
 }

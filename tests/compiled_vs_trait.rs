@@ -306,8 +306,9 @@ fn auto_trials_equal_generic_trials_and_threads_do_not_matter() {
 #[test]
 fn fallback_for_uncompilable_protocols_is_transparent() {
     // Realistic identifier parameters exceed the default cap: the auto
-    // path must fall back to the generic engine and return identical
-    // results.
+    // path must leave the AOT engine (it picks the lazy engine — see
+    // tests/lazy_vs_trait.rs for the selection tests) and still return
+    // identical results.
     let g = families::clique(10);
     let p = IdentifierProtocol::new(12);
     assert!(CompiledProtocol::compile_default(&p, 10).is_err());

@@ -1,0 +1,436 @@
+//! The lazy dense engine's contract with the trait engine — and the
+//! three-way engine selection built on top of it.
+//!
+//! Three layers of evidence:
+//!
+//! 1. **Differential execution**: `LazyDenseExecutor` must produce the
+//!    identical interaction sequence, configurations and `Outcome`s as
+//!    the generic `Executor` for the same protocol/graph/seed — pinned
+//!    here for exactly the workloads the ahead-of-time engine cannot
+//!    take (the identifier protocol at realistic `k`, full-scale fast
+//!    instances) across every decoder family (clique / packed / CSR),
+//!    with and without fault plans (corruption, churn, rewire).
+//! 2. **Monte-Carlo equivalence**: the lazy trial runners must be
+//!    bit-identical to the generic ones across thread counts and
+//!    shardings (warm pair caches must never leak into results).
+//! 3. **Engine selection**: `run_trials_auto` must pick the documented
+//!    engine for each of the workspace's protocols at representative
+//!    sizes, record that choice in `TrialResult::engine`, and reach the
+//!    cap-overflow verdict through the bounded probe (cheap selection).
+
+use popele::engine::dense::PROBE_EVAL_BUDGET;
+use popele::engine::dense::{probe_state_space, SpaceProbe, DEFAULT_MAX_COMPILED_STATES};
+use popele::engine::faults::{fault_seed, run_with_faults, FaultKind, FaultPlan};
+use popele::engine::monte_carlo::{
+    run_trials, run_trials_auto, run_trials_auto_with_faults, run_trials_lazy,
+    run_trials_lazy_with_faults, run_trials_with_faults, select_engine, Engine, TrialOptions,
+};
+use popele::engine::{
+    CompiledProtocol, Executor, LazyDenseExecutor, LeaderCountOracle, Protocol, Role,
+};
+use popele::graph::{families, random, Graph};
+use popele::protocols::params::{identifier_bits, FastParams};
+use popele::protocols::{
+    FastProtocol, IdentifierProtocol, MajorityProtocol, StarProtocol, TokenProtocol,
+};
+
+/// The five graph families of the acceptance grid at a small size
+/// (clique → arithmetic decoder, the rest → packed decoder).
+fn small_families(n: u32) -> Vec<Graph> {
+    let side = (f64::from(n).sqrt().round()) as u32;
+    vec![
+        families::clique(n),
+        families::cycle(n),
+        families::star(n),
+        families::torus(side, side),
+        random::random_regular_connected(n, 4, 11, 200),
+    ]
+}
+
+/// Identifier protocol at the simulation-realistic bit count for `n` —
+/// the parameterization every sweep cell uses, whose state space
+/// (`6·2^{k+1}`) overflows the AOT cap by orders of magnitude.
+fn realistic_identifier(n: u32) -> IdentifierProtocol {
+    IdentifierProtocol::new(identifier_bits(n, false))
+}
+
+/// Full-scale fast-protocol parameters: what `FastParams::practical`
+/// derives for the large sparse sweep cells (cycle/star at n = 80 000:
+/// the broadcast/degree ratio gives h = 17, L = ⌈log₂ n⌉ = 17). The
+/// reachable state space is ≈ 2 200 states — past the AOT cap, so these
+/// instances ride the lazy engine. (Dense families derive small h and
+/// keep compiling ahead of time; the crossover is around n ≈ 16 000 on
+/// sparse families.)
+fn full_scale_fast() -> FastProtocol {
+    FastProtocol::new(FastParams::new(17, 17, 4))
+}
+
+/// Steps both engines in lockstep, comparing sampled pairs and
+/// stability verdicts, then pushes both through their batched paths and
+/// compares the full configurations.
+fn assert_trace_identical<P: Protocol + Clone>(
+    p: &P,
+    g: &Graph,
+    seed: u64,
+    lockstep: usize,
+    batched: u64,
+) {
+    let mut generic = Executor::new(g, p, seed);
+    let mut lazy = LazyDenseExecutor::new(g, p, seed);
+    for i in 0..lockstep {
+        assert_eq!(generic.step(), lazy.step(), "{g} diverged at step {i}");
+        assert_eq!(generic.is_stable(), lazy.is_stable(), "{g} step {i}");
+    }
+    generic.run_steps(batched);
+    lazy.run_steps(batched);
+    for v in 0..g.num_nodes() {
+        assert_eq!(
+            generic.states()[v as usize],
+            *lazy.state_of(v),
+            "{g} diverged at node {v}"
+        );
+    }
+    assert_eq!(generic.is_stable(), lazy.is_stable(), "{g} after batch");
+    assert_eq!(generic.outcome(), lazy.outcome(), "{g} outcome");
+}
+
+#[test]
+fn identifier_realistic_k_trace_identical_on_all_small_families() {
+    for g in small_families(64) {
+        let p = realistic_identifier(g.num_nodes());
+        assert!(
+            CompiledProtocol::compile_default(&p, g.num_nodes()).is_err(),
+            "realistic k must overflow the AOT cap on {g}"
+        );
+        assert_trace_identical(&p, &g, 0x1D0 ^ u64::from(g.num_nodes()), 3000, 20_000);
+    }
+}
+
+#[test]
+fn identifier_realistic_k_elections_equal_generic() {
+    // Full elections (not just fixed-step traces) on the families where
+    // they finish quickly at n = 64.
+    for g in [
+        families::clique(64),
+        families::star(64),
+        families::torus(8, 8),
+    ] {
+        let p = realistic_identifier(g.num_nodes());
+        for seed in [3u64, 19] {
+            let a = Executor::new(&g, &p, seed)
+                .run_until_stable(1 << 26)
+                .unwrap_or_else(|_| panic!("generic timed out on {g}"));
+            let b = LazyDenseExecutor::new(&g, &p, seed)
+                .run_until_stable(1 << 26)
+                .unwrap_or_else(|_| panic!("lazy timed out on {g}"));
+            assert_eq!(a, b, "{g} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn identifier_realistic_k_trace_identical_on_csr_families() {
+    // Node counts above 2¹⁶ push non-clique graphs onto the CSR edge
+    // decoder; the identifier state space at the matching realistic k
+    // (k = 34) is astronomically beyond the AOT cap.
+    for g in [
+        families::cycle(70_000),
+        families::star(70_000),
+        families::torus(270, 270),
+    ] {
+        let p = realistic_identifier(g.num_nodes());
+        assert_trace_identical(&p, &g, 0xC5A, 2000, 20_000);
+    }
+}
+
+#[test]
+fn full_scale_fast_trace_identical_on_all_small_families() {
+    for g in small_families(64) {
+        let p = full_scale_fast();
+        assert!(
+            CompiledProtocol::compile_default(&p, g.num_nodes()).is_err(),
+            "full-scale fast params must overflow the AOT cap"
+        );
+        assert_trace_identical(&p, &g, 0xFA57, 3000, 20_000);
+    }
+}
+
+#[test]
+fn full_scale_fast_trace_identical_at_full_scale() {
+    // The actual full-scale workload: fast at n = 2000 (packed decoder)
+    // and on a CSR-decoded family.
+    for g in [families::cycle(2000), families::cycle(70_000)] {
+        let p = full_scale_fast();
+        assert_trace_identical(&p, &g, 0xF257, 2000, 30_000);
+    }
+}
+
+/// The three fault-plan shapes of the acceptance grid.
+fn fault_plans(n: u32) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "corrupt",
+            FaultPlan::periodic(FaultKind::CorruptNodes { count: n / 8 }, 500, 700, 3),
+        ),
+        (
+            "churn",
+            FaultPlan::at(400, FaultKind::JoinNode { degree: 2 })
+                .and(900, FaultKind::LeaveNode)
+                .and(1400, FaultKind::JoinNode { degree: 3 })
+                .and(1900, FaultKind::LeaveNode),
+        ),
+        (
+            "rewire",
+            FaultPlan::periodic(FaultKind::RewireEdge, 300, 500, 4),
+        ),
+    ]
+}
+
+#[test]
+fn identifier_faulted_sessions_identical_across_engines() {
+    let g = families::cycle(200);
+    let p = realistic_identifier(200);
+    for (label, plan) in fault_plans(200) {
+        for seed in [5u64, 23] {
+            let resolved = plan.resolve(&g, fault_seed(seed));
+            let mut generic = Executor::new(&g, &p, seed);
+            let generic_report = run_with_faults(&mut generic, &resolved, 400_000);
+            let mut lazy = LazyDenseExecutor::new(&g, &p, seed);
+            let lazy_report = run_with_faults(&mut lazy, &resolved, 400_000);
+            assert_eq!(
+                generic_report.result, lazy_report.result,
+                "{label} seed {seed}"
+            );
+            assert_eq!(
+                generic_report.trajectory, lazy_report.trajectory,
+                "{label} seed {seed}"
+            );
+            assert_eq!(
+                generic_report.recovery, lazy_report.recovery,
+                "{label} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_scale_fast_faulted_sessions_identical_across_engines() {
+    let g = families::torus(14, 14);
+    let p = full_scale_fast();
+    for (label, plan) in fault_plans(g.num_nodes()) {
+        let seed = 31u64;
+        let resolved = plan.resolve(&g, fault_seed(seed));
+        let mut generic = Executor::new(&g, &p, seed);
+        let generic_report = run_with_faults(&mut generic, &resolved, 400_000);
+        let mut lazy = LazyDenseExecutor::new(&g, &p, seed);
+        let lazy_report = run_with_faults(&mut lazy, &resolved, 400_000);
+        assert_eq!(generic_report.result, lazy_report.result, "{label}");
+        assert_eq!(generic_report.trajectory, lazy_report.trajectory, "{label}");
+        assert_eq!(generic_report.recovery, lazy_report.recovery, "{label}");
+    }
+}
+
+#[test]
+fn lazy_trials_bit_identical_across_threads_and_shards() {
+    // Warm per-worker pair caches must never leak into results: any
+    // thread count and any sharding reproduces the generic run exactly.
+    let g = families::cycle(48);
+    let p = realistic_identifier(48);
+    let opts = |threads, first_trial, trials| TrialOptions {
+        trials,
+        first_trial,
+        max_steps: 1 << 22,
+        census: false,
+        threads,
+    };
+    let generic = run_trials(&g, &p, 0xBEEF, opts(1, 0, 8));
+    let lazy1 = run_trials_lazy(&g, &p, 0xBEEF, opts(1, 0, 8));
+    let lazy4 = run_trials_lazy(&g, &p, 0xBEEF, opts(4, 0, 8));
+    assert_eq!(generic, lazy1);
+    assert_eq!(generic, lazy4);
+    let mut sharded = Vec::new();
+    for (start, len) in [(0, 3), (3, 3), (6, 2)] {
+        sharded.extend(run_trials_lazy(&g, &p, 0xBEEF, opts(2, start, len)));
+    }
+    assert_eq!(generic, sharded);
+}
+
+#[test]
+fn lazy_faulted_trials_equal_generic_faulted_trials() {
+    let g = families::cycle(64);
+    let p = realistic_identifier(64);
+    let plan = FaultPlan::at(800, FaultKind::CorruptNodes { count: 8 })
+        .and(1600, FaultKind::JoinNode { degree: 2 })
+        .and(2400, FaultKind::RewireEdge);
+    let opts = |threads| TrialOptions {
+        trials: 6,
+        max_steps: 300_000,
+        census: false,
+        threads,
+        ..TrialOptions::default()
+    };
+    let generic = run_trials_with_faults(&g, &p, 0xFA, opts(1), &plan);
+    let lazy1 = run_trials_lazy_with_faults(&g, &p, 0xFA, opts(1), &plan);
+    let lazy3 = run_trials_lazy_with_faults(&g, &p, 0xFA, opts(3), &plan);
+    assert_eq!(generic, lazy1);
+    assert_eq!(generic, lazy3);
+    // The auto path picks the lazy engine for this workload and returns
+    // the same results, tagged accordingly.
+    let auto = run_trials_auto_with_faults(&g, &p, 0xFA, opts(2), &plan);
+    assert_eq!(generic, auto);
+    assert!(auto.iter().all(|r| r.engine == Engine::LazyDense));
+    assert!(generic.iter().all(|r| r.engine == Engine::Generic));
+}
+
+/// A state space nobody can bound: selection must keep it on the
+/// generic engine (the lazy interner would grow without limit).
+#[derive(Clone, Copy)]
+struct UnboundedCounter;
+
+impl Protocol for UnboundedCounter {
+    type State = u64;
+    type Oracle = LeaderCountOracle;
+
+    fn initial_state(&self, _node: u32) -> u64 {
+        0
+    }
+
+    fn transition(&self, a: &u64, b: &u64) -> (u64, u64) {
+        (a + 1, *b)
+    }
+
+    fn output(&self, s: &u64) -> Role {
+        if *s == 0 {
+            Role::Leader
+        } else {
+            Role::Follower
+        }
+    }
+
+    fn oracle(&self) -> LeaderCountOracle {
+        LeaderCountOracle::new()
+    }
+}
+
+#[test]
+fn engine_selection_for_the_six_protocols() {
+    // The constant-state protocols compile ahead of time at any size…
+    assert_eq!(
+        select_engine(&TokenProtocol::all_candidates(), 80_000),
+        Engine::Dense
+    );
+    assert_eq!(select_engine(&StarProtocol::new(), 80_000), Engine::Dense);
+    assert_eq!(
+        select_engine(&MajorityProtocol::new(48_000, 80_000), 80_000),
+        Engine::Dense
+    );
+    // …small-parameter fast instances too (the clock subroutine rides
+    // inside them; its h+1 ≤ 61 states always fit)…
+    assert_eq!(
+        select_engine(&FastProtocol::new(FastParams::new(1, 1, 2)), 64),
+        Engine::Dense
+    );
+    // …while the paper's flagship identifier protocol at realistic k
+    // and full-scale fast instances take the lazy engine…
+    assert_eq!(
+        select_engine(&realistic_identifier(2000), 2000),
+        Engine::LazyDense
+    );
+    assert_eq!(
+        select_engine(&realistic_identifier(80_000), 80_000),
+        Engine::LazyDense
+    );
+    assert_eq!(select_engine(&full_scale_fast(), 2000), Engine::LazyDense);
+    // …and a protocol that cannot even bound its state space stays on
+    // the generic reference engine.
+    assert_eq!(select_engine(&UnboundedCounter, 16), Engine::Generic);
+}
+
+#[test]
+fn recorded_engine_matches_selection() {
+    let opts = TrialOptions {
+        trials: 2,
+        max_steps: 1 << 22,
+        census: false,
+        threads: 1,
+        ..TrialOptions::default()
+    };
+    // AOT tier.
+    let g = families::clique(32);
+    let token = TokenProtocol::all_candidates();
+    let results = run_trials_auto(&g, &token, 1, opts);
+    assert_eq!(select_engine(&token, 32), Engine::Dense);
+    assert!(results.iter().all(|r| r.engine == Engine::Dense));
+    // Lazy tier.
+    let p = realistic_identifier(32);
+    let results = run_trials_auto(&g, &p, 1, opts);
+    assert_eq!(select_engine(&p, 32), Engine::LazyDense);
+    assert!(results.iter().all(|r| r.engine == Engine::LazyDense));
+    // Generic tier (bounded budget: the counter never stabilizes).
+    let results = run_trials_auto(
+        &g,
+        &UnboundedCounter,
+        1,
+        TrialOptions {
+            max_steps: 1000,
+            ..opts
+        },
+    );
+    assert_eq!(select_engine(&UnboundedCounter, 32), Engine::Generic);
+    assert!(results.iter().all(|r| r.engine == Engine::Generic));
+}
+
+#[test]
+fn engine_tag_is_provenance_not_identity() {
+    // The equality used by every differential assertion in this file
+    // deliberately ignores the engine tag; everything else must count.
+    let g = families::clique(16);
+    let p = TokenProtocol::all_candidates();
+    let opts = TrialOptions {
+        trials: 2,
+        max_steps: 1 << 22,
+        threads: 1,
+        ..TrialOptions::default()
+    };
+    let a = run_trials(&g, &p, 9, opts);
+    let mut b = run_trials_auto(&g, &p, 9, opts);
+    assert_ne!(a[0].engine, b[0].engine);
+    assert_eq!(a, b);
+    b[0].trial += 1;
+    assert_ne!(a, b);
+}
+
+#[test]
+fn cap_overflow_verdict_is_reached_within_the_probe_budget() {
+    // The regression the early-bail probe exists for: selecting the
+    // generic/lazy path for the identifier protocol must not re-run the
+    // BFS closure to overflow. An exact `TooLarge` within
+    // PROBE_EVAL_BUDGET transition evaluations bounds the selection cost
+    // at microseconds; `Inconclusive` here would mean selection silently
+    // fell back to the expensive full compile on every sweep shard.
+    for n in [2000u32, 80_000] {
+        let p = realistic_identifier(n);
+        assert_eq!(
+            probe_state_space(&p, n, DEFAULT_MAX_COMPILED_STATES, PROBE_EVAL_BUDGET),
+            SpaceProbe::TooLarge,
+            "identifier at n = {n}"
+        );
+    }
+    // And the probe must never mis-classify a compilable protocol: the
+    // token protocol's closure (5 reachable of its 6 nominal states)
+    // completes within the budget, with the same count compilation
+    // enumerates.
+    let token = TokenProtocol::all_candidates();
+    let reachable = CompiledProtocol::compile_default(&token, 80_000)
+        .unwrap()
+        .num_states();
+    assert_eq!(
+        probe_state_space(
+            &token,
+            80_000,
+            DEFAULT_MAX_COMPILED_STATES,
+            PROBE_EVAL_BUDGET
+        ),
+        SpaceProbe::Fits(reachable)
+    );
+}
