@@ -91,6 +91,7 @@ fn bench_checkpoint_roundtrip(c: &mut Criterion) {
                 steps: Some(1_000_000 + (shard * 8 + t) as u64 * 137),
                 leader: Some((t * 13) as u32),
                 recovery: None,
+                holding: None,
             })
             .collect();
         ck.shards

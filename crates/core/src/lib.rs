@@ -24,7 +24,13 @@
 //!   interaction on stars (Table 1, "Stars" row);
 //! * [`params`] — derivation of the protocols' parameters (`h`, `L`, `α`,
 //!   `k`) from measured graph statistics, in both *paper* (faithful
-//!   constants) and *practical* (simulation-sized constants) flavours.
+//!   constants) and *practical* (simulation-sized constants) flavours;
+//! * [`loose`] — beyond the paper's clean-start model: the
+//!   loosely-stabilizing timeout/propagation family (Kanaya et al.
+//!   2024; Yokota et al. 2020) started from *arbitrary* configurations,
+//!   with a ring-specialized distance-invalidation variant — measured
+//!   by election time and holding time via
+//!   [`popele_engine::stabilize`].
 //!
 //! # Examples
 //!
@@ -45,6 +51,7 @@
 pub mod clock;
 pub mod fast;
 pub mod identifier;
+pub mod loose;
 pub mod majority;
 pub mod params;
 pub mod star;
@@ -52,6 +59,7 @@ pub mod token;
 
 pub use fast::FastProtocol;
 pub use identifier::IdentifierProtocol;
+pub use loose::{LooseProtocol, RingLooseProtocol};
 pub use majority::MajorityProtocol;
 pub use star::StarProtocol;
 pub use token::TokenProtocol;

@@ -15,6 +15,17 @@ use crate::protocol::{Protocol, Role, StabilityOracle};
 use crate::scheduler::EdgeScheduler;
 use popele_graph::{Graph, NodeId};
 
+/// When a batched run loop should stop early (beyond its step budget).
+/// `Stable` serves `run_until_stable`, `Unstable` the holding-time loop
+/// `run_while_stable`; both only need re-checking after a state-changing
+/// interaction, which is what keeps the no-op fast path branch-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stop {
+    Never,
+    Stable,
+    Unstable,
+}
+
 /// Distinct-state census over dense ids (mirrors the generic executor's
 /// `HashSet` census at O(1) per mark). Growable, because the lazy engine
 /// interns new ids mid-run.
@@ -244,10 +255,9 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
     /// id writes per interaction, with oracle/census work only on the
     /// rare state-changing pairs).
     ///
-    /// When `stop_on_stable` is set, returns right after the state
-    /// change that makes the oracle stable. The caller guarantees
-    /// `budget ≤` the number of buffered pairs.
-    fn apply_batch(&mut self, budget: usize, stop_on_stable: bool) {
+    /// Returns right after the state change that satisfies `stop`. The
+    /// caller guarantees `budget ≤` the number of buffered pairs.
+    fn apply_batch(&mut self, budget: usize, stop: Stop) {
         let compiled = self.compiled;
         let k = compiled.states.len();
         let table = &compiled.table;
@@ -280,7 +290,7 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
                 }
                 self.ids[iu] = na;
                 self.ids[iv] = nb;
-                if stop_on_stable && self.stable_now() {
+                if self.stop_now(stop) {
                     break;
                 }
             }
@@ -295,9 +305,9 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
     /// independent dependency chains, so the processor overlaps them;
     /// this is the engine's fastest path. Requires the pair buffer to
     /// be drained and applies at most `budget` interactions, returning
-    /// early (right after the causing change) when `stop_on_stable` and
-    /// the oracle reports stability.
-    fn run_fused_clique(&mut self, budget: u64, stop_on_stable: bool) {
+    /// early (right after the causing change) once the oracle satisfies
+    /// `stop`.
+    fn run_fused_clique(&mut self, budget: u64, stop: Stop) {
         debug_assert_eq!(self.cursor, self.filled, "pair buffer must be drained");
         let EdgeDecoder::Clique { n, shift, row_hint } = &self.decoder else {
             unreachable!("fused path requires the clique decoder")
@@ -328,8 +338,10 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
                 self.ids[iu] = ((entry >> 8) & 0xFF) as StateId;
                 self.ids[iv] = (entry & 0xFF) as StateId;
                 self.leaders += i64::from(entry >> 16) - 2;
-                if stop_on_stable && self.leaders == 1 {
-                    break;
+                match stop {
+                    Stop::Stable if self.leaders == 1 => break,
+                    Stop::Unstable if self.leaders != 1 => break,
+                    _ => {}
                 }
             }
         } else {
@@ -361,7 +373,7 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
                     }
                     self.ids[iu] = na;
                     self.ids[iv] = nb;
-                    if stop_on_stable && self.stable_now() {
+                    if self.stop_now(stop) {
                         break;
                     }
                 }
@@ -372,16 +384,16 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
 
     /// Applies up to `budget` interactions through buffered pairs (for
     /// already-drawn pairs and the gather decoders) or the fused path.
-    fn run_budget(&mut self, budget: u64, stop_on_stable: bool) {
+    fn run_budget(&mut self, budget: u64, stop: Stop) {
         if self.cursor < self.filled {
             let avail = (self.filled - self.cursor) as u64;
-            self.apply_batch(avail.min(budget) as usize, stop_on_stable);
+            self.apply_batch(avail.min(budget) as usize, stop);
         } else if matches!(self.decoder, EdgeDecoder::Clique { .. }) {
-            self.run_fused_clique(budget, stop_on_stable);
+            self.run_fused_clique(budget, stop);
         } else {
             let limit = budget.min(PAIR_BATCH as u64) as usize;
             self.refill(limit);
-            self.apply_batch(limit, stop_on_stable);
+            self.apply_batch(limit, stop);
         }
     }
 
@@ -394,7 +406,7 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
         let mut remaining = k;
         while remaining > 0 {
             let before = self.applied;
-            self.run_budget(remaining, false);
+            self.run_budget(remaining, Stop::Never);
             remaining -= self.applied - before;
         }
     }
@@ -411,9 +423,24 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
             if self.applied >= max_steps {
                 return Err(NotStabilized { max_steps });
             }
-            self.run_budget(max_steps - self.applied, true);
+            self.run_budget(max_steps - self.applied, Stop::Stable);
         }
         Ok(self.outcome())
+    }
+
+    /// Runs while the oracle keeps reporting stability, stopping right
+    /// after the first interaction that breaks it (same contract as
+    /// [`crate::Executor::run_while_stable`], and trace-identical to
+    /// it). Returns the violation step, or `None` if `max_steps` total
+    /// interactions passed with stability intact.
+    pub fn run_while_stable(&mut self, max_steps: u64) -> Option<u64> {
+        while self.stable_now() {
+            if self.applied >= max_steps {
+                return None;
+            }
+            self.run_budget(max_steps - self.applied, Stop::Unstable);
+        }
+        Some(self.applied)
     }
 
     #[inline]
@@ -422,6 +449,17 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
             self.leaders == 1
         } else {
             self.oracle.is_stable()
+        }
+    }
+
+    /// Whether the `stop` condition holds right now (checked only after
+    /// state-changing interactions).
+    #[inline]
+    fn stop_now(&self, stop: Stop) -> bool {
+        match stop {
+            Stop::Never => false,
+            Stop::Stable => self.stable_now(),
+            Stop::Unstable => !self.stable_now(),
         }
     }
 
@@ -607,6 +645,38 @@ impl<'a, P: Protocol> DenseExecutor<'a, P> {
             census.mark(u32::from(id));
         }
         self.ids[v as usize] = id;
+        self.resync_oracle();
+    }
+
+    /// Overwrites the whole configuration (an *arbitrary* start, in the
+    /// self-stabilization sense — see [`crate::stabilize`]); mirrors
+    /// [`crate::Executor::set_configuration`]. The scheduler's RNG
+    /// stream is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the node count, or if any
+    /// state is not in the compiled table — arbitrary-start tables must
+    /// be built with [`CompiledProtocol::compile_with_seeds`] over the
+    /// sampler's support.
+    pub fn set_configuration(&mut self, states: &[P::State]) {
+        assert_eq!(
+            states.len(),
+            self.ids.len(),
+            "configuration length must equal the node count"
+        );
+        for (slot, s) in self.ids.iter_mut().zip(states) {
+            let id = self
+                .compiled
+                .state_id(s)
+                .expect("arbitrary start state missing from the compiled table (compile_with_seeds over the sampler's support)");
+            *slot = id;
+        }
+        if let Some(census) = &mut self.census {
+            for &id in &self.ids {
+                census.mark(u32::from(id));
+            }
+        }
         self.resync_oracle();
     }
 
@@ -833,7 +903,7 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
     /// loop — after warm-up: two id reads, one (almost always one-probe)
     /// cache lookup, two id writes per interaction, with oracle/census
     /// work only on the rare state-changing pairs.
-    fn apply_batch(&mut self, budget: usize, stop_on_stable: bool) {
+    fn apply_batch(&mut self, budget: usize, stop: Stop) {
         let end = self.cursor + budget;
         let mut i = self.cursor;
         while i < end {
@@ -860,7 +930,7 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
                 }
                 self.ids[iu] = na;
                 self.ids[iv] = nb;
-                if stop_on_stable && self.stable_now() {
+                if self.stop_now(stop) {
                     break;
                 }
             }
@@ -871,14 +941,14 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
 
     /// Applies up to `budget` interactions through buffered pairs,
     /// refilling in decoder batches.
-    fn run_budget(&mut self, budget: u64, stop_on_stable: bool) {
+    fn run_budget(&mut self, budget: u64, stop: Stop) {
         if self.cursor < self.filled {
             let avail = (self.filled - self.cursor) as u64;
-            self.apply_batch(avail.min(budget) as usize, stop_on_stable);
+            self.apply_batch(avail.min(budget) as usize, stop);
         } else {
             let limit = budget.min(PAIR_BATCH as u64) as usize;
             self.refill(limit);
-            self.apply_batch(limit, stop_on_stable);
+            self.apply_batch(limit, stop);
         }
     }
 
@@ -888,7 +958,7 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
         let mut remaining = k;
         while remaining > 0 {
             let before = self.applied;
-            self.run_budget(remaining, false);
+            self.run_budget(remaining, Stop::Never);
             remaining -= self.applied - before;
         }
     }
@@ -905,9 +975,24 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
             if self.applied >= max_steps {
                 return Err(NotStabilized { max_steps });
             }
-            self.run_budget(max_steps - self.applied, true);
+            self.run_budget(max_steps - self.applied, Stop::Stable);
         }
         Ok(self.outcome())
+    }
+
+    /// Runs while the oracle keeps reporting stability, stopping right
+    /// after the first interaction that breaks it (same contract as
+    /// [`crate::Executor::run_while_stable`], and trace-identical to
+    /// it). Returns the violation step, or `None` if `max_steps` total
+    /// interactions passed with stability intact.
+    pub fn run_while_stable(&mut self, max_steps: u64) -> Option<u64> {
+        while self.stable_now() {
+            if self.applied >= max_steps {
+                return None;
+            }
+            self.run_budget(max_steps - self.applied, Stop::Unstable);
+        }
+        Some(self.applied)
     }
 
     #[inline]
@@ -916,6 +1001,17 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
             self.leaders == 1
         } else {
             self.oracle.is_stable()
+        }
+    }
+
+    /// Whether the `stop` condition holds right now (checked only after
+    /// state-changing interactions).
+    #[inline]
+    fn stop_now(&self, stop: Stop) -> bool {
+        match stop {
+            Stop::Never => false,
+            Stop::Stable => self.stable_now(),
+            Stop::Unstable => !self.stable_now(),
         }
     }
 
@@ -1091,6 +1187,32 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
             census.mark(id);
         }
         self.ids[v as usize] = id;
+        self.resync_oracle();
+    }
+
+    /// Overwrites the whole configuration (an *arbitrary* start, in the
+    /// self-stabilization sense — see [`crate::stabilize`]); mirrors
+    /// [`crate::Executor::set_configuration`]. Never-seen states are
+    /// interned on the spot — the lazy engine needs no pre-computed
+    /// closure over the sampler's support. The scheduler's RNG stream is
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the node count.
+    pub fn set_configuration(&mut self, states: &[P::State]) {
+        assert_eq!(
+            states.len(),
+            self.ids.len(),
+            "configuration length must equal the node count"
+        );
+        for (v, s) in states.iter().enumerate() {
+            let id = self.table.intern(s);
+            if let Some(census) = &mut self.census {
+                census.mark(id);
+            }
+            self.ids[v] = id;
+        }
         self.resync_oracle();
     }
 

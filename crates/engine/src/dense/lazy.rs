@@ -258,8 +258,16 @@ impl<P: Protocol + Clone> LazyTable<P> {
 }
 
 impl<P: Protocol> LazyTable<P> {
-    /// Interns `state`, returning its dense id.
-    fn intern(&mut self, state: &P::State) -> LazyId {
+    /// Interns `state`, returning its dense id (a fresh id with the role
+    /// memoized on first sight, the existing id afterwards). Public
+    /// because arbitrary-initialization runs
+    /// ([`crate::LazyDenseExecutor::set_configuration`]) load whole
+    /// configurations of possibly never-seen states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if interning would exceed [`MAX_LAZY_STATES`].
+    pub fn intern(&mut self, state: &P::State) -> LazyId {
         if let Some(&id) = self.ids.get(state) {
             return id;
         }

@@ -69,7 +69,8 @@ impl std::error::Error for CompileError {}
 
 /// The reachable-state enumeration shared by [`CompiledProtocol::compile`]
 /// and [`probe_state_space`]: a BFS closure under `transition` over all
-/// ordered pairs, starting from the per-node initial states.
+/// ordered pairs, starting from the per-node initial states (plus any
+/// extra seed states, for arbitrary-initialization runs).
 struct Enumeration<S> {
     states: Vec<S>,
     ids: HashMap<S, StateId>,
@@ -94,6 +95,7 @@ fn enumerate<P: Protocol>(
     num_nodes: u32,
     max_states: usize,
     mut eval_budget: usize,
+    extra_seeds: &[P::State],
 ) -> Result<Enumeration<P::State>, EnumerateStop> {
     assert!(
         (1..=MAX_STATE_IDS).contains(&max_states),
@@ -124,6 +126,9 @@ fn enumerate<P: Protocol>(
     for v in 0..num_nodes {
         let s = protocol.initial_state(v);
         initial.push(intern(&s, &mut states, &mut ids, max_states)?);
+    }
+    for s in extra_seeds {
+        intern(s, &mut states, &mut ids, max_states)?;
     }
 
     // BFS closure: repeatedly expand every ordered pair involving at
@@ -233,7 +238,7 @@ pub fn probe_state_space<P: Protocol>(
         // states is exactly `enumerate`; the walk's states are all
         // rediscovered within its first rounds.
         WalkVerdict::Exhausted => {
-            match enumerate(protocol, num_nodes, max_states, eval_budget - used) {
+            match enumerate(protocol, num_nodes, max_states, eval_budget - used, &[]) {
                 Ok(e) => SpaceProbe::Fits(e.states.len()),
                 Err(EnumerateStop::CapExceeded) => SpaceProbe::TooLarge,
                 Err(EnumerateStop::BudgetExhausted) => SpaceProbe::Inconclusive,
@@ -406,6 +411,33 @@ impl<P: Protocol + Clone> CompiledProtocol<P> {
     ///
     /// Panics if `max_states` is `0` or exceeds [`MAX_STATE_IDS`].
     pub fn compile(protocol: &P, num_nodes: u32, max_states: usize) -> Result<Self, CompileError> {
+        Self::compile_with_seeds(protocol, num_nodes, max_states, &[])
+    }
+
+    /// Like [`CompiledProtocol::compile`], but additionally closes the
+    /// enumeration over `extra_seeds` — states that are not reachable
+    /// from the clean initial configuration but can occur as *starting*
+    /// states (the support of an
+    /// [`crate::stabilize::ArbitraryInit`] sampler). The resulting table
+    /// covers every pair an arbitrarily-initialized execution can
+    /// sample, which is what lets
+    /// [`crate::stabilize::run_trials_stabilize_dense`] run
+    /// self-stabilization workloads on the ahead-of-time engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::StateSpaceTooLarge`] if more than
+    /// `max_states` distinct states are discovered (seed states count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_states` is `0` or exceeds [`MAX_STATE_IDS`].
+    pub fn compile_with_seeds(
+        protocol: &P,
+        num_nodes: u32,
+        max_states: usize,
+        extra_seeds: &[P::State],
+    ) -> Result<Self, CompileError> {
         // A set of k ≤ max_states states closes within k² ≤ max_states²
         // evaluations, so the budget below never fires: compilation
         // stops only at the cap, exactly as before the probe existed.
@@ -413,7 +445,7 @@ impl<P: Protocol + Clone> CompiledProtocol<P> {
             states,
             ids,
             initial,
-        } = enumerate(protocol, num_nodes, max_states, usize::MAX)
+        } = enumerate(protocol, num_nodes, max_states, usize::MAX, extra_seeds)
             .map_err(|_| CompileError::StateSpaceTooLarge { limit: max_states })?;
 
         // The set is closed: every successor below is already interned.
@@ -623,6 +655,49 @@ mod tests {
         assert_eq!(c.role(f), Role::Follower);
         assert_eq!(c.initial_id(3), t);
         assert_eq!(c.table_bytes(), 16);
+    }
+
+    /// Clamps every state to `{0, 1}`: state `2` is unreachable from the
+    /// all-zero initial configuration but decays into the closure.
+    #[derive(Clone, Copy)]
+    struct Clamp;
+
+    impl Protocol for Clamp {
+        type State = u8;
+        type Oracle = LeaderCountOracle;
+
+        fn initial_state(&self, _node: NodeId) -> u8 {
+            0
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            ((*a).min(1), (*b).min(1))
+        }
+
+        fn output(&self, _s: &u8) -> Role {
+            Role::Follower
+        }
+
+        fn oracle(&self) -> LeaderCountOracle {
+            LeaderCountOracle::new()
+        }
+    }
+
+    #[test]
+    fn compile_with_seeds_covers_unreachable_start_states() {
+        // The clean closure never sees 1 or 2…
+        let plain = CompiledProtocol::compile(&Clamp, 4, 16).unwrap();
+        assert_eq!(plain.num_states(), 1);
+        assert_eq!(plain.state_id(&2), None);
+        // …but seeding the enumeration with the arbitrary-start support
+        // interns them and closes over their successors.
+        let seeded = CompiledProtocol::compile_with_seeds(&Clamp, 4, 16, &[2]).unwrap();
+        assert_eq!(seeded.num_states(), 3);
+        let two = seeded.state_id(&2).unwrap();
+        let one = seeded.state_id(&1).unwrap();
+        assert_eq!(seeded.successor(two, two), (one, one));
+        // Seed states count against the cap.
+        assert!(CompiledProtocol::compile_with_seeds(&Clamp, 4, 2, &[2]).is_err());
     }
 
     #[test]

@@ -149,6 +149,23 @@ impl<'a, P: Protocol> Executor<'a, P> {
         Ok(self.outcome())
     }
 
+    /// Runs while the oracle keeps reporting stability, stopping right
+    /// after the first interaction that breaks it — the measurement loop
+    /// behind holding times of loosely-stabilizing protocols (see
+    /// [`crate::stabilize`]). Returns the step at which instability was
+    /// first observed (immediately, without stepping, if the current
+    /// configuration is already unstable), or `None` if `max_steps`
+    /// total interactions passed with stability intact.
+    pub fn run_while_stable(&mut self, max_steps: u64) -> Option<u64> {
+        while self.oracle.is_stable() {
+            if self.steps() >= max_steps {
+                return None;
+            }
+            self.step();
+        }
+        Some(self.steps())
+    }
+
     /// Whether the oracle currently reports stability.
     #[must_use]
     pub fn is_stable(&self) -> bool {
@@ -209,6 +226,31 @@ impl<'a, P: Protocol> Executor<'a, P> {
                 set.insert(s.clone());
             }
             self.census = Some(set);
+        }
+    }
+
+    /// Overwrites the whole configuration (an *arbitrary* start, in the
+    /// self-stabilization sense — see [`crate::stabilize`]): node `v`
+    /// takes `states[v]`, the oracle is recomputed, and the census (when
+    /// enabled) absorbs the new states. The scheduler's RNG stream is
+    /// untouched, so loading the same configuration into every engine at
+    /// the same step keeps them trace-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the node count.
+    pub fn set_configuration(&mut self, states: &[P::State]) {
+        assert_eq!(
+            states.len(),
+            self.states.len(),
+            "configuration length must equal the node count"
+        );
+        self.states.clone_from_slice(states);
+        self.oracle.recompute(self.protocol, &self.states);
+        if let Some(census) = &mut self.census {
+            for s in states {
+                census.insert(s.clone());
+            }
         }
     }
 

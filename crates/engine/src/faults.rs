@@ -510,6 +510,10 @@ pub trait FaultTarget<'g> {
     ///
     /// Returns [`NotStabilized`] when the budget is exhausted first.
     fn run_until_stable(&mut self, max_steps: u64) -> Result<Outcome, NotStabilized>;
+    /// Runs while the oracle keeps reporting stability, returning the
+    /// step of the first violation (`None`: the budget passed with
+    /// stability intact) — the holding-time loop of [`crate::stabilize`].
+    fn run_while_stable(&mut self, max_steps: u64) -> Option<u64>;
     /// Snapshot of the current outcome.
     fn outcome(&self) -> Outcome;
     /// Current number of leader-output nodes.
@@ -541,6 +545,9 @@ macro_rules! impl_fault_target {
             }
             fn run_until_stable(&mut self, max_steps: u64) -> Result<Outcome, NotStabilized> {
                 $exec::run_until_stable(self, max_steps)
+            }
+            fn run_while_stable(&mut self, max_steps: u64) -> Option<u64> {
+                $exec::run_while_stable(self, max_steps)
             }
             fn outcome(&self) -> Outcome {
                 $exec::outcome(self)
@@ -644,10 +651,56 @@ pub fn run_with_faults<'g, T: FaultTarget<'g>>(
     resolved: &'g ResolvedFaultPlan,
     max_steps: u64,
 ) -> FaultReport {
-    let mut trajectory = Vec::with_capacity(resolved.ops.len());
-    let mut peak = 0usize;
-    let mut last_fault_step = 0u64;
-    let mut faults_applied = 0u32;
+    let trace = drive_ops(exec, resolved, max_steps);
+    let result = exec.run_until_stable(max_steps);
+    let final_leaders = exec.leader_count();
+    let peak = trace.peak.max(final_leaders);
+    FaultReport {
+        recovery: Recovery {
+            last_fault_step: trace.last_fault_step,
+            faults_applied: trace.faults_applied,
+            reconvergence_steps: result
+                .as_ref()
+                .ok()
+                .map(|o| o.stabilization_step - trace.last_fault_step),
+            peak_leaders: peak as u32,
+            final_leaders: final_leaders as u32,
+            leader_lost: result.is_err() && final_leaders == 0,
+        },
+        result,
+        trajectory: trace.trajectory,
+    }
+}
+
+/// What driving an execution through a resolved plan's ops observed —
+/// the shared first phase of [`run_with_faults`] and the holding-time
+/// driver ([`crate::stabilize::run_to_hold_with_faults`]).
+pub(crate) struct OpsTrace {
+    /// Leader counts right after each applied fault, in step order.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Step of the last applied fault (0 when none applied).
+    pub last_fault_step: u64,
+    /// Faults actually applied (the budget can cut trailing ones).
+    pub faults_applied: u32,
+    /// Maximum leader count observed at fault boundaries.
+    pub peak: usize,
+}
+
+/// Runs `exec` to each in-budget op's step and applies it, recording
+/// the leader-count trajectory. Leaves the execution right after the
+/// last applied fault; the caller decides what to run to afterwards
+/// (stabilization, or stabilization *plus* a holding phase).
+pub(crate) fn drive_ops<'g, T: FaultTarget<'g>>(
+    exec: &mut T,
+    resolved: &'g ResolvedFaultPlan,
+    max_steps: u64,
+) -> OpsTrace {
+    let mut trace = OpsTrace {
+        trajectory: Vec::with_capacity(resolved.ops.len()),
+        last_fault_step: 0,
+        faults_applied: 0,
+        peak: 0,
+    };
     for op in &resolved.ops {
         if op.step > max_steps {
             break;
@@ -665,33 +718,16 @@ pub fn run_with_faults<'g, T: FaultTarget<'g>>(
                 exec.leave_node(&resolved.epochs[*epoch], *removed);
             }
         }
-        last_fault_step = op.step;
-        faults_applied += 1;
+        trace.last_fault_step = op.step;
+        trace.faults_applied += 1;
         let leaders = exec.leader_count();
-        peak = peak.max(leaders);
-        trajectory.push(TrajectoryPoint {
+        trace.peak = trace.peak.max(leaders);
+        trace.trajectory.push(TrajectoryPoint {
             step: op.step,
             leaders,
         });
     }
-    let result = exec.run_until_stable(max_steps);
-    let final_leaders = exec.leader_count();
-    peak = peak.max(final_leaders);
-    FaultReport {
-        recovery: Recovery {
-            last_fault_step,
-            faults_applied,
-            reconvergence_steps: result
-                .as_ref()
-                .ok()
-                .map(|o| o.stabilization_step - last_fault_step),
-            peak_leaders: peak as u32,
-            final_leaders: final_leaders as u32,
-            leader_lost: result.is_err() && final_leaders == 0,
-        },
-        result,
-        trajectory,
-    }
+    trace
 }
 
 #[cfg(test)]

@@ -35,7 +35,12 @@
 //! * [`faults`] — fault injection and dynamic graphs: deterministic
 //!   [`FaultPlan`] schedules (state corruption, node churn, edge
 //!   rewiring) applied identically by both engines, with
-//!   recovery-oriented metrics ([`faults::Recovery`]).
+//!   recovery-oriented metrics ([`faults::Recovery`]);
+//! * [`stabilize`] — self-stabilization workloads: arbitrary start
+//!   configurations ([`stabilize::ArbitraryInit`]) sampled per trial,
+//!   and elect-then-hold measurement ([`stabilize::HoldingTime`]) that
+//!   keeps running past first stabilization to time how long the
+//!   unique-leader configuration holds.
 //!
 //! # Three engines, one contract
 //!
@@ -99,6 +104,7 @@ pub mod dense;
 pub mod exhaustive;
 pub mod faults;
 pub mod monte_carlo;
+pub mod stabilize;
 
 pub use dense::{
     CompileError, CompiledProtocol, DenseExecutor, LazyDenseExecutor, LazyTable, StateId,
@@ -109,3 +115,4 @@ pub use faults::{FaultEvent, FaultKind, FaultPlan, ResolvedFaultPlan};
 pub use monte_carlo::Engine;
 pub use protocol::{LeaderCountOracle, Protocol, Role, StabilityOracle};
 pub use scheduler::EdgeScheduler;
+pub use stabilize::{ArbitraryInit, HoldingTime};

@@ -33,6 +33,7 @@ use crate::dense::{
 use crate::executor::Executor;
 use crate::faults::{fault_seed, run_with_faults, FaultPlan, Recovery};
 use crate::protocol::Protocol;
+use crate::stabilize::HoldingTime;
 use popele_graph::{Graph, NodeId};
 use popele_math::rng::SeedSeq;
 use popele_math::stats::Summary;
@@ -92,6 +93,11 @@ pub struct TrialResult {
     /// (possibly empty-resolving) fault plan via the `*_with_faults`
     /// entry points with a nonempty [`FaultPlan`].
     pub recovery: Option<Recovery>,
+    /// Loose-stabilization metrics (election step from an arbitrary
+    /// start plus how long the unique-leader configuration held) —
+    /// `Some` exactly when the trial ran through the
+    /// [`crate::stabilize`] entry points.
+    pub holding: Option<HoldingTime>,
     /// Which engine ran the trial. Pure provenance — see [`Engine`] —
     /// and therefore **not** part of `PartialEq`: results from different
     /// engines compare equal whenever the observable outcome is equal,
@@ -107,6 +113,7 @@ impl PartialEq for TrialResult {
             && self.leader == other.leader
             && self.distinct_states == other.distinct_states
             && self.recovery == other.recovery
+            && self.holding == other.holding
     }
 }
 
@@ -203,6 +210,7 @@ pub fn run_trials<P: Protocol>(
                 leader: outcome.leader,
                 distinct_states: outcome.distinct_states,
                 recovery: None,
+                holding: None,
                 engine: Engine::Generic,
             },
             Err(_) => TrialResult {
@@ -211,6 +219,7 @@ pub fn run_trials<P: Protocol>(
                 leader: None,
                 distinct_states: exec.outcome().distinct_states,
                 recovery: None,
+                holding: None,
                 engine: Engine::Generic,
             },
         }
@@ -279,6 +288,7 @@ pub fn run_trials_dense<P: Protocol>(
                 leader: outcome.leader,
                 distinct_states: outcome.distinct_states,
                 recovery: None,
+                holding: None,
                 engine: Engine::Dense,
             },
             Err(_) => TrialResult {
@@ -287,6 +297,7 @@ pub fn run_trials_dense<P: Protocol>(
                 leader: None,
                 distinct_states: exec.outcome().distinct_states,
                 recovery: None,
+                holding: None,
                 engine: Engine::Dense,
             },
         }
@@ -362,6 +373,7 @@ pub fn run_trials_lazy<P: Protocol + Clone>(
                 leader: outcome.leader,
                 distinct_states: outcome.distinct_states,
                 recovery: None,
+                holding: None,
                 engine: Engine::LazyDense,
             },
             Err(_) => TrialResult {
@@ -370,6 +382,7 @@ pub fn run_trials_lazy<P: Protocol + Clone>(
                 leader: None,
                 distinct_states: exec.outcome().distinct_states,
                 recovery: None,
+                holding: None,
                 engine: Engine::LazyDense,
             },
         }
@@ -387,8 +400,8 @@ pub fn run_trials_lazy<P: Protocol + Clone>(
 
 /// Outcome of the internal engine selection: the compiled table rides
 /// along when the AOT path won, so `run_trials_auto` never compiles
-/// twice.
-enum Selected<P: Protocol> {
+/// twice. Shared with [`crate::stabilize`]'s seeded selection.
+pub(crate) enum Selected<P: Protocol> {
     Dense(CompiledProtocol<P>),
     Lazy,
     Generic,
@@ -692,11 +705,12 @@ fn faulted_result(
         leader: report.result.as_ref().ok().and_then(|o| o.leader),
         distinct_states,
         recovery: Some(report.recovery),
+        holding: None,
         engine,
     }
 }
 
-fn resolve_threads(requested: usize, trials: usize) -> usize {
+pub(crate) fn resolve_threads(requested: usize, trials: usize) -> usize {
     let threads = if requested == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {

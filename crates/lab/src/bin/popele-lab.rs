@@ -4,11 +4,17 @@
 //! ```text
 //! popele-lab [EXPERIMENT ...] [--quick|--full] [--seed N] [--threads N] [--out DIR]
 //! popele-lab sweep [--quick|--full] [--name NAME] [--protocols P,..] [--families F,..]
-//!                  [--sizes N,..] [--trials N] [--shard N] [--max-steps N] [--max-edges N]
-//!                  [--seed N] [--threads N] [--out DIR] [--max-shards N] [--fresh]
-//!
-//! EXPERIMENT ∈ {table1, broadcast, propagation, walks, clocks, renitent, dense, all}
+//!                  [--sizes N,..] [--faults F,..] [--trials N] [--shard N] [--max-steps N]
+//!                  [--max-edges N] [--seed N] [--threads N] [--out DIR] [--max-shards N]
+//!                  [--fresh]
 //! ```
+//!
+//! The experiment, protocol, family and fault-profile vocabularies are
+//! **not** repeated here: `--help` derives every list from the live
+//! registries (`ExperimentId::ALL`, `ProtocolSpec::ALL`, `Family::ALL`,
+//! `FaultSpec::ALL`), so an entry added to a registry appears in the
+//! usage text automatically — this doc cannot go stale the way a
+//! hand-maintained enumeration does.
 //!
 //! Tables are printed to stdout and written as CSV under `--out`
 //! (default `results/`); sweep campaigns additionally write a resumable

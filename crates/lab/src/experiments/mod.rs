@@ -11,6 +11,7 @@ pub mod lowerbound;
 pub mod majority;
 pub mod propagation;
 pub mod renitent;
+pub mod stabilize;
 pub mod table1;
 pub mod walks;
 

@@ -21,6 +21,7 @@
 //! | `majority` | Section 8 extension: exact majority | [`experiments::majority`] |
 //! | `engine` | generic vs compiled engine equivalence/throughput | [`experiments::engine`] |
 //! | `faults` | recovery under corruption/churn/rewiring (beyond the paper's model) | [`experiments::faults`] |
+//! | `stabilize` | loose stabilization: elect-vs-hold tradeoff, re-election under bursts | [`experiments::stabilize`] |
 //!
 //! Run everything with the CLI:
 //!
@@ -111,11 +112,17 @@ pub enum ExperimentId {
     Engine,
     /// Recovery under fault injection (corruption, churn, rewiring).
     Faults,
+    /// Loose stabilization: the elect-vs-hold tradeoff from arbitrary
+    /// starts, and re-election times under corrupt bursts.
+    Stabilize,
 }
 
 impl ExperimentId {
-    /// All experiments, in recommended execution order.
-    pub const ALL: [ExperimentId; 13] = [
+    /// All experiments, in recommended execution order. This array is
+    /// the experiment registry: CLI parsing and the `--help` listing
+    /// derive from it, so a new experiment registered here shows up in
+    /// both automatically.
+    pub const ALL: [ExperimentId; 14] = [
         ExperimentId::Engine,
         ExperimentId::Clocks,
         ExperimentId::Broadcast,
@@ -128,28 +135,15 @@ impl ExperimentId {
         ExperimentId::Ablation,
         ExperimentId::Majority,
         ExperimentId::Faults,
+        ExperimentId::Stabilize,
         ExperimentId::Table1,
     ];
 
-    /// Parses a CLI name.
+    /// Parses a CLI name (derived from the registry — any
+    /// [`Self::name`] round-trips).
     #[must_use]
     pub fn parse(name: &str) -> Option<Self> {
-        match name {
-            "table1" => Some(Self::Table1),
-            "broadcast" => Some(Self::Broadcast),
-            "propagation" => Some(Self::Propagation),
-            "walks" => Some(Self::Walks),
-            "clocks" => Some(Self::Clocks),
-            "renitent" => Some(Self::Renitent),
-            "dense" => Some(Self::Dense),
-            "lowerbound" => Some(Self::LowerBound),
-            "conductance" => Some(Self::Conductance),
-            "ablation" => Some(Self::Ablation),
-            "majority" => Some(Self::Majority),
-            "engine" => Some(Self::Engine),
-            "faults" => Some(Self::Faults),
-            _ => None,
-        }
+        Self::ALL.iter().copied().find(|e| e.name() == name)
     }
 
     /// The CLI name.
@@ -169,6 +163,7 @@ impl ExperimentId {
             Self::Majority => "majority",
             Self::Engine => "engine",
             Self::Faults => "faults",
+            Self::Stabilize => "stabilize",
         }
     }
 
@@ -189,6 +184,7 @@ impl ExperimentId {
             Self::Majority => experiments::majority::run(cfg),
             Self::Engine => experiments::engine::run(cfg),
             Self::Faults => experiments::faults::run(cfg),
+            Self::Stabilize => experiments::stabilize::run(cfg),
         }
     }
 }

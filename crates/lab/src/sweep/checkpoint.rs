@@ -15,6 +15,7 @@ use super::json::Json;
 use super::spec::SweepSpec;
 use popele_engine::faults::Recovery;
 use popele_engine::monte_carlo::TrialResult;
+use popele_engine::stabilize::HoldingTime;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
@@ -51,6 +52,29 @@ impl From<Recovery> for RecoveryRecord {
     }
 }
 
+/// Loose-stabilization metrics of one arbitrarily-initialized trial,
+/// as persisted (the election step itself lives in
+/// [`TrialRecord::steps`], so only the holding phase is mirrored from
+/// [`HoldingTime`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HoldingRecord {
+    /// Steps the unique-leader configuration held before its first
+    /// violation; `None` when no violation was observed.
+    pub hold: Option<u64>,
+    /// The hold was still intact when the step budget ran out
+    /// (right-censored).
+    pub held_to_budget: bool,
+}
+
+impl From<HoldingTime> for HoldingRecord {
+    fn from(h: HoldingTime) -> Self {
+        Self {
+            hold: h.hold_steps,
+            held_to_budget: h.held_to_budget,
+        }
+    }
+}
+
 /// Result of one trial, as persisted.
 ///
 /// The census is never enabled in sweeps, so only the stabilization
@@ -60,7 +84,9 @@ impl From<Recovery> for RecoveryRecord {
 pub struct TrialRecord {
     /// Global trial index within the cell.
     pub trial: usize,
-    /// Stabilization step; `None` records a budget timeout.
+    /// Stabilization step; `None` records a budget timeout. For
+    /// stabilizing cells this is the *election* step from the trial's
+    /// arbitrary start configuration.
     pub steps: Option<u64>,
     /// Elected leader, when one was stable at the end.
     pub leader: Option<u32>,
@@ -68,6 +94,10 @@ pub struct TrialRecord {
     /// Rendered (and parsed) only when present, so fault-free
     /// checkpoints keep their exact pre-fault-axis byte format.
     pub recovery: Option<RecoveryRecord>,
+    /// Holding metrics, for self-stabilization trials (arbitrary
+    /// starts). Rendered only when present, so pre-existing
+    /// checkpoints keep their exact byte format and still resume.
+    pub holding: Option<HoldingRecord>,
 }
 
 impl From<&TrialResult> for TrialRecord {
@@ -77,6 +107,7 @@ impl From<&TrialResult> for TrialRecord {
             steps: r.stabilization_step,
             leader: r.leader,
             recovery: r.recovery.map(Into::into),
+            holding: r.holding.map(Into::into),
         }
     }
 }
@@ -154,6 +185,15 @@ impl Checkpoint {
                                         Json::from_u64(u64::from(rec.final_leaders)),
                                     ),
                                     ("leader_lost".into(), Json::Bool(rec.leader_lost)),
+                                ]),
+                            ));
+                        }
+                        if let Some(h) = &r.holding {
+                            members.push((
+                                "holding".into(),
+                                Json::Obj(vec![
+                                    ("hold".into(), Json::from_opt_u64(h.hold)),
+                                    ("held_to_budget".into(), Json::Bool(h.held_to_budget)),
                                 ]),
                             ));
                         }
@@ -268,11 +308,29 @@ impl Checkpoint {
                             })
                         }
                     };
+                    let holding = match row.get("holding") {
+                        Some(Json::Null) | None => None,
+                        Some(h) => {
+                            let hold = match h.get("hold") {
+                                Some(Json::Null) | None => None,
+                                Some(v) => Some(v.as_u64().ok_or("hold must be an integer")?),
+                            };
+                            let held_to_budget = match h.get("held_to_budget") {
+                                Some(Json::Bool(b)) => *b,
+                                _ => return Err("holding missing held_to_budget".into()),
+                            };
+                            Some(HoldingRecord {
+                                hold,
+                                held_to_budget,
+                            })
+                        }
+                    };
                     records.push(TrialRecord {
                         trial: trial as usize,
                         steps,
                         leader,
                         recovery,
+                        holding,
                     });
                 }
                 shards.insert(key.clone(), records);
@@ -346,6 +404,10 @@ mod tests {
                     steps: Some(123_456),
                     leader: Some(17),
                     recovery: None,
+                    holding: Some(HoldingRecord {
+                        hold: Some(9_999),
+                        held_to_budget: false,
+                    }),
                 },
                 TrialRecord {
                     trial: 1,
@@ -358,6 +420,10 @@ mod tests {
                         peak_leaders: 7,
                         final_leaders: 0,
                         leader_lost: true,
+                    }),
+                    holding: Some(HoldingRecord {
+                        hold: None,
+                        held_to_budget: true,
                     }),
                 },
             ],
@@ -376,6 +442,7 @@ mod tests {
                     final_leaders: 1,
                     leader_lost: false,
                 }),
+                holding: None,
             }],
         );
         ck

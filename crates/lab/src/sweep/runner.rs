@@ -18,10 +18,12 @@ use crate::report::Table;
 use crate::workloads::{broadcast_guess, Family};
 use popele_core::params::{identifier_bits, FastParams};
 use popele_core::{
-    FastProtocol, IdentifierProtocol, MajorityProtocol, StarProtocol, TokenProtocol,
+    FastProtocol, IdentifierProtocol, LooseProtocol, MajorityProtocol, RingLooseProtocol,
+    StarProtocol, TokenProtocol,
 };
 use popele_engine::faults::FaultPlan;
 use popele_engine::monte_carlo::{run_trials_auto_with_faults, TrialOptions, TrialResult};
+use popele_engine::stabilize::run_trials_stabilize_auto;
 use popele_graph::Graph;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -244,6 +246,23 @@ fn run_shard(
                 n,
             ))
         }
+        // The self-stabilization cells: arbitrary per-trial start
+        // configurations, election + holding metrics — same engine
+        // selection and determinism contract, different entry point.
+        ProtocolSpec::Loose => run_trials_stabilize_auto(
+            graph,
+            &LooseProtocol::practical(graph.num_nodes()),
+            seed,
+            options,
+            &plan,
+        ),
+        ProtocolSpec::RingLoose => run_trials_stabilize_auto(
+            graph,
+            &RingLooseProtocol::for_ring(graph.num_nodes()),
+            seed,
+            options,
+            &plan,
+        ),
     }
 }
 

@@ -36,16 +36,30 @@ pub enum ProtocolSpec {
     Star,
     /// Exact-majority extension (Section 8) with a fixed 60/40 split.
     Majority,
+    /// Loosely-stabilizing timeout/propagation election (Kanaya et al.
+    /// 2024 regime) at the practical budget `τ = 8·bitlen(n)` — runs
+    /// from *arbitrary* start configurations and records election
+    /// **and** holding metrics.
+    Loose,
+    /// The ring-specialized loosely-stabilizing variant
+    /// (distance-to-leader invalidation with `B = 2n`); restricted to
+    /// the cycle family, whose hop distances its bound is derived for.
+    RingLoose,
 }
 
 impl ProtocolSpec {
-    /// Every sweepable protocol, in canonical order.
-    pub const ALL: [ProtocolSpec; 5] = [
+    /// Every sweepable protocol, in canonical order. This array **is**
+    /// the protocol registry: the CLI `--help` enumeration, label
+    /// parsing and the usage lists all derive from it, so a protocol
+    /// added here shows up everywhere automatically.
+    pub const ALL: [ProtocolSpec; 7] = [
         ProtocolSpec::Token,
         ProtocolSpec::Identifier,
         ProtocolSpec::Fast,
         ProtocolSpec::Star,
         ProtocolSpec::Majority,
+        ProtocolSpec::Loose,
+        ProtocolSpec::RingLoose,
     ];
 
     /// CLI / key name.
@@ -57,6 +71,8 @@ impl ProtocolSpec {
             ProtocolSpec::Fast => "fast",
             ProtocolSpec::Star => "star",
             ProtocolSpec::Majority => "majority",
+            ProtocolSpec::Loose => "loose",
+            ProtocolSpec::RingLoose => "ring-loose",
         }
     }
 
@@ -64,6 +80,16 @@ impl ProtocolSpec {
     #[must_use]
     pub fn parse(name: &str) -> Option<Self> {
         Self::ALL.iter().copied().find(|p| p.label() == name)
+    }
+
+    /// Whether this protocol runs the self-stabilization workload:
+    /// arbitrary start configurations, election measured as the time to
+    /// the first unique-leader configuration, plus holding metrics
+    /// (see [`popele_engine::stabilize`]). These cells' records carry a
+    /// holding column set in checkpoints and summaries.
+    #[must_use]
+    pub fn is_stabilizing(self) -> bool {
+        matches!(self, ProtocolSpec::Loose | ProtocolSpec::RingLoose)
     }
 }
 
@@ -421,6 +447,11 @@ impl SweepSpec {
                 "topology faults break the star shape the star protocol's oracle needs".into(),
             );
         }
+        if cell.protocol == ProtocolSpec::RingLoose && cell.family != Family::Cycle {
+            return Some(
+                "the ring variant's distance bound is derived for cycle hop distances".into(),
+            );
+        }
         None
     }
 
@@ -607,6 +638,26 @@ mod tests {
         let cells: Vec<_> = spec.shards().iter().map(|s| s.cell).collect();
         assert!(cells.iter().all(|c| c.family == Family::Star));
         assert!(!cells.is_empty());
+    }
+
+    #[test]
+    fn ring_variant_restricted_to_cycles() {
+        let spec = SweepSpec {
+            protocols: vec![ProtocolSpec::RingLoose, ProtocolSpec::Loose],
+            families: vec![Family::Cycle, Family::Clique],
+            sizes: vec![8],
+            ..SweepSpec::default()
+        };
+        let cells: Vec<_> = spec.shards().iter().map(|s| s.cell).collect();
+        assert!(cells
+            .iter()
+            .all(|c| c.protocol != ProtocolSpec::RingLoose || c.family == Family::Cycle));
+        // The general loose protocol sweeps every family.
+        assert!(cells
+            .iter()
+            .any(|c| c.protocol == ProtocolSpec::Loose && c.family == Family::Clique));
+        assert!(ProtocolSpec::Loose.is_stabilizing());
+        assert!(!ProtocolSpec::Token.is_stabilizing());
     }
 
     #[test]

@@ -22,6 +22,15 @@ struct CellDigest {
     leaders_lost: usize,
     /// Worst leader-count excursion observed across the cell's trials.
     peak_leaders: u32,
+    /// Whether the cell ran the self-stabilization workload (its
+    /// records carry holding metrics).
+    has_holding: bool,
+    /// Hold durations (steps the unique-leader configuration survived
+    /// past election) over trials whose hold was violated in-budget.
+    hold: Summary,
+    /// Trials whose hold was still intact at the budget
+    /// (right-censored holds).
+    held_to_budget: usize,
 }
 
 /// Digests every runnable cell, in grid order.
@@ -44,6 +53,11 @@ fn digest(spec: &SweepSpec, checkpoint: &Checkpoint) -> Vec<CellDigest> {
                 .filter_map(|r| r.reconvergence)
                 .map(|s| s as f64)
                 .collect();
+            let holdings = || records.iter().filter_map(|r| r.holding);
+            let hold: Summary = holdings()
+                .filter_map(|h| h.hold)
+                .map(|s| s as f64)
+                .collect();
             CellDigest {
                 cell,
                 n: meta.n,
@@ -53,6 +67,9 @@ fn digest(spec: &SweepSpec, checkpoint: &Checkpoint) -> Vec<CellDigest> {
                 reconvergence,
                 leaders_lost: recoveries().filter(|r| r.leader_lost).count(),
                 peak_leaders: recoveries().map(|r| r.peak_leaders).max().unwrap_or(0),
+                has_holding: holdings().next().is_some(),
+                hold,
+                held_to_budget: holdings().filter(|h| h.held_to_budget).count(),
             }
         })
         .collect()
@@ -239,6 +256,59 @@ pub fn tables(spec: &SweepSpec, checkpoint: &Checkpoint) -> Vec<Table> {
         out.push(recovery);
     }
 
+    if digests.iter().any(|d| d.has_holding) {
+        let mut holding = Table::new(
+            format!("sweep {} holding", spec.name),
+            "per self-stabilization cell (arbitrary starts): election steps, hold durations \
+             over violated trials, and holds still intact at the budget (censored)",
+            &[
+                "protocol",
+                "family",
+                "size",
+                "fault",
+                "elected",
+                "timeouts",
+                "elect_mean",
+                "hold_mean",
+                "hold_q90",
+                "censored",
+            ],
+        );
+        for d in digests.iter().filter(|d| d.has_holding) {
+            let elect = |v: f64| {
+                if d.steps.is_empty() {
+                    "-".to_string()
+                } else {
+                    fmt_num(v)
+                }
+            };
+            let held = |v: f64| {
+                if d.hold.is_empty() {
+                    "-".to_string()
+                } else {
+                    fmt_num(v)
+                }
+            };
+            holding.push_row(vec![
+                d.cell.protocol.label().to_string(),
+                d.cell.family.label().to_string(),
+                d.cell.size.to_string(),
+                d.cell.fault.label().to_string(),
+                d.steps.len().to_string(),
+                d.timeouts.to_string(),
+                elect(d.steps.mean()),
+                held(d.hold.mean()),
+                held(if d.hold.is_empty() {
+                    0.0
+                } else {
+                    d.hold.quantile(0.9)
+                }),
+                d.held_to_budget.to_string(),
+            ]);
+        }
+        out.push(holding);
+    }
+
     let skipped: Vec<(CellSpec, String)> = spec
         .cells()
         .into_iter()
@@ -311,6 +381,28 @@ pub fn render(spec: &SweepSpec, checkpoint: &Checkpoint) -> String {
                     ("reconvergence".into(), reconv),
                 ])
             };
+            let holding = if !d.has_holding {
+                Json::Null
+            } else {
+                let hold = if d.hold.is_empty() {
+                    Json::Null
+                } else {
+                    Json::Obj(vec![
+                        ("mean".into(), Json::Num(d.hold.mean())),
+                        ("median".into(), Json::Num(d.hold.median())),
+                        ("q90".into(), Json::Num(d.hold.quantile(0.9))),
+                        ("max".into(), Json::Num(d.hold.max())),
+                    ])
+                };
+                Json::Obj(vec![
+                    ("violated".into(), Json::from_u64(d.hold.len() as u64)),
+                    (
+                        "held_to_budget".into(),
+                        Json::from_u64(d.held_to_budget as u64),
+                    ),
+                    ("hold".into(), hold),
+                ])
+            };
             Json::Obj(vec![
                 ("protocol".into(), Json::Str(d.cell.protocol.label().into())),
                 ("family".into(), Json::Str(d.cell.family.label().into())),
@@ -322,6 +414,7 @@ pub fn render(spec: &SweepSpec, checkpoint: &Checkpoint) -> String {
                 ("timeouts".into(), Json::from_u64(d.timeouts as u64)),
                 ("steps".into(), stats),
                 ("recovery".into(), recovery),
+                ("holding".into(), holding),
             ])
         })
         .collect();

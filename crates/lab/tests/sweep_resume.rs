@@ -205,6 +205,77 @@ fn output_bytes_of(dir: &Path, name: &str) -> (String, String) {
     )
 }
 
+/// A grid over the self-stabilization family: arbitrary per-trial start
+/// configurations, holding metrics in every record, corrupt bursts on
+/// the fault axis.
+fn stabilizing_spec(threads: usize) -> SweepSpec {
+    SweepSpec {
+        name: "stabilizing".into(),
+        protocols: vec![ProtocolSpec::Loose, ProtocolSpec::RingLoose],
+        families: vec![Family::Clique, Family::Cycle],
+        sizes: vec![8, 16],
+        faults: vec![FaultSpec::None, FaultSpec::Corrupt],
+        trials_per_cell: 3,
+        shard_trials: 2,
+        max_steps: 1 << 21,
+        master_seed: 0x5AB1E,
+        threads,
+        max_edges: 1 << 20,
+    }
+}
+
+#[test]
+fn stabilizing_campaign_outputs_are_byte_identical_across_threads_and_resume() {
+    let straight_dir = temp_dir("stab-straight");
+    let outcome = run_campaign(
+        &stabilizing_spec(1),
+        &CampaignOptions {
+            out_dir: straight_dir.clone(),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(outcome.completed);
+    let (straight_ckpt, straight_summary) = output_bytes_of(&straight_dir, "stabilizing");
+
+    // Every stabilizing record carries holding metrics; faulted cells
+    // additionally carry recovery; the ring variant ran only on cycles.
+    let ckpt = Checkpoint::load(&checkpoint_path(&straight_dir.join("stabilizing"))).unwrap();
+    let clean = ckpt.cell_records("loose/clique/8");
+    assert_eq!(clean.len(), 3);
+    assert!(clean.iter().all(|r| r.holding.is_some()));
+    assert!(clean.iter().all(|r| r.recovery.is_none()));
+    let corrupt = ckpt.cell_records("loose/clique/8/corrupt");
+    assert!(corrupt.iter().all(|r| r.holding.is_some()));
+    assert!(corrupt.iter().all(|r| r.recovery.is_some()));
+    assert!(ckpt.cell_records("ring-loose/cycle/8").len() == 3);
+    assert!(ckpt.cell_records("ring-loose/clique/8").is_empty());
+    assert!(straight_summary.contains("\"holding\""));
+    assert!(straight_summary.contains("\"held_to_budget\""));
+
+    // Interrupted twice, resumed with different thread counts: holding
+    // metrics obey the same byte-identity contract as everything else.
+    let resumed_dir = temp_dir("stab-resumed");
+    let opts = |interrupt_after| CampaignOptions {
+        out_dir: resumed_dir.clone(),
+        interrupt_after,
+        ..CampaignOptions::default()
+    };
+    let first = run_campaign(&stabilizing_spec(2), &opts(Some(5))).unwrap();
+    assert!(!first.completed);
+    let second = run_campaign(&stabilizing_spec(4), &opts(Some(11))).unwrap();
+    assert!(!second.completed);
+    let last = run_campaign(&stabilizing_spec(3), &opts(None)).unwrap();
+    assert!(last.completed);
+
+    let (resumed_ckpt, resumed_summary) = output_bytes_of(&resumed_dir, "stabilizing");
+    assert_eq!(straight_ckpt, resumed_ckpt, "checkpoint bytes diverged");
+    assert_eq!(straight_summary, resumed_summary, "summary bytes diverged");
+
+    std::fs::remove_dir_all(&straight_dir).ok();
+    std::fs::remove_dir_all(&resumed_dir).ok();
+}
+
 #[test]
 fn grid_extension_preserves_existing_cells() {
     // Adding a size to the grid must not change the numbers of cells

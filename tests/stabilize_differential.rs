@@ -1,0 +1,282 @@
+//! The self-stabilization plumbing's contract across all three engines:
+//! identical arbitrary start configurations must produce identical
+//! traces, elections, holding times and recovery metrics on the
+//! generic, ahead-of-time-compiled and lazily-compiling engines —
+//! across every graph family of the acceptance grid, with and without
+//! corrupt-burst fault plans, and independently of thread count and
+//! sharding.
+//!
+//! This is also the acceptance test of PR 4's lazy design under a new
+//! kind of load: arbitrary start states are *not* reachable from the
+//! clean initial configuration, so the lazy engine must intern them on
+//! first sight (`set_configuration`), while the ahead-of-time engine
+//! needs its closure seeded with the sampler's support
+//! (`CompiledProtocol::compile_with_seeds`).
+
+use popele::engine::monte_carlo::{Engine, TrialOptions};
+use popele::engine::stabilize::{
+    arbitrary_config, arbitrary_seed, run_to_hold, run_trials_stabilize, run_trials_stabilize_auto,
+    run_trials_stabilize_dense, run_trials_stabilize_lazy, select_stabilize_engine, ArbitraryInit,
+};
+use popele::engine::{CompiledProtocol, Executor, FaultKind, FaultPlan, LazyDenseExecutor};
+use popele::graph::{families, random, Graph};
+use popele::protocols::{LooseProtocol, RingLooseProtocol};
+
+/// The five graph families of the acceptance grid at a small size.
+fn small_families(n: u32) -> Vec<Graph> {
+    let side = (f64::from(n).sqrt().round()) as u32;
+    vec![
+        families::clique(n),
+        families::cycle(n),
+        families::star(n),
+        families::torus(side, side),
+        random::random_regular_connected(n, 4, 11, 200),
+    ]
+}
+
+/// Steps all three engines in lockstep from one shared arbitrary
+/// configuration, comparing sampled pairs, per-node states and
+/// stability verdicts, then pushes all three through their batched
+/// paths and compares outcomes.
+fn assert_trace_identical_from<P: ArbitraryInit + Clone>(
+    p: &P,
+    g: &Graph,
+    seed: u64,
+    lockstep: usize,
+    batched: u64,
+) {
+    let config = arbitrary_config(p, g.num_nodes(), arbitrary_seed(seed));
+    let compiled =
+        CompiledProtocol::compile_with_seeds(p, g.num_nodes(), 1 << 14, &p.arbitrary_support())
+            .expect("test support fits a large cap");
+    let mut generic = Executor::new(g, p, seed);
+    let mut dense = popele::engine::DenseExecutor::new(g, &compiled, seed);
+    let mut lazy = LazyDenseExecutor::new(g, p, seed);
+    generic.set_configuration(&config);
+    dense.set_configuration(&config);
+    lazy.set_configuration(&config);
+    for i in 0..lockstep {
+        let step = generic.step();
+        assert_eq!(step, dense.step(), "{g} dense diverged at step {i}");
+        assert_eq!(step, lazy.step(), "{g} lazy diverged at step {i}");
+        assert_eq!(generic.is_stable(), dense.is_stable(), "{g} step {i}");
+        assert_eq!(generic.is_stable(), lazy.is_stable(), "{g} step {i}");
+    }
+    generic.run_steps(batched);
+    dense.run_steps(batched);
+    lazy.run_steps(batched);
+    for v in 0..g.num_nodes() {
+        assert_eq!(
+            generic.states()[v as usize],
+            *dense.state_of(v),
+            "{g} dense diverged at node {v}"
+        );
+        assert_eq!(
+            generic.states()[v as usize],
+            *lazy.state_of(v),
+            "{g} lazy diverged at node {v}"
+        );
+    }
+    assert_eq!(generic.outcome(), dense.outcome(), "{g} dense outcome");
+    assert_eq!(generic.outcome(), lazy.outcome(), "{g} lazy outcome");
+}
+
+#[test]
+fn loose_trace_identical_from_arbitrary_starts_on_all_families() {
+    for g in small_families(36) {
+        let p = LooseProtocol::new(24);
+        assert_trace_identical_from(&p, &g, 0x5AB ^ u64::from(g.num_edges() as u32), 1500, 8_000);
+    }
+}
+
+#[test]
+fn ring_variant_trace_identical_from_arbitrary_starts() {
+    let g = families::cycle(48);
+    let p = RingLooseProtocol::for_ring(48);
+    for seed in [3u64, 17, 40] {
+        assert_trace_identical_from(&p, &g, seed, 1500, 8_000);
+    }
+}
+
+#[test]
+fn elect_and_hold_agree_across_engines() {
+    // τ = 2 keeps holds short, so the violation step itself (not just
+    // the election) is compared across engines within the budget.
+    let p = LooseProtocol::new(2);
+    for g in [families::clique(12), families::star(12)] {
+        let config = arbitrary_config(&p, 12, arbitrary_seed(5));
+        let compiled =
+            CompiledProtocol::compile_with_seeds(&p, 12, 64, &p.arbitrary_support()).unwrap();
+        let mut generic = Executor::new(&g, &p, 5);
+        let mut dense = popele::engine::DenseExecutor::new(&g, &compiled, 5);
+        let mut lazy = LazyDenseExecutor::new(&g, &p, 5);
+        generic.set_configuration(&config);
+        dense.set_configuration(&config);
+        lazy.set_configuration(&config);
+        let a = run_to_hold(&mut generic, 1 << 20);
+        let b = run_to_hold(&mut dense, 1 << 20);
+        let c = run_to_hold(&mut lazy, 1 << 20);
+        assert_eq!(a.result, b.result, "{g}");
+        assert_eq!(a.result, c.result, "{g}");
+        assert_eq!(a.holding, b.holding, "{g}");
+        assert_eq!(a.holding, c.holding, "{g}");
+        assert!(a.holding.hold_steps.is_some(), "{g}: τ=2 must be violated");
+    }
+}
+
+#[test]
+fn stabilize_trials_agree_across_engines_under_corrupt_bursts() {
+    // The acceptance scenario: arbitrary starts *and* corrupt bursts,
+    // all engines, per-trial results compared exactly.
+    let plan = FaultPlan::periodic(FaultKind::CorruptNodes { count: 6 }, 400, 400, 3);
+    let opts = TrialOptions {
+        trials: 5,
+        max_steps: 1 << 19,
+        census: true,
+        threads: 2,
+        ..TrialOptions::default()
+    };
+    for g in [families::clique(18), families::cycle(18)] {
+        let p = LooseProtocol::new(16);
+        let compiled =
+            CompiledProtocol::compile_with_seeds(&p, 18, 256, &p.arbitrary_support()).unwrap();
+        let generic = run_trials_stabilize(&g, &p, 77, opts, &plan);
+        let dense = run_trials_stabilize_dense(&g, &compiled, 77, opts, &plan);
+        let lazy = run_trials_stabilize_lazy(&g, &p, 77, opts, &plan);
+        let auto = run_trials_stabilize_auto(&g, &p, 77, opts, &plan);
+        assert_eq!(generic, dense, "{g}");
+        assert_eq!(generic, lazy, "{g}");
+        assert_eq!(generic, auto, "{g}");
+        for r in &generic {
+            let recovery = r.recovery.expect("burst plans attach recovery");
+            // Bounded re-election is the family's headline property:
+            // every trial re-elects after the last burst.
+            assert!(recovery.reconvergence_steps.is_some(), "{g} trial lost");
+            assert!(r.holding.is_some());
+        }
+    }
+}
+
+#[test]
+fn stabilize_trials_are_thread_and_shard_invariant() {
+    let g = families::torus(6, 6);
+    let p = LooseProtocol::new(12);
+    let opts = |first_trial, trials, threads| TrialOptions {
+        trials,
+        first_trial,
+        max_steps: 1 << 19,
+        census: false,
+        threads,
+    };
+    let whole = run_trials_stabilize_auto(&g, &p, 9, opts(0, 9, 1), &FaultPlan::empty());
+    let threaded = run_trials_stabilize_auto(&g, &p, 9, opts(0, 9, 4), &FaultPlan::empty());
+    assert_eq!(whole, threaded);
+    let mut sharded = Vec::new();
+    for (start, len) in [(0usize, 4usize), (4, 3), (7, 2)] {
+        sharded.extend(run_trials_stabilize_auto(
+            &g,
+            &p,
+            9,
+            opts(start, len, 2),
+            &FaultPlan::empty(),
+        ));
+    }
+    assert_eq!(whole, sharded);
+    assert_eq!(whole[5].trial, 5);
+}
+
+#[test]
+fn large_budgets_ride_the_lazy_engine_trace_identically() {
+    // τ = 2000 → 4002 states: past the AOT cap, but the state-space
+    // bound is declared, so selection picks the lazy engine — which
+    // must intern the arbitrary start states on first sight.
+    let p = LooseProtocol::new(2000);
+    assert!(
+        CompiledProtocol::compile_default(&p, 64).is_err(),
+        "large budgets must overflow the AOT cap"
+    );
+    assert_eq!(select_stabilize_engine(&p, 64), Engine::LazyDense);
+    let g = families::cycle(64);
+    let config = arbitrary_config(&p, 64, arbitrary_seed(21));
+    let mut generic = Executor::new(&g, &p, 21);
+    let mut lazy = LazyDenseExecutor::new(&g, &p, 21);
+    generic.set_configuration(&config);
+    lazy.set_configuration(&config);
+    for _ in 0..2000 {
+        assert_eq!(generic.step(), lazy.step());
+    }
+    generic.run_steps(10_000);
+    lazy.run_steps(10_000);
+    assert_eq!(generic.outcome(), lazy.outcome());
+    // The interner really did see states no clean run produces.
+    assert!(lazy.table().num_states() > 64);
+
+    let opts = TrialOptions {
+        trials: 3,
+        max_steps: 1 << 18,
+        threads: 1,
+        ..TrialOptions::default()
+    };
+    let auto = run_trials_stabilize_auto(&g, &p, 4, opts, &FaultPlan::empty());
+    assert!(auto.iter().all(|r| r.engine == Engine::LazyDense));
+    assert_eq!(
+        auto,
+        run_trials_stabilize(&g, &p, 4, opts, &FaultPlan::empty())
+    );
+}
+
+#[test]
+fn ring_variant_at_csr_scale_matches_generic() {
+    // n > 2¹⁶ pushes the dense engines onto the CSR edge decoder; the
+    // ring bound 2n = 140 000 states is far past the AOT cap, so this
+    // exercises lazy interning of a six-figure support at CSR sizes.
+    let n = 70_000;
+    let g = families::cycle(n);
+    let p = RingLooseProtocol::for_ring(n);
+    assert_eq!(select_stabilize_engine(&p, n), Engine::LazyDense);
+    let config = arbitrary_config(&p, n, arbitrary_seed(8));
+    let mut generic = Executor::new(&g, &p, 8);
+    let mut lazy = LazyDenseExecutor::new(&g, &p, 8);
+    generic.set_configuration(&config);
+    lazy.set_configuration(&config);
+    for _ in 0..1500 {
+        assert_eq!(generic.step(), lazy.step());
+    }
+    generic.run_steps(10_000);
+    lazy.run_steps(10_000);
+    for v in (0..n).step_by(997) {
+        assert_eq!(generic.states()[v as usize], *lazy.state_of(v));
+    }
+    assert_eq!(generic.outcome(), lazy.outcome());
+}
+
+#[test]
+fn holding_metrics_are_internally_consistent() {
+    let g = families::clique(16);
+    let p = LooseProtocol::new(8);
+    let results = run_trials_stabilize_auto(
+        &g,
+        &p,
+        13,
+        TrialOptions {
+            trials: 8,
+            max_steps: 1 << 19,
+            threads: 2,
+            ..TrialOptions::default()
+        },
+        &FaultPlan::empty(),
+    );
+    for r in &results {
+        let h = r.holding.expect("stabilize trials attach holding");
+        assert_eq!(h.elect_step, r.stabilization_step);
+        match (h.elect_step, h.hold_steps, h.held_to_budget) {
+            // Elected and violated: both phases fit the budget.
+            (Some(e), Some(hold), false) => assert!(e + hold <= 1 << 19),
+            // Elected, still holding at the budget (censored).
+            (Some(_), None, true) => {}
+            // Never elected.
+            (None, None, false) => assert!(r.stabilization_step.is_none()),
+            other => panic!("inconsistent holding metrics: {other:?}"),
+        }
+    }
+}

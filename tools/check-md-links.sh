@@ -7,6 +7,15 @@
 #     heading in the target file, using GitHub's slug rules (lowercase,
 #     spaces to dashes, punctuation dropped).
 #
+# Additionally verifies every backtick-quoted `path:line` anchor (the
+# concordance style of PROTOCOLS.md, e.g. `crates/core/src/token.rs:101`):
+# the file must exist and actually have that many lines. This is what
+# catches concordance rows whose file was split/renamed away (the
+# motivating bug: refs into the pre-split `crates/engine/src/compiled.rs`)
+# or whose target drifted past the end of the file. In-range line drift
+# within a live file is tolerated — the module paths are the stable part
+# of the concordance contract.
+#
 # External links (http/https/mailto) are intentionally skipped — CI and
 # the dev environment are offline. Usage:
 #
@@ -17,7 +26,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-FILES="${*:-README.md ARCHITECTURE.md BENCH.md PROTOCOLS.md}"
+FILES="${*:-README.md ARCHITECTURE.md BENCH.md PROTOCOLS.md CHANGES.md}"
 
 status=0
 
@@ -86,6 +95,25 @@ for file in $FILES; do
         fi
     done
     IFS=$old_ifs
+
+    # `path:line` anchors: the path part must exist and contain at
+    # least `line` lines. Matches backtick-quoted tokens with a file
+    # extension, a colon and a line number.
+    refs=$(grep -oE '`[A-Za-z0-9_./-]+\.[A-Za-z0-9]+:[0-9]+`' "$file" | tr -d '`' | sort -u || true)
+    for ref in $refs; do
+        ref_path=${ref%:*}
+        ref_line=${ref##*:}
+        if [ ! -f "$ref_path" ]; then
+            echo "$file: dangling path:line anchor (file missing): $ref" >&2
+            status=1
+            continue
+        fi
+        total=$(wc -l <"$ref_path")
+        if [ "$ref_line" -gt "$total" ]; then
+            echo "$file: dangling path:line anchor (only $total lines): $ref" >&2
+            status=1
+        fi
+    done
 done
 
 if [ "$status" -eq 0 ]; then
