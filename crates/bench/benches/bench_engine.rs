@@ -14,18 +14,31 @@
 //!   throughput of a full-scale fast-protocol instance on
 //!   `cycle(120000)` (CSR decoder). These are exactly the cells where
 //!   sweep campaigns used to fall back to the generic engine.
+//! * **count-based batch engine** ([`CountEngine`]): clique workloads at
+//!   populations no per-agent engine can represent — full fast-protocol
+//!   elections (clique-tuned parameters) at `n = 10⁷` and `n = 10⁸`,
+//!   and fixed-step token-protocol throughput at `n = 10⁹`.
+//!   These rows are *standalone* (no generic baseline): a clique at
+//!   `n = 10⁷` has ~5·10¹³ edges, so the graph-backed engines cannot
+//!   even construct the workload. The JSON reports absolute medians and
+//!   interactions/second instead of a speedup.
 //!
-//! All engines consume identical seed sequences, so they execute the
-//! exact same interaction sequences; the measured ratio is pure engine
-//! overhead. Besides the usual criterion output, this bench writes a
-//! machine-readable `BENCH_engine.json` baseline at the workspace root
-//! (medians, throughputs and speedups) so the perf trajectory of the
-//! engine can be tracked across commits.
+//! All racing engines consume identical seed sequences, so they execute
+//! the exact same interaction sequences; the measured ratio is pure
+//! engine overhead. Besides the usual criterion output, this bench
+//! writes a machine-readable `BENCH_engine.json` baseline at the
+//! workspace root (medians, throughputs and speedups) so the perf
+//! trajectory of the engine can be tracked across commits. Every
+//! workload in the manifest must produce its row — a rename that drops
+//! a measurement aborts the run instead of silently shrinking the
+//! baseline.
 
 use criterion::{black_box, take_measurements, BenchmarkId, Criterion, Measurement};
 use popele_core::params::{identifier_bits, FastParams};
 use popele_core::{FastProtocol, IdentifierProtocol, TokenProtocol};
-use popele_engine::{CompiledProtocol, DenseExecutor, Executor, LazyDenseExecutor};
+use popele_engine::{
+    compile_for_count, CompiledProtocol, CountEngine, DenseExecutor, Executor, LazyDenseExecutor,
+};
 use popele_graph::{families, Graph};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -37,6 +50,27 @@ const FIXED_STEPS: u64 = 2_000_000;
 /// JSON baseline (missing measurements are skipped, not errors).
 const FAST_STEPS_WORKLOAD: &str = "fast_cycle_120000";
 const ELECTION_MAX: u64 = u64::MAX;
+
+/// Count-tier workload names and populations, shared with
+/// `count_workloads` for the same rename protection as
+/// [`FAST_STEPS_WORKLOAD`].
+const COUNT_ELECTION_WORKLOAD: &str = "fast_clique_1e7";
+const COUNT_ELECTION_AGENTS: u64 = 10_000_000;
+const COUNT_ELECTION_1E8_WORKLOAD: &str = "fast_clique_1e8";
+const COUNT_ELECTION_1E8_AGENTS: u64 = 100_000_000;
+const COUNT_STEPS_WORKLOAD: &str = "token_clique_1e9";
+const COUNT_STEPS_AGENTS: u64 = 1_000_000_000;
+/// Step budget for count-tier elections, in parallel-time units.
+/// Clique-tuned fast elections finish in tens of parallel units
+/// (occasionally a few hundred when the last two contenders keep
+/// tying); the only way to exceed this budget is the `O(n^{-τ})`
+/// backup fallback, which at these populations must abort the bench
+/// loudly rather than grind through `Θ(n²)` token coalescence.
+const COUNT_ELECTION_PARALLEL_BUDGET: u64 = 2_000;
+/// Interactions per iteration of the count-tier throughput workload:
+/// large enough that epoch setup amortizes away (≈2000 batch epochs at
+/// `n = 10⁹`), small enough for sub-second iterations.
+const COUNT_FIXED_STEPS: u64 = 100_000_000;
 
 fn election_graphs() -> Vec<(&'static str, Graph)> {
     vec![
@@ -222,6 +256,63 @@ fn bench_fixed_steps(c: &mut Criterion) {
     group.finish();
 }
 
+/// Count-tier workloads: clique populations past every per-agent
+/// engine's reach. Elections run the fast protocol at its
+/// clique-tuned parameterization ([`FastParams::clique_tuned`] — the
+/// waiting phase is dead weight when every degree equals `n − 1`):
+/// full elections at `n = 10⁷` and `n = 10⁸` exercise the whole
+/// epoch/replay machinery down to the exact first-stable step.
+/// Fixed-step throughput of the 6-state token protocol at `n = 10⁹`
+/// isolates the batch samplers. Election seeds rotate across
+/// iterations, so the reported median is a median *over seeds* of the
+/// full election time — election lengths are heavy-tailed (a duel
+/// between the last two contenders restarts on every tie), and a
+/// single-seed median would hide that.
+fn bench_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/count");
+    group.sample_size(10);
+    for (name, agents) in [
+        (COUNT_ELECTION_WORKLOAD, COUNT_ELECTION_AGENTS),
+        (COUNT_ELECTION_1E8_WORKLOAD, COUNT_ELECTION_1E8_AGENTS),
+    ] {
+        let p = FastProtocol::new(FastParams::clique_tuned(
+            u32::try_from(agents).expect("count populations are 32-bit"),
+        ));
+        let compiled = compile_for_count(&p, agents).unwrap();
+        group.bench_with_input(BenchmarkId::new("count", name), &agents, |b, &n| {
+            let mut eng = CountEngine::new(&compiled, n, 0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = (seed % 8) + 1;
+                eng.reset(seed);
+                let out = eng
+                    .run_until_stable(n.saturating_mul(COUNT_ELECTION_PARALLEL_BUDGET))
+                    .expect("clique-tuned fast election hit the backup fallback");
+                black_box(out.stabilization_step)
+            });
+        });
+    }
+    {
+        let p = TokenProtocol::all_candidates();
+        let compiled = compile_for_count(&p, COUNT_STEPS_AGENTS).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("count", COUNT_STEPS_WORKLOAD),
+            &COUNT_STEPS_AGENTS,
+            |b, &n| {
+                let mut eng = CountEngine::new(&compiled, n, 0);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = (seed % 16) + 1;
+                    eng.reset(seed);
+                    eng.run_steps(COUNT_FIXED_STEPS);
+                    black_box(eng.leader_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn median_of<'a>(ms: &'a [Measurement], id: &str) -> Option<&'a Measurement> {
     ms.iter().find(|m| m.id == id)
 }
@@ -243,12 +334,33 @@ fn json_workloads() -> Vec<(&'static str, String, &'static str)> {
     rows
 }
 
+/// Count-tier rows: `(workload name, population, interactions per
+/// iteration)` — `None` for full elections, whose step count is
+/// workload-determined rather than fixed.
+fn count_workloads() -> Vec<(&'static str, u64, Option<u64>)> {
+    vec![
+        (COUNT_ELECTION_WORKLOAD, COUNT_ELECTION_AGENTS, None),
+        (COUNT_ELECTION_1E8_WORKLOAD, COUNT_ELECTION_1E8_AGENTS, None),
+        (
+            COUNT_STEPS_WORKLOAD,
+            COUNT_STEPS_AGENTS,
+            Some(COUNT_FIXED_STEPS),
+        ),
+    ]
+}
+
 /// Renders the collected measurements as the `BENCH_engine.json`
 /// baseline (flat JSON written by hand — the workspace is hermetic and
-/// carries no serde). Each workload row names the dense-tier engine it
+/// carries no serde). Each racing row names the dense-tier engine it
 /// raced against the generic baseline (`dense` = AOT-compiled, `lazy` =
-/// lazily-compiling) and keys the median under that engine's name.
-fn render_json(ms: &[Measurement]) -> String {
+/// lazily-compiling) and keys the median under that engine's name;
+/// count-tier rows are standalone (absolute median plus, for fixed-step
+/// workloads, interactions/second). Any manifest row whose measurement
+/// is missing is collected into the error list — the caller aborts on
+/// it, so a workload rename cannot silently drop a row from the
+/// baseline.
+fn render_json(ms: &[Measurement]) -> (String, Vec<String>) {
+    let mut missing = Vec::new();
     let mut out = String::from(
         "{\n  \"benchmark\": \"engine: generic executor vs compiled dense engines\",\n",
     );
@@ -258,6 +370,7 @@ fn render_json(ms: &[Measurement]) -> String {
         let generic = median_of(ms, &format!("{group}/generic/{name}"));
         let fast_path = median_of(ms, &format!("{group}/{engine}/{name}"));
         let (Some(generic), Some(fast_path)) = (generic, fast_path) else {
+            missing.push(format!("{group}/{name} ({engine})"));
             continue;
         };
         if !first {
@@ -272,8 +385,29 @@ fn render_json(ms: &[Measurement]) -> String {
             generic.median_ns, fast_path.median_ns, speedup
         );
     }
+    for (name, agents, fixed_steps) in count_workloads() {
+        let Some(m) = median_of(ms, &format!("engine/count/count/{name}")) else {
+            missing.push(format!("engine/count/{name} (count)"));
+            continue;
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"engine/count/{name}\", \"engine\": \"count\", \
+             \"num_agents\": {agents}, \"count_median_ns\": {:.0}",
+            m.median_ns
+        );
+        if let Some(steps) = fixed_steps {
+            let per_sec = steps as f64 / (m.median_ns / 1e9);
+            let _ = write!(out, ", \"steps_per_sec\": {per_sec:.0}");
+        }
+        out.push('}');
+    }
     out.push_str("\n  ]\n}\n");
-    out
+    (out, missing)
 }
 
 fn main() {
@@ -283,9 +417,14 @@ fn main() {
         .sample_size(30);
     bench_elections(&mut c);
     bench_fixed_steps(&mut c);
+    bench_count(&mut c);
 
     let ms = take_measurements();
-    let json = render_json(&ms);
+    let (json, missing) = render_json(&ms);
+    assert!(
+        missing.is_empty(),
+        "workload manifest rows without measurements (renamed bench?): {missing:?}"
+    );
     print!("{json}");
     // Workspace root: crates/bench/../..
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -226,17 +226,21 @@ pub struct FastOracle {
 
 impl FastOracle {
     fn add(&mut self, s: &FastState) {
+        self.add_many(s, 1);
+    }
+
+    fn add_many(&mut self, s: &FastState, count: usize) {
         match s.backup {
             Some(inner) => {
-                self.backup += 1;
+                self.backup += count;
                 if inner.candidate {
-                    self.backup_candidates += 1;
-                    self.leaders += 1;
+                    self.backup_candidates += count;
+                    self.leaders += count;
                 }
             }
             None => {
                 if s.status == Status::Leader {
-                    self.leaders += 1;
+                    self.leaders += count;
                 }
             }
         }
@@ -290,6 +294,14 @@ impl StabilityOracle<FastProtocol> for FastOracle {
         self.remove(old.1);
         self.add(new.0);
         self.add(new.1);
+    }
+
+    fn recompute_census(&mut self, _protocol: &FastProtocol, census: &[(FastState, u64)]) -> bool {
+        *self = Self::default();
+        for (s, count) in census {
+            self.add_many(s, *count as usize);
+        }
+        true
     }
 
     fn is_stable(&self) -> bool {

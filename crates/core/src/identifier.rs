@@ -28,7 +28,7 @@
 //! reaches it. Hence the oracle is exact.
 
 use crate::token::{TokenProtocol, TokenState};
-use popele_engine::{Protocol, Role, StabilityOracle};
+use popele_engine::{Protocol, Role, StabilityOracle, EFFECT_OPAQUE};
 use popele_graph::NodeId;
 use std::collections::HashMap;
 
@@ -249,6 +249,42 @@ impl StabilityOracle<IdentifierProtocol> for IdOracle {
     fn is_stable(&self) -> bool {
         self.generating == 0 && self.total_candidates == 1 && self.max_id_candidates == 1
     }
+
+    fn transition_effect(
+        &self,
+        _protocol: &IdentifierProtocol,
+        old: (&IdState, &IdState),
+        new: (&IdState, &IdState),
+    ) -> u64 {
+        // A transition leaves every counter untouched iff no candidate
+        // is involved on either side (so `total_candidates`, the
+        // `candidate_ids` map, and the `max_id_candidates` mirror never
+        // move), the number of still-generating participants is
+        // unchanged (so `generating` nets to zero), and no new
+        // identifier exceeds the running maximum. The first two are
+        // pure functions of the four states and fold into the summary;
+        // the maximum check is deferred to `effect_inert` because it
+        // depends on the oracle's current `max_id`. Identifiers fit in
+        // 63 bits (`k ≤ 62`), so `max(new ids)` never collides with
+        // [`EFFECT_OPAQUE`].
+        let gen = |s: &IdState| usize::from(s.id < self.threshold);
+        let candidate = old.0.inner.candidate
+            || old.1.inner.candidate
+            || new.0.inner.candidate
+            || new.1.inner.candidate;
+        if candidate || gen(new.0) + gen(new.1) != gen(old.0) + gen(old.1) {
+            return EFFECT_OPAQUE;
+        }
+        new.0.id.max(new.1.id)
+    }
+
+    fn effect_inert(&self, effect: u64) -> bool {
+        // `EFFECT_OPAQUE` is `u64::MAX`, which no 63-bit identifier
+        // reaches, so opaque summaries are never inert. Old identifiers
+        // never exceed `max_id` (it is monotone over every state ever
+        // added), so bounding the *new* ids is enough.
+        effect <= self.max_id
+    }
 }
 
 #[cfg(test)]
@@ -425,5 +461,66 @@ mod tests {
         let a = Executor::new(&g, &p, 4).run_until_stable(1 << 30).unwrap();
         let b = Executor::new(&g, &p, 4).run_until_stable(1 << 30).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inert_effects_leave_oracle_unchanged() {
+        // Differential check of the effect-summary contract the lazy
+        // engine relies on: whenever `effect_inert` vouches for a
+        // transition, applying it must leave the oracle bit-for-bit
+        // unchanged — and the inert path must actually trigger, or the
+        // test guards nothing.
+        use popele_engine::{EdgeScheduler, StabilityOracle};
+        let g = families::torus(6, 6);
+        let p = IdentifierProtocol::new(12);
+        let mut sched = EdgeScheduler::new(&g, 23);
+        let mut states: Vec<IdState> = (0..g.num_nodes()).map(|v| p.initial_state(v)).collect();
+        let mut oracle = p.oracle();
+        oracle.recompute(&p, &states);
+        let (mut inert, mut opaque) = (0u32, 0u32);
+        for _ in 0..20_000 {
+            let (a, b) = sched.next_pair();
+            let (ai, bi) = (a as usize, b as usize);
+            let (na, nb) = p.transition(&states[ai], &states[bi]);
+            let eff = oracle.transition_effect(&p, (&states[ai], &states[bi]), (&na, &nb));
+            if oracle.effect_inert(eff) {
+                let before = oracle.clone();
+                oracle.apply(&p, (&states[ai], &states[bi]), (&na, &nb));
+                assert_eq!(oracle, before, "inert transition changed the oracle");
+                inert += 1;
+            } else {
+                oracle.apply(&p, (&states[ai], &states[bi]), (&na, &nb));
+                opaque += 1;
+            }
+            states[ai] = na;
+            states[bi] = nb;
+        }
+        assert!(inert > 0, "inert path never exercised");
+        assert!(opaque > 0, "every transition classified inert");
+        // The incremental oracle must still agree with a fresh rebuild.
+        let mut rebuilt = p.oracle();
+        rebuilt.recompute(&p, &states);
+        assert_eq!(oracle, rebuilt);
+    }
+
+    #[test]
+    fn lazy_engine_matches_generic_through_inert_skip() {
+        // Trace-identity across the engine pair on the workload whose
+        // hot loop takes the inert-skip: same seed, same graph, same
+        // stabilization step and leader.
+        use popele_engine::LazyDenseExecutor;
+        let g = families::torus(8, 8);
+        let p = IdentifierProtocol::new(14);
+        let seq = SeedSeq::new(61);
+        for i in 0..4u64 {
+            let seed = seq.child(i);
+            let generic = Executor::new(&g, &p, seed)
+                .run_until_stable(1 << 30)
+                .unwrap();
+            let lazy = LazyDenseExecutor::new(&g, &p, seed)
+                .run_until_stable(1 << 30)
+                .unwrap();
+            assert_eq!(generic, lazy, "seed {seed}");
+        }
     }
 }

@@ -221,6 +221,17 @@ impl StabilityOracle<MajorityProtocol> for MajorityOracle {
         }
     }
 
+    fn recompute_census(&mut self, _p: &MajorityProtocol, census: &[(Opinion, u64)]) -> bool {
+        self.a_tokens = 0;
+        self.b_tokens = 0;
+        for (s, count) in census {
+            let (a, b) = Self::delta(s);
+            self.a_tokens += a * *count as usize;
+            self.b_tokens += b * *count as usize;
+        }
+        true
+    }
+
     fn is_stable(&self) -> bool {
         self.a_tokens == 0 || self.b_tokens == 0
     }

@@ -79,6 +79,34 @@ impl FastParams {
         Self::new(h.clamp(1, 60) as u8, big_l.max(1), 4)
     }
 
+    /// Clique-specialized constants for an `n`-clique.
+    ///
+    /// The waiting phase (levels below `L`) exists to eliminate
+    /// low-degree nodes, whose clocks tick too slowly to win — on a
+    /// clique every node has degree `n − 1`, so the phase buys nothing
+    /// and its `L = ⌈log₂ n⌉` levels at `≈ 2^h` parallel time each
+    /// dominate the election. This constructor collapses it: `L = 2`
+    /// (elimination starts at the first contested level), `h` stays at
+    /// the broadcast-matched `⌈log₂(B·Δ/m)⌉ = ⌈log₂(2·ln n)⌉`, and the
+    /// backup cap is held at `α·L = 2⌈log₂ n⌉` so the duel endgame has
+    /// the same `Θ(log n)` levels of headroom as the general
+    /// parameterization. Elections finish in `Θ(log n)` parallel time —
+    /// tens of units at `n = 10⁶`–`10⁸` — instead of the waiting
+    /// phase's hundreds; this is the configuration the count engine's
+    /// large-clique benchmarks run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn clique_tuned(n: u32) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        let ratio = (2.0 * f64::from(n).ln()).max(1.0);
+        let h = ratio.log2().ceil().max(1.0) as i64;
+        let log_n = f64::from(n).log2().ceil().max(1.0) as u32;
+        Self::new(h.clamp(1, 60) as u8, 2, log_n.max(2))
+    }
+
     /// The maximum level `α·L` at which nodes switch to the backup phase.
     #[must_use]
     pub fn max_level(&self) -> u32 {
@@ -157,6 +185,28 @@ mod tests {
         let p = FastParams::new(2, 3, 2);
         // (h+1)·(αL+1)·2·7 = 3·7·2·7 = 294.
         assert_eq!(p.state_space_bound(), 294);
+    }
+
+    #[test]
+    fn clique_tuned_collapses_the_waiting_phase() {
+        let p = FastParams::clique_tuned(10_000_000);
+        // 2·ln 10⁷ ≈ 32.2 → h = 6; L = 2; cap = 2·⌈log₂ 10⁷⌉ = 48.
+        assert_eq!(p.h, 6);
+        assert_eq!(p.big_l, 2);
+        assert_eq!(p.max_level(), 48);
+        // h matches the practical derivation for the same clique.
+        let n = 10_000_000u64;
+        let q = FastParams::practical(
+            n as f64 * (n as f64).ln(),
+            (n - 1) as u32,
+            (n * (n - 1) / 2) as usize,
+            n as u32,
+        );
+        assert_eq!(p.h, q.h);
+        assert!(p.max_level() <= q.max_level());
+        // Degenerate sizes stay constructible.
+        let tiny = FastParams::clique_tuned(2);
+        assert!(tiny.h >= 1 && tiny.max_level() >= 4);
     }
 
     #[test]

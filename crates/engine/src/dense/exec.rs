@@ -762,6 +762,15 @@ pub struct LazyDenseExecutor<'a, P: Protocol> {
     filled: usize,
     applied: u64,
     decoder: EdgeDecoder,
+    /// Reset snapshot: the initial configuration is seed-independent,
+    /// so the dense ids, the typed states feeding the oracle's
+    /// `recompute`, and the initial leader count are captured once and
+    /// replayed by [`Self::reset`] instead of re-interned per reset
+    /// (`initial_typed` stays empty for linear oracles, which need no
+    /// recompute). Rebuilt lazily if node churn changed the population.
+    initial_ids: Vec<LazyId>,
+    initial_typed: Vec<P::State>,
+    initial_leaders: i64,
 }
 
 impl<'a, P: Protocol + Clone> LazyDenseExecutor<'a, P> {
@@ -778,8 +787,12 @@ impl<'a, P: Protocol + Clone> LazyDenseExecutor<'a, P> {
             .collect();
         let mut oracle = protocol.oracle();
         let linear = oracle.stable_iff_unique_leader();
+        let typed: Vec<P::State> = if linear {
+            Vec::new()
+        } else {
+            ids.iter().map(|&id| table.state(id).clone()).collect()
+        };
         if !linear {
-            let typed: Vec<P::State> = ids.iter().map(|&id| table.state(id).clone()).collect();
             oracle.recompute(protocol, &typed);
         }
         let leaders = ids
@@ -790,6 +803,9 @@ impl<'a, P: Protocol + Clone> LazyDenseExecutor<'a, P> {
             graph,
             table,
             scheduler: EdgeScheduler::new(graph, seed),
+            initial_ids: ids.clone(),
+            initial_typed: typed,
+            initial_leaders: leaders,
             ids,
             oracle,
             linear,
@@ -858,17 +874,31 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
         self.applied
     }
 
+    /// Looks up (or on first sight evaluates) the successor of the id
+    /// pair `(a, b)` together with the cache slot of the memoized effect
+    /// summary (fetched on demand via [`LazyTable::cached_effect`] only
+    /// when the pair changes state), splitting the borrows so the
+    /// table's miss path can consult the oracle.
+    #[inline]
+    fn successor(&mut self, a: LazyId, b: LazyId) -> (LazyId, LazyId, i8, usize) {
+        let oracle = &self.oracle;
+        self.table
+            .successor_tracked(a, b, |protocol, sa, sb, sna, snb| {
+                oracle.transition_effect(protocol, (sa, sb), (sna, snb))
+            })
+    }
+
     /// Applies the ordered interaction `(u, v)` to the configuration.
     #[inline]
     fn apply_pair(&mut self, u: NodeId, v: NodeId) {
         let (iu, iv) = (u as usize, v as usize);
         let a = self.ids[iu];
         let b = self.ids[iv];
-        let (na, nb, delta) = self.table.successor(a, b);
+        let (na, nb, delta, slot) = self.successor(a, b);
         if (na, nb) != (a, b) {
             if self.linear {
                 self.leaders += i64::from(delta);
-            } else {
+            } else if !self.oracle.effect_inert(self.table.cached_effect(slot)) {
                 let states = &self.table.states;
                 self.oracle.apply(
                     &self.table.protocol,
@@ -902,41 +932,74 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
     /// Applies up to `budget` already-buffered interactions in one tight
     /// loop — after warm-up: two id reads, one (almost always one-probe)
     /// cache lookup, two id writes per interaction, with oracle/census
-    /// work only on the rare state-changing pairs.
+    /// work only on the rare state-changing pairs. For non-linear
+    /// oracles, the memoized effect summary skips the typed
+    /// [`StabilityOracle::apply`] — and the interner reads feeding it —
+    /// on changes the oracle vouches are inert: an inert application
+    /// changes no counter, so stability cannot flip and the stop check
+    /// is skipped along with it.
     fn apply_batch(&mut self, budget: usize, stop: Stop) {
-        let end = self.cursor + budget;
-        let mut i = self.cursor;
-        while i < end {
-            let (u, v) = self.pairs[i];
-            i += 1;
+        let start = self.cursor;
+        let end = start + budget;
+        // Split the borrows up front: iterating the drawn pairs as a
+        // slice (no per-step bounds check) with the table, oracle and
+        // ids borrowed disjointly keeps the loop invariants (`linear`,
+        // the slice bounds) in registers across the hot loop.
+        let Self {
+            table,
+            oracle,
+            ids,
+            census,
+            pairs,
+            leaders,
+            linear,
+            ..
+        } = self;
+        let linear = *linear;
+        let mut done = 0usize;
+        for &(u, v) in &pairs[start..end] {
+            done += 1;
             let (iu, iv) = (u as usize, v as usize);
-            let a = self.ids[iu];
-            let b = self.ids[iv];
-            let (na, nb, delta) = self.table.successor(a, b);
+            let a = ids[iu];
+            let b = ids[iv];
+            let (na, nb, delta, slot) =
+                table.successor_tracked(a, b, |protocol, sa, sb, sna, snb| {
+                    oracle.transition_effect(protocol, (sa, sb), (sna, snb))
+                });
             if (na, nb) != (a, b) {
-                if self.linear {
-                    self.leaders += i64::from(delta);
+                let mut check_stop = true;
+                if linear {
+                    *leaders += i64::from(delta);
+                } else if oracle.effect_inert(table.cached_effect(slot)) {
+                    check_stop = false;
                 } else {
-                    let states = &self.table.states;
-                    self.oracle.apply(
-                        &self.table.protocol,
+                    let states = &table.states;
+                    oracle.apply(
+                        &table.protocol,
                         (&states[a as usize], &states[b as usize]),
                         (&states[na as usize], &states[nb as usize]),
                     );
                 }
-                if let Some(census) = &mut self.census {
+                if let Some(census) = census.as_mut() {
                     census.mark(na);
                     census.mark(nb);
                 }
-                self.ids[iu] = na;
-                self.ids[iv] = nb;
-                if self.stop_now(stop) {
-                    break;
+                ids[iu] = na;
+                ids[iv] = nb;
+                if check_stop && !matches!(stop, Stop::Never) {
+                    let stable = if linear {
+                        *leaders == 1
+                    } else {
+                        oracle.is_stable()
+                    };
+                    if matches!(stop, Stop::Stable) == stable {
+                        break;
+                    }
                 }
             }
         }
-        self.applied += (i - self.cursor) as u64;
-        self.cursor = i;
+        self.applied += done as u64;
+        self.cursor = start + done;
     }
 
     /// Applies up to `budget` interactions through buffered pairs,
@@ -1004,17 +1067,6 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
         }
     }
 
-    /// Whether the `stop` condition holds right now (checked only after
-    /// state-changing interactions).
-    #[inline]
-    fn stop_now(&self, stop: Stop) -> bool {
-        match stop {
-            Stop::Never => false,
-            Stop::Stable => self.stable_now(),
-            Stop::Unstable => !self.stable_now(),
-        }
-    }
-
     /// Whether the oracle currently reports stability.
     #[must_use]
     pub fn is_stable(&self) -> bool {
@@ -1068,15 +1120,37 @@ impl<'a, P: Protocol> LazyDenseExecutor<'a, P> {
     /// executors instead.
     pub fn reset(&mut self, seed: u64) {
         let n = self.graph.num_nodes();
-        self.ids.clear();
-        for v in 0..n {
-            self.ids.push(self.table.initial_id(v));
+        if self.initial_ids.len() != n as usize {
+            // Node churn changed the population since the snapshot was
+            // taken; rebuild it for the current node count.
+            self.initial_ids.clear();
+            for v in 0..n {
+                let id = self.table.initial_id(v);
+                self.initial_ids.push(id);
+            }
+            if !self.linear {
+                self.initial_typed = self
+                    .initial_ids
+                    .iter()
+                    .map(|&id| self.table.state(id).clone())
+                    .collect();
+            }
+            self.initial_leaders = self
+                .initial_ids
+                .iter()
+                .filter(|&&id| self.table.role(id) == Role::Leader)
+                .count() as i64;
+        }
+        self.ids.clone_from(&self.initial_ids);
+        self.leaders = self.initial_leaders;
+        if !self.linear {
+            self.oracle
+                .recompute(&self.table.protocol, &self.initial_typed);
         }
         self.scheduler.reset(seed);
         self.cursor = 0;
         self.filled = 0;
         self.applied = 0;
-        self.resync_oracle();
         if self.census.is_some() {
             self.census = None;
             self.enable_state_census();

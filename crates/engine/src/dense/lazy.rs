@@ -24,7 +24,7 @@
 //! Monte-Carlo harness reuses one executor (and thus one warm cache) per
 //! worker thread.
 
-use crate::protocol::{Protocol, Role};
+use crate::protocol::{Protocol, Role, EFFECT_OPAQUE};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -45,8 +45,11 @@ pub const MAX_LAZY_STATES: usize = 1 << 30;
 const EMPTY: u64 = u64::MAX;
 
 /// One pair-cache slot: the packed pair key and the packed successor
-/// word, adjacent so a cache hit touches exactly one 16-byte entry
-/// (four per cache line) instead of gathering from parallel arrays.
+/// word — exactly 16 bytes, so entries never straddle a cache line (a
+/// 24-byte entry would, for every third slot, and election-scale caches
+/// outgrow L2, where the extra line per probe is the dominant cost).
+/// The oracle's effect summaries live in the parallel [`PairCache::effs`]
+/// array that the hot no-op path never touches.
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     key: u64,
@@ -61,6 +64,13 @@ struct Entry {
 #[derive(Debug, Clone)]
 struct PairCache {
     entries: Box<[Entry]>,
+    /// [`crate::StabilityOracle::transition_effect`] summaries, slot-
+    /// parallel to `entries` ([`EFFECT_OPAQUE`] where the oracle doesn't
+    /// classify, or where the pair was cached through the summary-less
+    /// [`LazyTable::successor`]). Split out so the 50–90% of hits that
+    /// are no-ops (or feed a linear oracle) read one 16-byte entry and
+    /// nothing else; state-changing hits fetch the summary on demand.
+    effs: Box<[u64]>,
     len: usize,
     mask: usize,
 }
@@ -88,6 +98,7 @@ impl PairCache {
     fn new() -> Self {
         Self {
             entries: vec![Entry { key: EMPTY, val: 0 }; Self::INITIAL_CAPACITY].into_boxed_slice(),
+            effs: vec![EFFECT_OPAQUE; Self::INITIAL_CAPACITY].into_boxed_slice(),
             len: 0,
             mask: Self::INITIAL_CAPACITY - 1,
         }
@@ -102,24 +113,31 @@ impl PairCache {
         (h >> 32) as usize & self.mask
     }
 
+    /// Looks `key` up, returning the packed successor word and the slot
+    /// index holding it (for an on-demand [`PairCache::effs`] read).
     #[inline]
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: u64) -> Option<(u64, usize)> {
+        let m = self.mask;
+        // Reslicing to exactly `mask + 1` entries lets the compiler see
+        // that every masked index is in bounds, eliding the per-probe
+        // bounds check in the engines' hottest loop.
+        let entries = &self.entries[..=m];
         let mut i = self.slot(key);
         loop {
-            let e = self.entries[i];
+            let e = entries[i & m];
             if e.key == key {
-                return Some(e.val);
+                return Some((e.val, i & m));
             }
             if e.key == EMPTY {
                 return None;
             }
-            i = (i + 1) & self.mask;
+            i = (i + 1) & m;
         }
     }
 
     /// Inserts a key known to be absent, growing first if the load
-    /// factor would exceed ~⅞.
-    fn insert(&mut self, key: u64, val: u64) {
+    /// factor would exceed ~⅞. Returns the slot the entry landed in.
+    fn insert(&mut self, key: u64, val: u64, eff: u64) -> usize {
         if (self.len + 1) * 8 > self.entries.len() * 7 {
             self.grow();
         }
@@ -129,28 +147,38 @@ impl PairCache {
             i = (i + 1) & self.mask;
         }
         self.entries[i] = Entry { key, val };
+        self.effs[i] = eff;
         self.len += 1;
+        i
     }
 
     fn grow(&mut self) {
         let new_cap = self.entries.len() * 2;
-        let old = std::mem::replace(
+        let old_entries = std::mem::replace(
             &mut self.entries,
             vec![Entry { key: EMPTY, val: 0 }; new_cap].into_boxed_slice(),
         );
+        let old_effs = std::mem::replace(
+            &mut self.effs,
+            vec![EFFECT_OPAQUE; new_cap].into_boxed_slice(),
+        );
         self.mask = new_cap - 1;
-        for e in old.iter().filter(|e| e.key != EMPTY) {
+        for (e, &eff) in old_entries.iter().zip(&old_effs) {
+            if e.key == EMPTY {
+                continue;
+            }
             let mut j = self.slot(e.key);
             while self.entries[j].key != EMPTY {
                 j = (j + 1) & self.mask;
             }
             self.entries[j] = *e;
+            self.effs[j] = eff;
         }
     }
 
-    /// Bytes currently held by the cache array.
+    /// Bytes currently held by the cache arrays.
     fn bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<Entry>()
+        self.entries.len() * (std::mem::size_of::<Entry>() + std::mem::size_of::<u64>())
     }
 }
 
@@ -346,32 +374,77 @@ impl<P: Protocol> LazyTable<P> {
 
     /// Successor pair and leader-count delta of the ordered interaction
     /// `(a, b)` — a one-probe, one-cache-line hit after the first
-    /// evaluation.
+    /// evaluation. Memoizes an [`EFFECT_OPAQUE`] effect summary; callers
+    /// that use summaries go through [`Self::successor_tracked`] instead.
     #[inline]
     pub fn successor(&mut self, a: LazyId, b: LazyId) -> (LazyId, LazyId, i8) {
+        let (na, nb, delta, _) = self.successor_tracked(a, b, |_, _, _, _, _| EFFECT_OPAQUE);
+        (na, nb, delta)
+    }
+
+    /// Like [`Self::successor`], but also returns the cache slot holding
+    /// the transition's memoized oracle effect summary, for an on-demand
+    /// fetch through [`Self::cached_effect`]. Splitting the fetch off
+    /// keeps the hot no-op path to a single 16-byte entry read; only the
+    /// rarer state-changing hits pay for the summary line. `eff_of`
+    /// computes the summary (from the protocol, the old state pair, and
+    /// the new state pair) the first time the pair is evaluated.
+    ///
+    /// The returned slot is invalidated by the next cache miss (an
+    /// insert can grow and rehash the table): read it before the next
+    /// `successor*` call.
+    #[inline]
+    pub fn successor_tracked(
+        &mut self,
+        a: LazyId,
+        b: LazyId,
+        eff_of: impl FnOnce(&P, &P::State, &P::State, &P::State, &P::State) -> u64,
+    ) -> (LazyId, LazyId, i8, usize) {
         let key = pair_key(a, b);
-        if let Some(val) = self.cache.get(key) {
-            unpack_val(val)
+        if let Some((val, slot)) = self.cache.get(key) {
+            let (na, nb, delta) = unpack_val(val);
+            (na, nb, delta, slot)
         } else {
-            self.fill(a, b, key)
+            self.fill(a, b, key, eff_of)
         }
+    }
+
+    /// The memoized effect summary in `slot`, as returned by the last
+    /// [`Self::successor_tracked`] call.
+    #[inline]
+    #[must_use]
+    pub fn cached_effect(&self, slot: usize) -> u64 {
+        self.cache.effs[slot]
     }
 
     /// Cache-miss path: evaluate the typed transition, intern the
     /// successors, memoize. Out of line so the hit path stays small
     /// enough to inline into the hot loop.
     #[cold]
-    fn fill(&mut self, a: LazyId, b: LazyId, key: u64) -> (LazyId, LazyId, i8) {
+    fn fill(
+        &mut self,
+        a: LazyId,
+        b: LazyId,
+        key: u64,
+        eff_of: impl FnOnce(&P, &P::State, &P::State, &P::State, &P::State) -> u64,
+    ) -> (LazyId, LazyId, i8, usize) {
         let (sa, sb) = self
             .protocol
             .transition(&self.states[a as usize], &self.states[b as usize]);
+        let eff = eff_of(
+            &self.protocol,
+            &self.states[a as usize],
+            &self.states[b as usize],
+            &sa,
+            &sb,
+        );
         let na = self.intern(&sa);
         let nb = self.intern(&sb);
         let leader = |r: &Self, id: LazyId| i8::from(r.roles[id as usize] == Role::Leader);
         let delta = leader(self, na) + leader(self, nb) - leader(self, a) - leader(self, b);
         let val = (u64::from((delta + 2) as u8) << 60) | pair_key(na, nb);
-        self.cache.insert(key, val);
-        (na, nb, delta)
+        let slot = self.cache.insert(key, val, eff);
+        (na, nb, delta, slot)
     }
 }
 

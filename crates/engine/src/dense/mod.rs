@@ -26,6 +26,12 @@
 //! * [`exec`] — the executors ([`DenseExecutor`], [`LazyDenseExecutor`])
 //!   mirroring [`crate::Executor`] exactly: same scheduler, same seed
 //!   handling, same oracle semantics, same [`crate::Outcome`]s.
+//! * [`count`] — the **count-based batch engine** ([`CountEngine`]):
+//!   clique-only, stores a `u64` count per compiled state instead of a
+//!   per-agent configuration and draws interactions in collision-free
+//!   `O(√n)` batches from the counts alone, reaching populations
+//!   (`10⁷–10⁹`) no per-agent engine can represent. Exact in
+//!   distribution rather than trace-identical — see its module docs.
 //!
 //! # Three engines, one contract
 //!
@@ -35,11 +41,15 @@
 //! [`crate::monte_carlo::run_trials_auto`] exploits it to pick the
 //! fastest applicable engine per workload without ever changing results.
 
+pub mod count;
 pub mod decoder;
 pub mod exec;
 pub mod lazy;
 pub mod table;
 
+pub use count::{
+    compile_for_count, count_supported, CountEngine, COUNT_MAX_COMPILED_STATES, COUNT_MIN_AGENTS,
+};
 pub use decoder::{DecoderKind, DECODER_MAX_EDGES, PACKED_MAX_NODES};
 pub use exec::{DenseExecutor, LazyDenseExecutor};
 pub use lazy::{LazyId, LazyTable};

@@ -107,12 +107,13 @@ pub mod monte_carlo;
 pub mod stabilize;
 
 pub use dense::{
-    CompileError, CompiledProtocol, DenseExecutor, LazyDenseExecutor, LazyTable, StateId,
+    compile_for_count, count_supported, CompileError, CompiledProtocol, CountEngine, DenseExecutor,
+    LazyDenseExecutor, LazyTable, StateId, COUNT_MAX_COMPILED_STATES, COUNT_MIN_AGENTS,
     DEFAULT_MAX_COMPILED_STATES,
 };
 pub use executor::{Executor, NotStabilized, Outcome};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, ResolvedFaultPlan};
 pub use monte_carlo::Engine;
-pub use protocol::{LeaderCountOracle, Protocol, Role, StabilityOracle};
+pub use protocol::{LeaderCountOracle, Protocol, Role, StabilityOracle, EFFECT_OPAQUE};
 pub use scheduler::EdgeScheduler;
 pub use stabilize::{ArbitraryInit, HoldingTime};

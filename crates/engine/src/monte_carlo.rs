@@ -5,18 +5,25 @@
 //! Trial `i` of a given master seed always produces the same result
 //! regardless of thread count, so experiment outputs are reproducible.
 //!
-//! Four entry points share that contract:
+//! Five entry points share that contract:
 //!
 //! * [`run_trials`] — the generic reference engine ([`Executor`]);
 //! * [`run_trials_dense`] — the ahead-of-time compiled engine
 //!   ([`crate::DenseExecutor`]) over a shared [`CompiledProtocol`] table;
 //! * [`run_trials_lazy`] — the lazily-compiling dense engine
 //!   ([`crate::LazyDenseExecutor`]), one warm pair cache per worker;
-//! * [`run_trials_auto`] — the three-way selection point
-//!   (AOT-compiled → lazy-compiled → generic, see [`select_engine`]).
-//!   Because all engines are trace-identical per seed, the choice never
-//!   changes the results, only the wall-clock time; the choice made is
-//!   recorded in [`TrialResult::engine`].
+//! * [`run_trials_count`] — the clique-only count-based batch engine
+//!   ([`crate::CountEngine`]), graph-free: the population size alone
+//!   describes the clique, which is what lets it reach `10⁷–10⁹`
+//!   agents. Deterministic per seed like the others, but exact in
+//!   *distribution* rather than trace-identical to them;
+//! * [`run_trials_auto`] — the three-way selection point over the
+//!   sequential engines (AOT-compiled → lazy-compiled → generic, see
+//!   [`select_engine`]); [`select_engine_clique`] extends the waterfall
+//!   with the count tier for graph-free clique populations. Among the
+//!   sequential engines the choice never changes the results, only the
+//!   wall-clock time; the choice made is recorded in
+//!   [`TrialResult::engine`].
 //!
 //! Each entry point has a `*_with_faults` counterpart taking a
 //! [`FaultPlan`] (see [`crate::faults`]): per-trial fault realizations
@@ -27,8 +34,8 @@
 
 use crate::dense::table::{overflow_walk, WalkVerdict};
 use crate::dense::{
-    CompiledProtocol, DenseExecutor, LazyDenseExecutor, DEFAULT_MAX_COMPILED_STATES,
-    PROBE_EVAL_BUDGET,
+    compile_for_count, count_supported, CompiledProtocol, CountEngine, DenseExecutor,
+    LazyDenseExecutor, COUNT_MIN_AGENTS, DEFAULT_MAX_COMPILED_STATES, PROBE_EVAL_BUDGET,
 };
 use crate::executor::Executor;
 use crate::faults::{fault_seed, run_with_faults, FaultPlan, Recovery};
@@ -43,10 +50,14 @@ use std::sync::Mutex;
 
 /// Which simulation engine executed a trial (or batch of trials).
 ///
-/// Provenance metadata: all engines are trace-identical per seed, so the
-/// tag never affects the observable result — and accordingly it is
-/// **excluded from [`TrialResult`]'s equality**, which is what lets
-/// differential tests assert `generic_results == lazy_results` directly.
+/// Provenance metadata: the three sequential engines are trace-identical
+/// per seed, so the tag never affects the observable result — and
+/// accordingly it is **excluded from [`TrialResult`]'s equality**, which
+/// is what lets differential tests assert
+/// `generic_results == lazy_results` directly. The count engine is the
+/// exception: it is exact in *distribution* only (its random stream is
+/// consumed batch-wise), so its trials are compared to the sequential
+/// engines statistically, never per seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// The generic reference [`Executor`] (typed states, per-step
@@ -58,6 +69,11 @@ pub enum Engine {
     /// The lazily-compiling [`crate::LazyDenseExecutor`] (`u32` ids,
     /// on-demand pair cache).
     LazyDense,
+    /// The count-based batch engine ([`crate::CountEngine`]):
+    /// clique-only, `u64` count per compiled state, collision-free
+    /// `O(√n)` interaction batches. Exact in distribution rather than
+    /// trace-identical (see [`crate::dense::count`]).
+    Count,
 }
 
 impl Engine {
@@ -68,6 +84,7 @@ impl Engine {
             Engine::Generic => "generic",
             Engine::Dense => "dense",
             Engine::LazyDense => "lazy",
+            Engine::Count => "count",
         }
     }
 }
@@ -398,6 +415,68 @@ pub fn run_trials_lazy<P: Protocol + Clone>(
     fan_out(options.trials, threads, fresh_executor, run_one)
 }
 
+/// Runs `options.trials` independent executions on the count-based
+/// batch engine over a **clique** of `num_agents` agents.
+///
+/// Graph-free: a clique is fully described by its population size, and
+/// the count engine holds only `O(|Λ|)` counters, so `num_agents` may
+/// far exceed what any materialized [`Graph`] (or per-agent engine)
+/// could represent — this is the `10⁷–10⁹` entry point. Each worker
+/// thread builds **one** [`CountEngine`] over a shared compiled table
+/// and [`CountEngine::reset`]s it per trial (`O(|Λ|)`, reusing the
+/// cached initial count vector), mirroring the per-worker executor
+/// reuse of [`run_trials_dense`].
+///
+/// Seed derivation matches [`run_trials`] exactly (child seed
+/// `first_trial + i` of `master_seed`), so results are deterministic
+/// and independent of thread count and sharding. They are **not**
+/// trace-identical to the sequential engines — the count engine
+/// consumes its random stream batch-wise — but exact in distribution;
+/// the workspace pins this with statistical differential tests.
+///
+/// [`TrialResult::leader`] is always `None` (agents have no identity
+/// in count space) and [`TrialResult::engine`] is [`Engine::Count`].
+///
+/// # Panics
+///
+/// Panics if the protocol's oracle is neither linear nor
+/// census-capable (pre-check with [`count_supported`]), if its state
+/// space exceeds [`crate::dense::COUNT_MAX_COMPILED_STATES`], or if `num_agents` is
+/// below 2 or above `u32::MAX`.
+#[must_use]
+pub fn run_trials_count<P: Protocol + Clone>(
+    protocol: &P,
+    num_agents: u64,
+    master_seed: u64,
+    options: TrialOptions,
+) -> Vec<TrialResult> {
+    let compiled = compile_for_count(protocol, num_agents)
+        .expect("protocol state space exceeds the count-engine compile cap");
+    let seq = SeedSeq::new(master_seed);
+    let threads = resolve_threads(options.threads, options.trials);
+
+    let run_one = |engine: &mut CountEngine<'_, P>, trial: usize| -> TrialResult {
+        let trial = options.first_trial + trial;
+        engine.reset(seq.child(trial as u64));
+        let (stabilization_step, distinct) = match engine.run_until_stable(options.max_steps) {
+            Ok(outcome) => (Some(outcome.stabilization_step), outcome.distinct_states),
+            Err(_) => (None, Some(engine.distinct_states())),
+        };
+        TrialResult {
+            trial,
+            stabilization_step,
+            leader: None,
+            distinct_states: if options.census { distinct } else { None },
+            recovery: None,
+            holding: None,
+            engine: Engine::Count,
+        }
+    };
+    let fresh_engine = || CountEngine::new(&compiled, num_agents, 0);
+
+    fan_out(options.trials, threads, fresh_engine, run_one)
+}
+
 /// Outcome of the internal engine selection: the compiled table rides
 /// along when the AOT path won, so `run_trials_auto` never compiles
 /// twice. Shared with [`crate::stabilize`]'s seeded selection.
@@ -486,6 +565,57 @@ pub fn select_engine<P: Protocol + Clone>(protocol: &P, num_nodes: u32) -> Engin
         Selected::Lazy => Engine::LazyDense,
         Selected::Generic => Engine::Generic,
     }
+}
+
+/// The fourth tier of the engine waterfall, for **clique** populations
+/// described by size alone (no materialized [`Graph`]): picks
+/// [`Engine::Count`] when the population is at least
+/// [`COUNT_MIN_AGENTS`], the oracle is count-capable
+/// ([`count_supported`]) and the state space compiles within
+/// [`crate::dense::COUNT_MAX_COMPILED_STATES`]; otherwise falls back to the
+/// sequential waterfall of [`select_engine`].
+///
+/// The count tier is deliberately reachable only through this
+/// clique-specific entry point: [`run_trials_auto`] takes a
+/// materialized graph, and no materializable clique reaches
+/// [`COUNT_MIN_AGENTS`] edges-wise, so the sequential engines'
+/// trace-identity contract is untouched.
+///
+/// # Examples
+///
+/// ```
+/// use popele_engine::monte_carlo::{select_engine_clique, Engine};
+/// # use popele_engine::{LeaderCountOracle, Protocol, Role};
+/// # #[derive(Clone, Copy)]
+/// # struct Absorb;
+/// # impl Protocol for Absorb {
+/// #     type State = bool;
+/// #     type Oracle = LeaderCountOracle;
+/// #     fn initial_state(&self, _node: u32) -> bool { true }
+/// #     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+/// #         if *a && *b { (true, false) } else { (*a, *b) }
+/// #     }
+/// #     fn output(&self, s: &Self::State) -> Role {
+/// #         if *s { Role::Leader } else { Role::Follower }
+/// #     }
+/// #     fn oracle(&self) -> LeaderCountOracle { LeaderCountOracle::new() }
+/// # }
+///
+/// // Small cliques stay on the sequential engines …
+/// assert_eq!(select_engine_clique(&Absorb, 1_000), Engine::Dense);
+/// // … huge ones take the count tier.
+/// assert_eq!(select_engine_clique(&Absorb, 100_000_000), Engine::Count);
+/// ```
+#[must_use]
+pub fn select_engine_clique<P: Protocol + Clone>(protocol: &P, num_agents: u64) -> Engine {
+    if num_agents >= COUNT_MIN_AGENTS
+        && num_agents <= u64::from(u32::MAX)
+        && count_supported(protocol)
+        && compile_for_count(protocol, num_agents).is_ok()
+    {
+        return Engine::Count;
+    }
+    select_engine(protocol, u32::try_from(num_agents).unwrap_or(u32::MAX))
 }
 
 /// Runs trials on the fastest applicable engine: AOT-compiled when

@@ -76,6 +76,60 @@ pub trait StabilityOracle<P: Protocol + ?Sized> {
     /// Whether the watched configuration is stable with a unique leader.
     fn is_stable(&self) -> bool;
 
+    /// Rebuilds the oracle's counters from a **census** — one
+    /// `(state, multiplicity)` entry per distinct state — instead of a
+    /// full per-node configuration, returning whether the oracle
+    /// supports census evaluation at all.
+    ///
+    /// The count-based batch engine stores only a count vector over the
+    /// compiled states and can never materialize a `&[P::State]`
+    /// configuration at `n = 10⁸`, so it checks stability through this
+    /// entry point. The default returns `false` (leaving the oracle
+    /// untouched), which marks the protocol as ineligible for the count
+    /// engine; override it exactly when the oracle's invariant is a
+    /// function of per-state multiplicities alone, and make the verdict
+    /// identical to `recompute` over any configuration with that census.
+    fn recompute_census(&mut self, protocol: &P, census: &[(P::State, u64)]) -> bool {
+        let _ = (protocol, census);
+        false
+    }
+
+    /// Summarizes a transition's effect on this oracle as one opaque
+    /// word, or [`EFFECT_OPAQUE`] (the default) when no summary exists.
+    ///
+    /// The lazily-compiling engine caches the summary next to each
+    /// memoized pair transition and consults
+    /// [`StabilityOracle::effect_inert`] on every replay, skipping the
+    /// typed [`StabilityOracle::apply`] — and the state-table reads
+    /// feeding it — whenever the oracle vouches that the application
+    /// would change nothing. The summary **must be a pure function of
+    /// the four states** (it is computed once per distinct transition
+    /// and reused across the whole execution, including after
+    /// [`StabilityOracle::recompute`] resets), and any summary for
+    /// which `effect_inert` can ever return true must describe a
+    /// transition whose `apply` leaves the oracle's observable state
+    /// exactly unchanged whenever that verdict is given.
+    fn transition_effect(
+        &self,
+        protocol: &P,
+        old: (&P::State, &P::State),
+        new: (&P::State, &P::State),
+    ) -> u64 {
+        let _ = (protocol, old, new);
+        EFFECT_OPAQUE
+    }
+
+    /// Whether applying a transition with the given
+    /// [`StabilityOracle::transition_effect`] summary right now would
+    /// leave this oracle bit-for-bit unchanged. May consult the
+    /// oracle's current counters; the engine re-asks before every
+    /// skipped application, so the verdict need not be monotone. The
+    /// default never skips.
+    fn effect_inert(&self, effect: u64) -> bool {
+        let _ = effect;
+        false
+    }
+
     /// Whether this oracle's verdict is *exactly* "exactly one node
     /// outputs [`Role::Leader`]" — true for [`LeaderCountOracle`] and
     /// false (the default) for oracles tracking anything more.
@@ -90,6 +144,13 @@ pub trait StabilityOracle<P: Protocol + ?Sized> {
         false
     }
 }
+
+/// Effect summary returned by [`StabilityOracle::transition_effect`]
+/// when the oracle does not classify the transition: the engine must
+/// fall back to a typed [`StabilityOracle::apply`]. The default
+/// implementations return this value and never deem it inert, so
+/// oracles that don't opt in keep exact behaviour.
+pub const EFFECT_OPAQUE: u64 = u64::MAX;
 
 /// Oracle for protocols in which **every reachable configuration with
 /// exactly one leader output is stable**.
@@ -139,6 +200,15 @@ impl<P: Protocol> StabilityOracle<P> for LeaderCountOracle {
                 self.leaders += 1;
             }
         }
+    }
+
+    fn recompute_census(&mut self, protocol: &P, census: &[(P::State, u64)]) -> bool {
+        self.leaders = census
+            .iter()
+            .filter(|(s, _)| protocol.output(s) == Role::Leader)
+            .map(|(_, count)| *count as usize)
+            .sum();
+        true
     }
 
     fn is_stable(&self) -> bool {

@@ -74,6 +74,47 @@ fn parse_list<T>(raw: &str, parse_one: impl Fn(&str) -> Option<T>) -> Vec<T> {
     }
 }
 
+/// Parses one population size for `--sizes`.
+///
+/// Count-engine grids reach `10⁷–10⁹`, where plain digit strings are
+/// unreadable, so two spellings are accepted besides bare decimals:
+/// underscore separators (`10_000_000`) and scientific notation (`1e7`,
+/// `2.5e8`). A size must be an integer, at least 4 (the smallest
+/// population the graph families generate) and at most `u32::MAX` (node
+/// ids are 32-bit); anything else is a descriptive error, not a panic —
+/// billion-agent grids are typed by hand.
+fn parse_size(raw: &str) -> Result<u32, String> {
+    const MAX: u64 = u32::MAX as u64;
+    let digits: String = raw.chars().filter(|&c| c != '_').collect();
+    let value = if digits.contains(['e', 'E']) {
+        let f: f64 = digits
+            .parse()
+            .map_err(|_| format!("size {raw:?} is not a number"))?;
+        if !(f.is_finite() && f.fract() == 0.0) {
+            return Err(format!("size {raw:?} is not an integer"));
+        }
+        if f < 0.0 || f > MAX as f64 {
+            return Err(format!(
+                "size {raw:?} exceeds the 32-bit node-id limit ({MAX})"
+            ));
+        }
+        f as u64
+    } else {
+        digits
+            .parse::<u64>()
+            .map_err(|_| format!("size {raw:?} is not a number"))?
+    };
+    if value > MAX {
+        return Err(format!(
+            "size {raw:?} exceeds the 32-bit node-id limit ({MAX})"
+        ));
+    }
+    if value < 4 {
+        return Err(format!("size {raw:?} is below the minimum population 4"));
+    }
+    Ok(value as u32)
+}
+
 /// Runs `popele-lab sweep ...`.
 fn sweep_main(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut spec = SweepSpec::default();
@@ -107,10 +148,13 @@ fn sweep_main(mut args: impl Iterator<Item = String>) -> ExitCode {
             "--families" => spec.families = parse_list(&value("--families"), Family::parse),
             "--faults" => spec.faults = parse_list(&value("--faults"), FaultSpec::parse),
             "--sizes" => {
-                // Workload sizes start at 4 (`Family::generate` asserts
-                // it); reject smaller ones here as a usage error.
-                spec.sizes = parse_list(&value("--sizes"), |s| {
-                    s.parse().ok().filter(|&n: &u32| n >= 4)
+                let raw = value("--sizes");
+                spec.sizes = parse_list(&raw, |s| match parse_size(s) {
+                    Ok(n) => Some(n),
+                    Err(e) => {
+                        eprintln!("--sizes: {e}");
+                        None
+                    }
                 });
             }
             "--trials" => {
@@ -276,4 +320,53 @@ fn main() -> ExitCode {
         println!("# {id} finished in {:.1?}", started.elapsed());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_size;
+
+    #[test]
+    fn plain_and_separated_decimals() {
+        assert_eq!(parse_size("4"), Ok(4));
+        assert_eq!(parse_size("80000"), Ok(80_000));
+        assert_eq!(parse_size("10_000_000"), Ok(10_000_000));
+        assert_eq!(parse_size("1_000_000_000"), Ok(1_000_000_000));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(parse_size("1e7"), Ok(10_000_000));
+        assert_eq!(parse_size("1E9"), Ok(1_000_000_000));
+        assert_eq!(parse_size("2.5e8"), Ok(250_000_000));
+        assert_eq!(parse_size("4e0"), Ok(4));
+    }
+
+    #[test]
+    fn overflow_is_a_clear_error_not_a_panic() {
+        for raw in ["1e10", "50e9", "5_000_000_000", "18446744073709551616"] {
+            let err = parse_size(raw).expect_err(raw);
+            assert!(
+                err.contains("32-bit") || err.contains("not a number"),
+                "unhelpful error for {raw:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_integers_and_garbage_are_rejected() {
+        assert!(parse_size("1.5e0").unwrap_err().contains("not an integer"));
+        assert!(parse_size("nan").unwrap_err().contains("not a number"));
+        assert!(parse_size("inf").unwrap_err().contains("not a number"));
+        assert!(parse_size("").unwrap_err().contains("not a number"));
+        assert!(parse_size("-8").unwrap_err().contains("not a number"));
+    }
+
+    #[test]
+    fn tiny_populations_are_rejected() {
+        assert!(parse_size("3").unwrap_err().contains("minimum population"));
+        assert!(parse_size("0e5")
+            .unwrap_err()
+            .contains("minimum population"));
+    }
 }

@@ -1,6 +1,6 @@
 //! Engine comparison: the generic reference executor vs the dense
-//! engines (ahead-of-time compiled and lazily compiled), on the same
-//! protocol/graph/seed workloads.
+//! engines (ahead-of-time compiled, lazily compiled, and count-based),
+//! on the same protocol/graph/seed workloads.
 //!
 //! This experiment serves two purposes:
 //!
@@ -21,10 +21,13 @@
 
 use crate::report::{fmt_num, Table};
 use crate::RunConfig;
-use popele_core::params::identifier_bits;
-use popele_core::{IdentifierProtocol, MajorityProtocol, TokenProtocol};
+use popele_core::params::{identifier_bits, FastParams};
+use popele_core::{FastProtocol, IdentifierProtocol, MajorityProtocol, TokenProtocol};
 use popele_engine::monte_carlo::{select_engine, Engine};
-use popele_engine::{CompiledProtocol, DenseExecutor, Executor, LazyDenseExecutor, Protocol};
+use popele_engine::{
+    compile_for_count, CompiledProtocol, CountEngine, DenseExecutor, Executor, LazyDenseExecutor,
+    Protocol,
+};
 use popele_graph::{families, Graph};
 use popele_math::rng::SeedSeq;
 use std::time::Instant;
@@ -89,6 +92,58 @@ fn race<P: Protocol + Clone>(
     (generic_ns, dense_ns, states, steps, equal)
 }
 
+/// Times the generic engine against the graph-free [`CountEngine`] on a
+/// clique of `n` nodes. The count engine is exact in *distribution*
+/// only — no trace identity — so `equal` here means every trial on both
+/// sides stabilized to a unique leader; the step-count *law* itself is
+/// pinned by the distribution-level differential tests in the engine
+/// crate. Returns `(generic_ns, count_ns, states, generic_steps,
+/// count_steps, equal)` — two step totals, because the sides take
+/// different (equidistributed) trajectories.
+fn race_count<P: Protocol + Clone>(
+    n: u32,
+    p: &P,
+    master_seed: u64,
+    trials: usize,
+) -> (f64, f64, usize, u64, u64, bool) {
+    let g = families::clique(n);
+    let seq = SeedSeq::new(master_seed);
+    let compiled =
+        compile_for_count(p, u64::from(n)).expect("count row needs a compiling protocol");
+    // One count engine reused across trials — reset is O(|Λ|), the
+    // engine's intended Monte-Carlo usage.
+    let mut count = CountEngine::new(&compiled, u64::from(n), 0);
+    let mut generic_ns = 0.0;
+    let mut count_ns = 0.0;
+    let mut generic_steps = 0u64;
+    let mut count_steps = 0u64;
+    let mut equal = true;
+
+    for t in 0..trials {
+        let seed = seq.child(t as u64);
+        let t0 = Instant::now();
+        let a = Executor::new(&g, p, seed)
+            .run_until_stable(u64::MAX)
+            .expect("stabilizes");
+        generic_ns += t0.elapsed().as_nanos() as f64;
+        let t1 = Instant::now();
+        count.reset(seed);
+        let b = count.run_until_stable(u64::MAX).expect("stabilizes");
+        count_ns += t1.elapsed().as_nanos() as f64;
+        equal &= a.leader_count == 1 && b.leader_count == 1;
+        generic_steps += a.stabilization_step;
+        count_steps += b.stabilization_step;
+    }
+    (
+        generic_ns,
+        count_ns,
+        compiled.num_states(),
+        generic_steps,
+        count_steps,
+        equal,
+    )
+}
+
 fn comparison_table(cfg: &RunConfig) -> Table {
     let n = *cfg.pick(&64u32, &512u32);
     let trials = cfg.trials(3, 10);
@@ -99,7 +154,9 @@ fn comparison_table(cfg: &RunConfig) -> Table {
          (dense = AOT table, lazy = on-demand cache — the identifier protocol's only compiled \
          path). Lazy speedups track the cache-hit fraction: long runs amortize first-sight \
          misses, short generation-dominated ones (identifier on clique/torus at these sizes) \
-         stay below 1× — see BENCH.md",
+         stay below 1× — see BENCH.md. Count rows race the graph-free count engine (exact in \
+         distribution, not trace-identical): 'outcomes equal' there means both sides elected a \
+         unique leader, and speedup is wall-time to stability",
         &[
             "workload",
             "engine",
@@ -161,6 +218,38 @@ fn comparison_table(cfg: &RunConfig) -> Table {
     ] {
         push_race_row(&mut table, &label, &g, &identifier, seed, trials);
     }
+    // The count tier: the workloads the sweep's clique column serves
+    // graph-free. These sizes sit below the auto-selection threshold
+    // (`COUNT_MIN_AGENTS`) precisely so the generic side can afford to
+    // materialize the clique — the race is equivalence evidence, the
+    // 10⁷–10⁹ scaling lives in `bench_engine` and the sweep.
+    push_count_row(
+        &mut table,
+        &format!("token/clique({n})"),
+        n,
+        &token,
+        seq.child(7),
+        trials,
+    );
+    // Fast on the clique with the analytic coupon-collector broadcast
+    // estimate `n·ln n` — the same parameterization the sweep's count
+    // cells use (the measured `broadcast_guess` would overestimate a
+    // clique's broadcast time by ~n/ln n).
+    let nf = f64::from(n);
+    let fast = FastProtocol::new(FastParams::practical(
+        nf * nf.ln(),
+        n - 1,
+        (u64::from(n) * u64::from(n - 1) / 2) as usize,
+        n,
+    ));
+    push_count_row(
+        &mut table,
+        &format!("fast/clique({n})"),
+        n,
+        &fast,
+        seq.child(8),
+        trials,
+    );
     table
 }
 
@@ -193,21 +282,49 @@ fn push_race_row<P: Protocol + Clone>(
     ]);
 }
 
+fn push_count_row<P: Protocol + Clone>(
+    table: &mut Table,
+    label: &str,
+    n: u32,
+    p: &P,
+    seed: u64,
+    trials: usize,
+) {
+    let (generic_ns, count_ns, states, generic_steps, count_steps, equal) =
+        race_count(n, p, seed, trials);
+    table.push_row(vec![
+        label.to_string(),
+        Engine::Count.label().to_string(),
+        n.to_string(),
+        states.to_string(),
+        count_steps.to_string(),
+        fmt_num(generic_steps as f64 / generic_ns * 1e3),
+        fmt_num(count_steps as f64 / count_ns * 1e3),
+        // Trajectories differ, so the honest speedup is wall-time to
+        // stability, not a per-step throughput ratio.
+        fmt_num(generic_ns / count_ns),
+        equal.to_string(),
+    ]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn engines_agree_and_identifier_rows_use_the_lazy_engine() {
-        // One table build covers both assertions (the races are the
+        // One table build covers all the assertions (the races are the
         // most expensive lab test; don't run them twice).
         let cfg = RunConfig::default();
         let t = comparison_table(&cfg);
-        assert!(t.num_rows() >= 7);
+        assert!(t.num_rows() >= 9);
         let mut lazy_rows = 0;
+        let mut count_rows = 0;
         for row in 0..t.num_rows() {
             assert_eq!(t.cell(row, 8), "true", "row {row}: outcomes diverged");
-            if t.cell(row, 0).starts_with("identifier/") {
+            if t.cell(row, 1) == "count" {
+                count_rows += 1;
+            } else if t.cell(row, 0).starts_with("identifier/") {
                 assert_eq!(t.cell(row, 1), "lazy", "row {row}");
                 lazy_rows += 1;
             } else {
@@ -215,6 +332,7 @@ mod tests {
             }
         }
         assert_eq!(lazy_rows, 3);
+        assert_eq!(count_rows, 2);
     }
 
     #[test]

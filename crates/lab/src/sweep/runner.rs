@@ -22,7 +22,9 @@ use popele_core::{
     StarProtocol, TokenProtocol,
 };
 use popele_engine::faults::FaultPlan;
-use popele_engine::monte_carlo::{run_trials_auto_with_faults, TrialOptions, TrialResult};
+use popele_engine::monte_carlo::{
+    run_trials_auto_with_faults, run_trials_count, TrialOptions, TrialResult,
+};
 use popele_engine::stabilize::run_trials_stabilize_auto;
 use popele_graph::Graph;
 use std::io;
@@ -151,32 +153,51 @@ pub fn run_campaign(spec: &SweepSpec, options: &CampaignOptions) -> io::Result<C
             });
         }
         let (family, size) = (shard.cell.family, shard.cell.size);
-        let graph_is_cached = matches!(&cached, Some((f, s, _)) if *f == family && *s == size);
-        if !graph_is_cached {
-            cached = Some((
-                family,
-                size,
-                family.generate(size, spec.graph_seed(family, size)),
-            ));
-        }
-        let graph = &cached.as_ref().expect("just cached").2;
-        if options.progress {
-            eprintln!(
-                "[sweep {}] shard {}/{total}: {key} (n={}, m={})",
-                spec.name,
-                i + 1,
-                graph.num_nodes(),
-                graph.num_edges()
-            );
-        }
-        checkpoint
-            .cells
-            .entry(shard.cell.key())
-            .or_insert(CellMeta {
-                n: graph.num_nodes(),
-                m: graph.num_edges() as u64,
-            });
-        let results = run_shard(spec, &shard.cell, graph, shard.first_trial, shard.trials);
+        let results = if spec.cell_is_count(&shard.cell) {
+            // Count cells never materialize a graph: the clique is
+            // fully described by its size, and its edge count is
+            // analytic — n(n−1)/2.
+            let m = u64::from(size) * (u64::from(size) - 1) / 2;
+            if options.progress {
+                eprintln!(
+                    "[sweep {}] shard {}/{total}: {key} (n={size}, m={m}, count engine)",
+                    spec.name,
+                    i + 1,
+                );
+            }
+            checkpoint
+                .cells
+                .entry(shard.cell.key())
+                .or_insert(CellMeta { n: size, m });
+            run_shard_count(spec, &shard.cell, shard.first_trial, shard.trials)
+        } else {
+            let graph_is_cached = matches!(&cached, Some((f, s, _)) if *f == family && *s == size);
+            if !graph_is_cached {
+                cached = Some((
+                    family,
+                    size,
+                    family.generate(size, spec.graph_seed(family, size)),
+                ));
+            }
+            let graph = &cached.as_ref().expect("just cached").2;
+            if options.progress {
+                eprintln!(
+                    "[sweep {}] shard {}/{total}: {key} (n={}, m={})",
+                    spec.name,
+                    i + 1,
+                    graph.num_nodes(),
+                    graph.num_edges()
+                );
+            }
+            checkpoint
+                .cells
+                .entry(shard.cell.key())
+                .or_insert(CellMeta {
+                    n: graph.num_nodes(),
+                    m: graph.num_edges() as u64,
+                });
+            run_shard(spec, &shard.cell, graph, shard.first_trial, shard.trials)
+        };
         checkpoint
             .shards
             .insert(key, results.iter().map(Into::into).collect());
@@ -266,6 +287,52 @@ fn run_shard(
     }
 }
 
+/// Runs one shard of a **count cell** (see [`SweepSpec::cell_is_count`]):
+/// same seed derivation and trial indexing as [`run_shard`], but through
+/// the graph-free [`run_trials_count`] entry point. Protocol parameters
+/// that [`run_shard`] derives from the concrete graph are derived
+/// analytically from the clique instead — the fast protocol runs its
+/// clique specialization [`FastParams::clique_tuned`] (the waiting
+/// phase guards against degree spread, which a clique does not have;
+/// collapsing it is what makes `10⁷`–`10⁹` elections land in `Θ(log n)`
+/// parallel time instead of the waiting phase's
+/// `⌈log₂ n⌉·2^h`-parallel-unit climb).
+fn run_shard_count(
+    spec: &SweepSpec,
+    cell: &CellSpec,
+    first_trial: usize,
+    trials: usize,
+) -> Vec<TrialResult> {
+    let options = TrialOptions {
+        trials,
+        first_trial,
+        max_steps: spec.max_steps,
+        census: false,
+        threads: spec.threads,
+    };
+    let seed = spec.cell_seed(cell);
+    let n = cell.size;
+    let num_agents = u64::from(n);
+    match cell.protocol {
+        ProtocolSpec::Token => {
+            run_trials_count(&TokenProtocol::all_candidates(), num_agents, seed, options)
+        }
+        ProtocolSpec::Fast => run_trials_count(
+            &FastProtocol::new(FastParams::clique_tuned(n)),
+            num_agents,
+            seed,
+            options,
+        ),
+        ProtocolSpec::Majority => run_trials_count(
+            &MajorityProtocol::new(crate::workloads::majority_split(n), n),
+            num_agents,
+            seed,
+            options,
+        ),
+        other => unreachable!("{other} is not count-capable; cell_is_count gates this path"),
+    }
+}
+
 /// Object-safe shim dispatching a concrete protocol into the generic
 /// fault-aware Monte-Carlo entry point (keeps `run_shard`'s per-protocol
 /// match to one line each).
@@ -348,6 +415,49 @@ mod tests {
         .unwrap();
         assert_eq!(again.ran_shards, 0);
         assert_eq!(again.resumed_shards, 16);
+        std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn count_cells_run_graph_free_and_record_analytic_meta() {
+        let out = temp_dir("count");
+        // majority on a 40_000-clique elects within the default budget;
+        // the clique is far past the edge budget, so only the count
+        // tier can run it (no graph is ever materialized).
+        let spec = SweepSpec {
+            name: "count".into(),
+            protocols: vec![ProtocolSpec::Majority],
+            families: vec![Family::Clique],
+            sizes: vec![40_000],
+            trials_per_cell: 2,
+            shard_trials: 2,
+            max_steps: 200_000_000,
+            master_seed: 0xFEED,
+            threads: 1,
+            max_edges: 1 << 20,
+            ..SweepSpec::default()
+        };
+        let cell = spec.cells()[0];
+        assert!(spec.cell_is_count(&cell));
+        let outcome = run_campaign(
+            &spec,
+            &CampaignOptions {
+                out_dir: out.clone(),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(outcome.completed);
+        assert_eq!(outcome.ran_shards, 1);
+        let ckpt = Checkpoint::load(&checkpoint_path(&outcome.dir)).unwrap();
+        let meta = &ckpt.cells["majority/clique/40000"];
+        assert_eq!(meta.n, 40_000);
+        assert_eq!(meta.m, 40_000u64 * 39_999 / 2);
+        let records = &ckpt.shards["majority/clique/40000/s0"];
+        assert_eq!(records.len(), 2);
+        for r in records {
+            assert!(r.steps.is_some(), "majority did not elect");
+        }
         std::fs::remove_dir_all(&out).ok();
     }
 

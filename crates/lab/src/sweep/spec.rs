@@ -91,6 +91,23 @@ impl ProtocolSpec {
     pub fn is_stabilizing(self) -> bool {
         matches!(self, ProtocolSpec::Loose | ProtocolSpec::RingLoose)
     }
+
+    /// Whether this protocol can run on the count-based batch engine
+    /// ([`popele_engine::CountEngine`]): its stability oracle must be
+    /// evaluable from a state census alone (linear leader counting or
+    /// [`popele_engine::StabilityOracle::recompute_census`]). The
+    /// identifier protocol's oracle needs per-node identity and the
+    /// loosely-stabilizing cells need arbitrary per-node start
+    /// configurations, so neither qualifies; the star protocol's oracle
+    /// is census-friendly but only exact off cliques' complement — it
+    /// never pairs with the clique family in the first place.
+    #[must_use]
+    pub fn is_count_capable(self) -> bool {
+        matches!(
+            self,
+            ProtocolSpec::Token | ProtocolSpec::Fast | ProtocolSpec::Majority
+        )
+    }
 }
 
 impl fmt::Display for ProtocolSpec {
@@ -309,15 +326,37 @@ impl Default for SweepSpec {
                 Family::Star,
                 Family::Torus,
                 Family::RandomRegular4,
+                Family::Clique,
             ],
-            sizes: vec![2_000, 16_000, 80_000],
+            // The three classic per-agent sizes plus the count-engine
+            // range: on the sparse families the big sizes skip (edge
+            // budget), on the clique they run graph-free on the count
+            // tier. Electing at the big sizes needs a raised
+            // `max_steps` (the default budget records feasibility
+            // timeouts, not elections — an election at 10⁸ takes
+            // ~10¹⁰ interactions).
+            sizes: vec![
+                2_000,
+                16_000,
+                80_000,
+                10_000_000,
+                100_000_000,
+                1_000_000_000,
+            ],
             faults: vec![FaultSpec::None],
             trials_per_cell: 4,
             shard_trials: 2,
             max_steps: 30_000_000,
             master_seed: 0xC0FFEE,
             threads: 0,
-            max_edges: 1 << 27,
+            // Sized so the default grid fits laptop memory — a clique
+            // materializes up to ~4_000 nodes; beyond that the clique
+            // column is served by the count tier (or skipped, with the
+            // reason recorded) — and so the sparse families stop below
+            // the count range: a 10⁷-node cycle fits in RAM but a
+            // sequential election on it cannot finish inside any sane
+            // step budget, so those cells skip rather than time out.
+            max_edges: 1 << 23,
         }
     }
 }
@@ -423,19 +462,53 @@ impl SweepSpec {
         cells
     }
 
+    /// Whether a cell runs on the count-based batch engine instead of a
+    /// materialized graph: a fault-free clique cell at count scale
+    /// (at least [`popele_engine::dense::COUNT_MIN_AGENTS`] agents)
+    /// whose protocol is [`ProtocolSpec::is_count_capable`]. Count
+    /// cells never materialize an edge list, so the
+    /// [`Self::max_edges`] budget does not apply to them — this is the
+    /// clique-only door into the `10⁷–10⁹` sizes. Fault cells are
+    /// excluded because fault injection edits per-agent state and
+    /// topology, neither of which exists in count space.
+    #[must_use]
+    pub fn cell_is_count(&self, cell: &CellSpec) -> bool {
+        cell.family == Family::Clique
+            && cell.fault == FaultSpec::None
+            && u64::from(cell.size) >= popele_engine::dense::COUNT_MIN_AGENTS
+            && cell.protocol.is_count_capable()
+    }
+
     /// Why a cell cannot run, if it cannot: its graph would exceed the
-    /// edge budget, or its protocol's stability oracle is only exact on
-    /// a family it is not paired with (the star protocol off stars).
-    /// Skipped cells are excluded from [`Self::shards`] and recorded as
-    /// skipped — with this reason — in the campaign summary.
+    /// edge budget (and, on cliques, the count tier could not pick it
+    /// up — the reason says why), or its protocol's stability oracle is
+    /// only exact on a family it is not paired with (the star protocol
+    /// off stars). Skipped cells are excluded from [`Self::shards`] and
+    /// recorded as skipped — with this reason — in the campaign summary.
     #[must_use]
     pub fn cell_skip_reason(&self, cell: &CellSpec) -> Option<String> {
-        if cell.family.approx_edges(cell.size) > self.max_edges {
-            return Some(format!(
+        if !self.cell_is_count(cell) && cell.family.approx_edges(cell.size) > self.max_edges {
+            let mut reason = format!(
                 "~{} edges exceed the max_edges budget of {}",
                 cell.family.approx_edges(cell.size),
                 self.max_edges
-            ));
+            );
+            if cell.family == Family::Clique {
+                let why = if !cell.protocol.is_count_capable() {
+                    Some(format!(
+                        "the {} protocol's oracle cannot be evaluated from a state census",
+                        cell.protocol
+                    ))
+                } else if cell.fault != FaultSpec::None {
+                    Some("fault injection needs per-agent identity".to_string())
+                } else {
+                    None
+                };
+                if let Some(why) = why {
+                    reason = format!("{reason}; not count-engine eligible: {why}");
+                }
+            }
+            return Some(reason);
         }
         if cell.protocol == ProtocolSpec::Star && cell.family != Family::Star {
             return Some("the star protocol's oracle is only exact on stars".into());
@@ -658,6 +731,65 @@ mod tests {
             .any(|c| c.protocol == ProtocolSpec::Loose && c.family == Family::Clique));
         assert!(ProtocolSpec::Loose.is_stabilizing());
         assert!(!ProtocolSpec::Token.is_stabilizing());
+    }
+
+    #[test]
+    fn clique_count_cells_bypass_the_edge_budget() {
+        let spec = SweepSpec::default();
+        let cell = |protocol, size, fault| CellSpec {
+            protocol,
+            family: Family::Clique,
+            size,
+            fault,
+        };
+        // Count-capable protocol at count scale: runnable, graph-free.
+        let token_big = cell(ProtocolSpec::Token, 100_000_000, FaultSpec::None);
+        assert!(spec.cell_is_count(&token_big));
+        assert!(spec.cell_skip_reason(&token_big).is_none());
+        // Census-incapable protocol at the same scale: skipped, and the
+        // reason says why the count tier could not pick it up.
+        let id_big = cell(ProtocolSpec::Identifier, 100_000_000, FaultSpec::None);
+        assert!(!spec.cell_is_count(&id_big));
+        let reason = spec.cell_skip_reason(&id_big).unwrap();
+        assert!(reason.contains("not count-engine eligible"), "{reason}");
+        // Fault cells need per-agent identity: off the count tier.
+        let faulted = cell(ProtocolSpec::Token, 100_000_000, FaultSpec::Corrupt);
+        assert!(!spec.cell_is_count(&faulted));
+        let reason = spec.cell_skip_reason(&faulted).unwrap();
+        assert!(reason.contains("per-agent identity"), "{reason}");
+        // Below count scale, cliques obey the plain edge budget …
+        let token_mid = cell(ProtocolSpec::Token, 16_000, FaultSpec::None);
+        assert!(!spec.cell_is_count(&token_mid));
+        let reason = spec.cell_skip_reason(&token_mid).unwrap();
+        assert!(!reason.contains("count"), "{reason}");
+        // … and small cliques still materialize for the sequential engines.
+        let token_small = cell(ProtocolSpec::Token, 2_000, FaultSpec::None);
+        assert!(!spec.cell_is_count(&token_small));
+        assert!(spec.cell_skip_reason(&token_small).is_none());
+        // Non-clique families never take the count tier.
+        let cycle_big = CellSpec {
+            family: Family::Cycle,
+            ..token_big
+        };
+        assert!(!spec.cell_is_count(&cycle_big));
+    }
+
+    #[test]
+    fn default_grid_extends_into_the_count_range() {
+        let spec = SweepSpec::default();
+        assert!(spec.sizes.contains(&10_000_000));
+        assert!(spec.sizes.contains(&1_000_000_000));
+        assert!(spec.families.contains(&Family::Clique));
+        // The big sizes are runnable exactly on the clique count tier.
+        let runnable: Vec<_> = spec
+            .cells()
+            .into_iter()
+            .filter(|c| c.size >= 10_000_000 && spec.cell_skip_reason(c).is_none())
+            .collect();
+        assert!(!runnable.is_empty());
+        assert!(runnable
+            .iter()
+            .all(|c| c.family == Family::Clique && spec.cell_is_count(c)));
     }
 
     #[test]

@@ -192,6 +192,311 @@ impl Binomial {
     }
 }
 
+/// Hypergeometric distribution: number of *marked* elements in a
+/// uniform sample of `draws` elements taken **without replacement** from
+/// a population of `total` elements of which `success` are marked.
+///
+/// This is the law of a batch draw from a count vector: picking `draws`
+/// distinct agents from a population with `success` agents in a given
+/// state yields a hypergeometric count for that state. Sampling uses
+/// exact inversion *from the mode*: the pmf at the mode is computed once
+/// (via a Lanczos log-gamma, the same f64 standard as the logarithmic
+/// inversion in [`Geometric`]) and extended outward with the exact
+/// two-term pmf recurrence, so the expected cost is `O(σ)` — independent
+/// of the drawn value and of the population size. When the support is
+/// small (`min(success, draws)` ≤ 24) a log-gamma-free path inverts
+/// from 0 instead, with `pmf(0)` as a short falling-factorial product —
+/// the hot case for the count engine's batch draws over near-empty
+/// state classes.
+///
+/// # Examples
+///
+/// ```
+/// use popele_math::dist::Hypergeometric;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// // 5 marked among 50, draw 10: between 0 and 5 marked in the sample.
+/// let h = Hypergeometric::new(50, 5, 10);
+/// let x = h.sample(&mut rng);
+/// assert!(x <= 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hypergeometric {
+    total: u64,
+    success: u64,
+    draws: u64,
+}
+
+/// Largest support size handled by the log-gamma-free inversion fast
+/// path in [`Hypergeometric::sample`].
+const SMALL_SUPPORT: u64 = 24;
+
+impl Hypergeometric {
+    /// Creates a hypergeometric distribution over a population of
+    /// `total` elements with `success` marked ones, sampling `draws`
+    /// elements without replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `success ≤ total` and `draws ≤ total`.
+    #[must_use]
+    pub fn new(total: u64, success: u64, draws: u64) -> Self {
+        assert!(
+            success <= total,
+            "hypergeometric requires success ≤ total ({success} > {total})"
+        );
+        assert!(
+            draws <= total,
+            "hypergeometric requires draws ≤ total ({draws} > {total})"
+        );
+        Self {
+            total,
+            success,
+            draws,
+        }
+    }
+
+    /// Mean `draws·success/total` (0 for an empty population).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.draws as f64 * self.success as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest attainable value, `max(0, draws + success − total)`.
+    #[must_use]
+    pub fn min_value(&self) -> u64 {
+        (self.draws + self.success).saturating_sub(self.total)
+    }
+
+    /// Largest attainable value, `min(draws, success)`.
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        self.draws.min(self.success)
+    }
+
+    /// Natural log of the pmf at `k` (must be inside the support).
+    fn ln_pmf(&self, k: u64) -> f64 {
+        ln_choose(self.success, k) + ln_choose(self.total - self.success, self.draws - k)
+            - ln_choose(self.total, self.draws)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let lo = self.min_value();
+        let hi = self.max_value();
+        if lo == hi {
+            return lo;
+        }
+        let (nn, kk, dd) = (self.total as f64, self.success as f64, self.draws as f64);
+        // Small-support fast path: with min(success, draws) ≤ 24 the
+        // whole support fits in ≤ 25 values, so exact inversion from 0
+        // needs only the falling-factorial product for pmf(0) —
+        //   pmf(0) = ∏_{i<s} (N − t − i)/(N − i),  s = min(K, d), t = max —
+        // and the upward pmf ratio recurrence; no log-gamma at all.
+        // This is the dominant case in the count engine's chained batch
+        // draws, where most state classes hold only a handful of agents.
+        if lo == 0 && hi <= SMALL_SUPPORT {
+            let t = nn - kk.max(dd);
+            let mut p = 1.0f64;
+            for i in 0..hi {
+                let i = i as f64;
+                p *= (t - i) / (nn - i);
+            }
+            if p > 0.0 {
+                let mut u = rng.random::<f64>();
+                let mut k = 0u64;
+                loop {
+                    if u <= p || k == hi {
+                        return k;
+                    }
+                    u -= p;
+                    let kf = k as f64;
+                    p *= (kk - kf) * (dd - kf) / ((kf + 1.0) * (nn - kk - dd + kf + 1.0));
+                    k += 1;
+                }
+            }
+        }
+        // Mode of the pmf; clamp into the support for safety at the edges.
+        let mode = (((self.draws + 1) as f64 * (self.success + 1) as f64) / (nn + 2.0)) as u64;
+        let mode = mode.clamp(lo, hi);
+        let mut u = rng.random::<f64>();
+        let p_mode = self.ln_pmf(mode).exp();
+        if u <= p_mode {
+            return mode;
+        }
+        u -= p_mode;
+        // Exact inversion over the enumeration mode, mode+1, mode−1, …
+        // using the pmf ratio recurrences
+        //   pmf(k+1)/pmf(k) = (K−k)(d−k) / ((k+1)(N−K−d+k+1))
+        //   pmf(k−1)/pmf(k) = k(N−K−d+k) / ((K−k+1)(d−k+1)).
+        let (mut down_k, mut down_p) = (mode, p_mode);
+        let (mut up_k, mut up_p) = (mode, p_mode);
+        loop {
+            if up_k < hi {
+                let k = up_k as f64;
+                up_p *= (kk - k) * (dd - k) / ((k + 1.0) * (nn - kk - dd + k + 1.0));
+                up_k += 1;
+                if u <= up_p {
+                    return up_k;
+                }
+                u -= up_p;
+            }
+            if down_k > lo {
+                let k = down_k as f64;
+                down_p *= k * (nn - kk - dd + k) / ((kk - k + 1.0) * (dd - k + 1.0));
+                down_k -= 1;
+                if u <= down_p {
+                    return down_k;
+                }
+                u -= down_p;
+            } else if up_k >= hi {
+                // Floating-point leftovers (the pmf sums to 1 − ε): land
+                // on the side whose tail still carries more mass.
+                return if up_p >= down_p { hi } else { lo };
+            }
+        }
+    }
+}
+
+/// Multinomial distribution: `trials` independent categorical draws with
+/// probabilities proportional to `weights`, returning the per-category
+/// counts.
+///
+/// This is the *with-replacement* counterpart of chained
+/// [`Hypergeometric`] draws and converges to it when the population
+/// dwarfs the batch. Sampling uses the exact conditional-binomial chain:
+/// category `i` receives `Bin(remaining, wᵢ/Σ_{j≥i} wⱼ)`.
+///
+/// # Examples
+///
+/// ```
+/// use popele_math::dist::Multinomial;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(2);
+/// let m = Multinomial::new(100, vec![1.0, 1.0, 2.0]);
+/// let counts = m.sample(&mut rng);
+/// assert_eq!(counts.iter().sum::<u64>(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multinomial {
+    trials: u64,
+    weights: Vec<f64>,
+}
+
+impl Multinomial {
+    /// Creates a multinomial distribution over `weights.len()`
+    /// categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to 0.
+    #[must_use]
+    pub fn new(trials: u64, weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "multinomial weights must be nonempty");
+        let mut total = 0.0f64;
+        for &w in &weights {
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "multinomial weights must be finite and nonnegative"
+            );
+            total += w;
+        }
+        assert!(total > 0.0, "multinomial weights must not all be zero");
+        Self { trials, weights }
+    }
+
+    /// Number of categorical draws.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Mean count per category, `trials·wᵢ/Σw`.
+    #[must_use]
+    pub fn means(&self) -> Vec<f64> {
+        let total: f64 = self.weights.iter().sum();
+        self.weights
+            .iter()
+            .map(|w| self.trials as f64 * w / total)
+            .collect()
+    }
+
+    /// Draws one count vector (sums to `trials`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        let mut out = vec![0u64; self.weights.len()];
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// Draws one count vector into `out` (resized to the category count).
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.weights.len(), 0);
+        let mut remaining = self.trials;
+        let mut weight_left: f64 = self.weights.iter().sum();
+        for (i, &w) in self.weights.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            if i + 1 == self.weights.len() {
+                out[i] = remaining;
+                break;
+            }
+            let p = (w / weight_left).clamp(0.0, 1.0);
+            let k = Binomial::new(remaining, p).sample(rng);
+            out[i] = k;
+            remaining -= k;
+            weight_left -= w;
+            if weight_left <= 0.0 {
+                break;
+            }
+        }
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`, accurate to ~1e-13 —
+/// the same f64 standard as the library's logarithmic inversions.
+fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7, n = 9.
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    const G: f64 = 7.0;
+    debug_assert!(x > 0.0);
+    let z = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9_f64;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (z + (i + 1) as f64);
+    }
+    let t = z + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)` for `k ≤ n` via [`ln_gamma`].
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
 /// Samples an index from `0..weights.len()` proportionally to `weights`.
 ///
 /// Linear scan; intended for small weight vectors (e.g. picking an
@@ -323,5 +628,285 @@ mod tests {
     fn weighted_index_empty_panics() {
         let mut rng = SmallRng::seed_from_u64(5);
         let _ = weighted_index(&[], &mut rng);
+    }
+
+    /// Pearson χ² statistic of observed counts against expected
+    /// probabilities (cells with negligible expectation are pooled into
+    /// their neighbour to keep the approximation sound).
+    fn chi_square(observed: &[u64], probabilities: &[f64]) -> f64 {
+        let n: u64 = observed.iter().sum();
+        let mut stat = 0.0;
+        let (mut pool_obs, mut pool_exp) = (0.0f64, 0.0f64);
+        for (&o, &p) in observed.iter().zip(probabilities) {
+            pool_obs += o as f64;
+            pool_exp += p * n as f64;
+            if pool_exp >= 5.0 {
+                stat += (pool_obs - pool_exp) * (pool_obs - pool_exp) / pool_exp;
+                pool_obs = 0.0;
+                pool_exp = 0.0;
+            }
+        }
+        if pool_exp > 0.0 {
+            stat += (pool_obs - pool_exp) * (pool_obs - pool_exp) / pool_exp;
+        }
+        stat
+    }
+
+    /// Exact hypergeometric pmf over the full support via u128 binomial
+    /// coefficients (small parameters only).
+    fn exact_hyper_pmf(total: u64, success: u64, draws: u64) -> Vec<f64> {
+        fn choose(n: u64, k: u64) -> u128 {
+            if k > n {
+                return 0;
+            }
+            let k = k.min(n - k);
+            let mut acc: u128 = 1;
+            for i in 0..k {
+                acc = acc * u128::from(n - i) / u128::from(i + 1);
+            }
+            acc
+        }
+        let h = Hypergeometric::new(total, success, draws);
+        let denom = choose(total, draws) as f64;
+        (h.min_value()..=h.max_value())
+            .map(|k| choose(success, k) as f64 * choose(total - success, draws - k) as f64 / denom)
+            .collect()
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..20u32 {
+            fact *= f64::from(n);
+            let lg = ln_gamma(f64::from(n) + 1.0);
+            assert!((lg - fact.ln()).abs() < 1e-10, "ln Γ({}) = {lg}", n + 1);
+        }
+    }
+
+    #[test]
+    fn hypergeometric_moments() {
+        let h = Hypergeometric::new(60, 20, 15);
+        let (mean, var) = sample_mean_var(|r| h.sample(r) as f64, 60_000, 29);
+        // mean = 15·20/60 = 5; var = d·p(1−p)·(N−d)/(N−1) ≈ 2.542.
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        let expected_var = 15.0 * (1.0 / 3.0) * (2.0 / 3.0) * 45.0 / 59.0;
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.05,
+            "var {var}"
+        );
+    }
+
+    #[test]
+    fn hypergeometric_chi_square_goodness_of_fit() {
+        // N=20, K=8, d=10: support 0..=8, exact pmf via u128 binomials.
+        let h = Hypergeometric::new(20, 8, 10);
+        let pmf = exact_hyper_pmf(20, 8, 10);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut counts = vec![0u64; pmf.len()];
+        for _ in 0..40_000 {
+            counts[h.sample(&mut rng) as usize] += 1;
+        }
+        // df ≤ 8; χ²₀.₉₉₉(8) ≈ 26.1 — allow slack for pooling.
+        let stat = chi_square(&counts, &pmf);
+        assert!(stat < 30.0, "χ² = {stat}, counts {counts:?}");
+    }
+
+    #[test]
+    fn hypergeometric_tight_support_chi_square() {
+        // N=10, K=7, d=8: support pinched to 5..=7 (k = n−... boundary).
+        let h = Hypergeometric::new(10, 7, 8);
+        assert_eq!((h.min_value(), h.max_value()), (5, 7));
+        let pmf = exact_hyper_pmf(10, 7, 8);
+        let mut rng = SmallRng::seed_from_u64(37);
+        let mut counts = vec![0u64; pmf.len()];
+        for _ in 0..30_000 {
+            let x = h.sample(&mut rng);
+            assert!((5..=7).contains(&x), "outside support: {x}");
+            counts[(x - 5) as usize] += 1;
+        }
+        let stat = chi_square(&counts, &pmf);
+        assert!(stat < 21.0, "χ² = {stat}, counts {counts:?}"); // χ²₀.₉₉₉(2) ≈ 13.8
+    }
+
+    #[test]
+    fn hypergeometric_boundary_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // k = 0 draws, and no marked elements: always 0.
+        assert_eq!(Hypergeometric::new(10, 4, 0).sample(&mut rng), 0);
+        assert_eq!(Hypergeometric::new(10, 0, 7).sample(&mut rng), 0);
+        // k = n: drawing everything yields every marked element.
+        assert_eq!(Hypergeometric::new(10, 4, 10).sample(&mut rng), 4);
+        // All marked: every draw is marked.
+        assert_eq!(Hypergeometric::new(10, 10, 6).sample(&mut rng), 6);
+        // Empty population.
+        assert_eq!(Hypergeometric::new(0, 0, 0).sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn hypergeometric_huge_population_mean() {
+        // Exercises the mode-inversion walk at count-engine scale.
+        let h = Hypergeometric::new(1_000_000_000, 300_000_000, 10_000);
+        let (mean, var) = sample_mean_var(|r| h.sample(r) as f64, 4_000, 41);
+        assert!((mean - 3_000.0).abs() < 3.0, "mean {mean}");
+        // Nearly binomial at this ratio: var ≈ 10_000·0.3·0.7 = 2100.
+        assert!((var - 2_100.0).abs() / 2_100.0 < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn hypergeometric_small_class_in_huge_population() {
+        // The count engine's hot case: a state class holding a handful
+        // of agents inside a batch draw over millions — served by the
+        // log-gamma-free small-support path. mean = d·K/N = 0.005.
+        let h = Hypergeometric::new(10_000_000, 5, 10_000);
+        let (mean, _) = sample_mean_var(|r| h.sample(r) as f64, 400_000, 43);
+        assert!((mean - 0.005).abs() < 0.0006, "mean {mean}");
+        // And the same path with the mean pushed to the top of the
+        // support (d ≈ N): all five marked agents are almost surely hit.
+        let h = Hypergeometric::new(10_000_000, 5, 9_999_000);
+        let mut rng = SmallRng::seed_from_u64(47);
+        let mut total = 0u64;
+        for _ in 0..2_000 {
+            let x = h.sample(&mut rng);
+            assert!(x <= 5);
+            total += x;
+        }
+        assert!((total as f64 / 2_000.0 - 4.9995).abs() < 0.01);
+    }
+
+    #[test]
+    fn hypergeometric_deterministic_across_seeds() {
+        let h = Hypergeometric::new(500, 120, 60);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..200).map(|_| h.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..200).map(|_| h.sample(&mut b)).collect();
+        let zs: Vec<u64> = (0..200).map(|_| h.sample(&mut c)).collect();
+        assert_eq!(xs, ys, "same seed must reproduce the sample path");
+        assert_ne!(xs, zs, "different seeds must diverge");
+    }
+
+    #[test]
+    #[should_panic(expected = "success ≤ total")]
+    fn hypergeometric_rejects_success_above_total() {
+        let _ = Hypergeometric::new(5, 6, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "draws ≤ total")]
+    fn hypergeometric_rejects_draws_above_total() {
+        let _ = Hypergeometric::new(5, 2, 6);
+    }
+
+    #[test]
+    fn multinomial_moments() {
+        let m = Multinomial::new(100, vec![1.0, 2.0, 3.0, 4.0]);
+        for (i, expected) in m.means().iter().enumerate() {
+            let (mean, var) = sample_mean_var(|r| m.sample(r)[i] as f64, 20_000, 43 + i as u64);
+            assert!(
+                (mean - expected).abs() / expected < 0.03,
+                "mean[{i}] {mean}"
+            );
+            let p = expected / 100.0;
+            let expected_var = 100.0 * p * (1.0 - p);
+            assert!(
+                (var - expected_var).abs() / expected_var < 0.1,
+                "var[{i}] {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_chi_square_goodness_of_fit() {
+        // Aggregate all cell counts across many draws: each of the
+        // trials·samples categorical draws is i.i.d. with law w/Σw.
+        let weights = vec![0.5, 1.5, 2.0, 1.0];
+        let m = Multinomial::new(25, weights.clone());
+        let mut rng = SmallRng::seed_from_u64(47);
+        let mut counts = vec![0u64; 4];
+        for _ in 0..4_000 {
+            for (c, k) in counts.iter_mut().zip(m.sample(&mut rng)) {
+                *c += k;
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let stat = chi_square(&counts, &probs);
+        assert!(stat < 17.0, "χ² = {stat}, counts {counts:?}"); // χ²₀.₉₉₉(3) ≈ 16.3
+    }
+
+    #[test]
+    fn multinomial_counts_sum_to_trials() {
+        let m = Multinomial::new(77, vec![1.0, 0.0, 2.5, 0.1]);
+        let mut rng = SmallRng::seed_from_u64(53);
+        for _ in 0..500 {
+            let counts = m.sample(&mut rng);
+            assert_eq!(counts.iter().sum::<u64>(), 77);
+            assert_eq!(counts[1], 0, "zero-weight category must stay empty");
+        }
+    }
+
+    #[test]
+    fn multinomial_boundary_cases() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Single category takes everything.
+        assert_eq!(Multinomial::new(42, vec![3.0]).sample(&mut rng), vec![42]);
+        // Zero trials.
+        assert_eq!(
+            Multinomial::new(0, vec![1.0, 1.0]).sample(&mut rng),
+            vec![0, 0]
+        );
+    }
+
+    #[test]
+    fn multinomial_deterministic_across_seeds() {
+        let m = Multinomial::new(60, vec![1.0, 2.0, 3.0]);
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        let xs: Vec<Vec<u64>> = (0..50).map(|_| m.sample(&mut a)).collect();
+        let ys: Vec<Vec<u64>> = (0..50).map(|_| m.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn multinomial_agrees_with_chained_hypergeometric_limit() {
+        // With the population far larger than the batch, without-
+        // replacement (hypergeometric chain) and with-replacement
+        // (multinomial) batch composition must agree in mean.
+        let population = [600_000_000u64, 300_000_000, 100_000_000];
+        let total: u64 = population.iter().sum();
+        let draws = 1_000u64;
+        let m = Multinomial::new(draws, population.iter().map(|&c| c as f64).collect());
+        let mut rng = SmallRng::seed_from_u64(59);
+        let mut hyper_sum = [0u64; 3];
+        let mut multi_sum = [0u64; 3];
+        for _ in 0..2_000 {
+            let (mut pool, mut need) = (total, draws);
+            for (i, &c) in population.iter().enumerate() {
+                let k = Hypergeometric::new(pool, c, need).sample(&mut rng);
+                hyper_sum[i] += k;
+                pool -= c;
+                need -= k;
+            }
+            for (s, k) in multi_sum.iter_mut().zip(m.sample(&mut rng)) {
+                *s += k;
+            }
+        }
+        for i in 0..3 {
+            let (h, m) = (hyper_sum[i] as f64, multi_sum[i] as f64);
+            assert!((h - m).abs() / m < 0.01, "category {i}: {h} vs {m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn multinomial_empty_weights_panics() {
+        let _ = Multinomial::new(1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn multinomial_zero_weights_panic() {
+        let _ = Multinomial::new(1, vec![0.0, 0.0]);
     }
 }

@@ -1,0 +1,217 @@
+//! The count engine's contract with the sequential engines.
+//!
+//! The count-based batch engine consumes its random stream batch-wise,
+//! so trace identity with the per-interaction engines is impossible *by
+//! construction* — the contract is **exactness in distribution** with
+//! respect to the uniform ordered-pair scheduler on a clique. Two
+//! layers of evidence:
+//!
+//! 1. **Distribution-level differential tests** at population sizes
+//!    both tiers can run (10³–10⁴): means and quantiles of election
+//!    time in parallel time (steps/n) from [`run_trials_count`] must
+//!    match the sequential engines on the same clique workload. Both
+//!    sides are seeded, so each comparison is deterministic; the
+//!    tolerances are ~4 standard errors of the difference at the given
+//!    trial counts (from the measured relative standard deviations:
+//!    ≈0.15 for the fast protocol, whose phase-clock concentrates the
+//!    election, ≈0.47 for the token protocol's exponential endgame
+//!    tail), so the *fast* rows resolve a ≳10% distributional shift
+//!    and the token rows a ≳25% one. Sampler-level bias is pinned much
+//!    tighter by the moment/χ² tests in `popele-math`.
+//! 2. **Invariant checks at `n = 10⁸`**, where no differential baseline
+//!    exists: population conservation after every batch epoch, a
+//!    monotone leader-count trajectory for a protocol whose transitions
+//!    never mint leaders, and determinism across identical seeds.
+//!
+//! Exact per-epoch mechanics are documented and unit-tested in
+//! `crates/engine/src/dense/count.rs`.
+
+use popele::engine::monte_carlo::{
+    run_trials_auto, run_trials_count, Engine, TrialOptions, TrialResult,
+};
+use popele::engine::{compile_for_count, CountEngine, Protocol};
+use popele::graph::families;
+use popele::math::stats::Summary;
+use popele::protocols::params::FastParams;
+use popele::protocols::{FastProtocol, TokenProtocol};
+
+/// Election times in parallel time (steps / n) from a trial batch;
+/// panics if any trial exhausted its budget (these workloads stabilize
+/// well within `u64::MAX`).
+fn parallel_times(results: &[TrialResult], n: u64) -> Summary {
+    Summary::from_slice(
+        &results
+            .iter()
+            .map(|r| {
+                let steps = r.stabilization_step.expect("trial must stabilize");
+                steps as f64 / n as f64
+            })
+            .collect::<Vec<f64>>(),
+    )
+}
+
+/// Asserts `a` and `b` agree within `tol` relative error.
+fn assert_close(what: &str, a: f64, b: f64, tol: f64) {
+    let rel = (a - b).abs() / b.abs().max(f64::EPSILON);
+    assert!(
+        rel <= tol,
+        "{what}: count {a:.4} vs sequential {b:.4} (rel diff {rel:.4} > {tol})"
+    );
+}
+
+/// Runs clique elections of `protocol` through the sequential waterfall
+/// (`dense_trials` trials on a materialized clique) and the count tier
+/// (`count_trials` trials, graph-free — the count engine is an order of
+/// magnitude cheaper here, so it gets the larger sample) and compares
+/// mean, median and 0.9-quantile of the election-time distributions.
+/// The master seeds differ so the samples are independent.
+fn assert_distributions_match<P: Protocol + Clone>(
+    protocol: &P,
+    n: u64,
+    (dense_trials, count_trials): (usize, usize),
+    (tol_mean, tol_q): (f64, f64),
+) {
+    let graph = families::clique(u32::try_from(n).unwrap());
+    let dense = run_trials_auto(
+        &graph,
+        protocol,
+        0xD0_0D5,
+        TrialOptions {
+            trials: dense_trials,
+            ..TrialOptions::default()
+        },
+    );
+    let count = run_trials_count(
+        protocol,
+        n,
+        0xC0_0475,
+        TrialOptions {
+            trials: count_trials,
+            ..TrialOptions::default()
+        },
+    );
+
+    assert_eq!(dense.len(), dense_trials);
+    assert_eq!(count.len(), count_trials);
+    for r in &dense {
+        assert_ne!(r.engine, Engine::Count, "baseline must be sequential");
+    }
+    for r in &count {
+        assert_eq!(r.engine, Engine::Count);
+        assert_eq!(r.leader, None, "count trials have no agent identity");
+    }
+
+    let dense = parallel_times(&dense, n);
+    let count = parallel_times(&count, n);
+    assert_close("mean parallel time", count.mean(), dense.mean(), tol_mean);
+    assert_close(
+        "median parallel time",
+        count.median(),
+        dense.median(),
+        tol_q,
+    );
+    assert_close(
+        "0.9-quantile parallel time",
+        count.quantile(0.9),
+        dense.quantile(0.9),
+        tol_q,
+    );
+}
+
+/// The fast protocol at the clique's analytic *practical*
+/// parameterization (broadcast time is the coupon-collector bound
+/// `n ln n`, max degree `n − 1`, `m = n(n−1)/2`) — the general-graph
+/// constants, exercising the waiting phase the clique-tuned flavour
+/// below collapses.
+fn clique_fast(n: u64) -> FastProtocol {
+    let nf = n as f64;
+    let m = n * (n - 1) / 2;
+    FastProtocol::new(FastParams::practical(
+        nf * nf.ln(),
+        u32::try_from(n - 1).unwrap(),
+        usize::try_from(m).unwrap(),
+        u32::try_from(n).unwrap(),
+    ))
+}
+
+#[test]
+fn fast_election_distribution_matches_sequential_1024() {
+    assert_distributions_match(&clique_fast(1024), 1024, (48, 96), (0.10, 0.18));
+}
+
+/// At `n = 4096` the trial split flips: the fast protocol compiles to
+/// ~2·10³ states, so the count engine's per-epoch work (chained draws
+/// over the active states) makes *it* the expensive side — the
+/// documented economics of why batching only wins when `n ≫ |Λ|²`. The
+/// smaller count sample widens the supportable tolerances accordingly.
+#[test]
+fn fast_election_distribution_matches_sequential_4096() {
+    assert_distributions_match(&clique_fast(4096), 4096, (64, 16), (0.18, 0.35));
+}
+
+/// The clique-specialized parameterization ([`FastParams::clique_tuned`])
+/// is what the count tier's large-clique benchmarks and sweep cells
+/// actually run, so it gets its own differential guard: collapsing the
+/// waiting phase must shift the election-time distribution identically
+/// in both tiers. The duel endgame (last two contenders trading levels)
+/// gives this configuration a heavier tail than the practical flavour,
+/// hence the token-like tolerances.
+#[test]
+fn clique_tuned_election_distribution_matches_sequential_1024() {
+    let protocol = FastProtocol::new(FastParams::clique_tuned(1024));
+    assert_distributions_match(&protocol, 1024, (48, 96), (0.20, 0.30));
+}
+
+#[test]
+fn token_election_distribution_matches_sequential_1000() {
+    let protocol = TokenProtocol::all_candidates();
+    assert_distributions_match(&protocol, 1000, (64, 128), (0.25, 0.30));
+}
+
+/// At `n = 10⁸` no sequential engine can provide a baseline (a clique
+/// edge list alone would be ~10¹⁶ pairs), so correctness is pinned by
+/// the invariants the batch algebra must preserve: every epoch moves
+/// counts between states without creating or destroying agents, and the
+/// token protocol never mints a leader, so its leader count can only
+/// fall.
+#[test]
+fn invariants_hold_at_1e8_agents() {
+    const N: u64 = 100_000_000;
+    let protocol = TokenProtocol::all_candidates();
+    let compiled = compile_for_count(&protocol, N).expect("token compiles for count");
+    let mut engine = CountEngine::new(&compiled, N, 0xBEEF);
+    assert_eq!(engine.counts().iter().sum::<u64>(), N);
+
+    let mut prev_leaders = engine.leader_count();
+    for _ in 0..24 {
+        engine.run_steps(2_000_000);
+        assert_eq!(
+            engine.counts().iter().sum::<u64>(),
+            N,
+            "population not conserved after a batch epoch"
+        );
+        let now = engine.leader_count();
+        assert!(
+            now <= prev_leaders,
+            "leader count grew: {prev_leaders} -> {now}"
+        );
+        prev_leaders = now;
+    }
+}
+
+/// The count tier is as deterministic as the sequential ones: the same
+/// master seed reproduces every trial bit-for-bit, including at a
+/// population no per-agent engine can hold.
+#[test]
+fn count_trials_are_deterministic_at_1e8_agents() {
+    const N: u64 = 100_000_000;
+    let protocol = TokenProtocol::all_candidates();
+    let options = TrialOptions {
+        trials: 2,
+        max_steps: 50_000_000,
+        ..TrialOptions::default()
+    };
+    let a = run_trials_count(&protocol, N, 99, options);
+    let b = run_trials_count(&protocol, N, 99, options);
+    assert_eq!(a, b);
+}
