@@ -14,6 +14,14 @@
 //!   throughput of a full-scale fast-protocol instance on
 //!   `cycle(120000)` (CSR decoder). These are exactly the cells where
 //!   sweep campaigns used to fall back to the generic engine.
+//! * **scalar dense vs lane-parallel dense** ([`LaneDenseExecutor`]):
+//!   8- and 16-lane packs against a scalar [`DenseExecutor`] over the
+//!   same trial seeds — full token elections on `clique(1000)` (fused
+//!   branchless path) and fixed-step throughput of a near-cap AOT fast
+//!   instance on `cycle(1000)` (packed decoder, non-linear oracle).
+//!   Both sides run the identical trial set sequentially vs in
+//!   lockstep, so the speedup *is* the aggregate trials/sec ratio the
+//!   sweep's `--lanes` flag buys.
 //! * **count-based batch engine** ([`CountEngine`]): clique workloads at
 //!   populations no per-agent engine can represent — full fast-protocol
 //!   elections (clique-tuned parameters) at `n = 10⁷` and `n = 10⁸`,
@@ -37,7 +45,8 @@ use criterion::{black_box, take_measurements, BenchmarkId, Criterion, Measuremen
 use popele_core::params::{identifier_bits, FastParams};
 use popele_core::{FastProtocol, IdentifierProtocol, TokenProtocol};
 use popele_engine::{
-    compile_for_count, CompiledProtocol, CountEngine, DenseExecutor, Executor, LazyDenseExecutor,
+    compile_for_count, CompiledProtocol, CountEngine, DenseExecutor, Executor, LaneDenseExecutor,
+    LazyDenseExecutor, Protocol,
 };
 use popele_graph::{families, Graph};
 use std::fmt::Write as _;
@@ -256,6 +265,136 @@ fn bench_fixed_steps(c: &mut Criterion) {
     group.finish();
 }
 
+/// Step budget per trial for the lane fixed-step workloads: safely
+/// below the fast instance's earliest observed stabilization on
+/// `cycle(1000)` (~2M steps), so neither side ever stabilizes early and
+/// both apply exactly `trials × LANE_FIXED_STEPS` interactions.
+const LANE_FIXED_STEPS: u64 = 1_000_000;
+
+/// Lane-tier workload manifest: `(workload name, lane count)`. Shared
+/// with `lanes_workloads` for the same rename protection as
+/// [`FAST_STEPS_WORKLOAD`]. Each workload runs
+/// `lanes * LANE_TRIAL_FACTOR` trials on both sides — a retiring lane
+/// immediately reloads from the trial pool, the shape every sweep cell
+/// has — so the measured ratio is the aggregate trials/sec gain at
+/// sustained occupancy, with the wind-down tail amortized over the
+/// pool rather than dominating a single pack.
+const LANE_WORKLOADS: [(&str, usize); 4] = [
+    ("token_clique_1000_8", 8),
+    ("token_clique_1000_16", 16),
+    ("fast_cycle_1000_8", 8),
+    ("fast_cycle_1000_16", 16),
+];
+
+/// Trials per lane in the lane-tier workloads: enough of a refill pool
+/// that retire-and-refill keeps the pack near full occupancy for most
+/// of the run (election lengths are ragged; with a pool a lane's early
+/// retirement admits the next trial instead of idling the slot).
+const LANE_TRIAL_FACTOR: usize = 3;
+
+/// Runs trials `1..=trials` (seeded by trial index, both sides
+/// identically) to stabilization on the scalar engine, returning the
+/// summed stabilization steps.
+fn scalar_elections<P: Protocol>(exec: &mut DenseExecutor<'_, P>, trials: usize) -> u64 {
+    let mut total = 0u64;
+    for seed in 1..=trials as u64 {
+        exec.reset(seed);
+        total += exec
+            .run_until_stable(ELECTION_MAX)
+            .expect("election stabilizes")
+            .stabilization_step;
+    }
+    total
+}
+
+/// The same trial set as [`scalar_elections`], one retire-and-refill
+/// pack (the [`run_trials_lanes`] loop shape, inlined so the bench
+/// controls the seeds).
+///
+/// [`run_trials_lanes`]: popele_engine::run_trials_lanes
+fn lane_elections<P: Protocol>(lanes: &mut LaneDenseExecutor<'_, P>, trials: usize) -> u64 {
+    let mut total = 0u64;
+    let mut next = 1usize;
+    let mut done = 0usize;
+    while done < trials {
+        while next <= trials && lanes.has_free_lane() {
+            lanes.load(next, next as u64);
+            next += 1;
+        }
+        lanes.run_block(ELECTION_MAX);
+        while let Some(out) = lanes.take_finished() {
+            total += out.stabilization_step.expect("election stabilizes");
+            done += 1;
+        }
+    }
+    total
+}
+
+/// Fixed-step lane throughput: every trial exhausts the same budget
+/// (retiring as a timeout), mirroring the scalar `run_steps` workloads;
+/// retired generations refill from the trial pool like the elections.
+fn lane_fixed_steps<P: Protocol>(lanes: &mut LaneDenseExecutor<'_, P>, trials: usize) -> usize {
+    let mut next = 1usize;
+    let mut done = 0usize;
+    while done < trials {
+        while next <= trials && lanes.has_free_lane() {
+            lanes.load(next, next as u64);
+            next += 1;
+        }
+        lanes.run_block(LANE_FIXED_STEPS);
+        while lanes.take_finished().is_some() {
+            done += 1;
+        }
+    }
+    done
+}
+
+/// Lane-tier races: scalar dense vs the lane engine over identical
+/// trial seeds. Token elections on the clique take the fused branchless
+/// path; the fast instance (`h = 8`, `L = 17` — 1016 states, just under
+/// the AOT cap) on the cycle takes the packed-decoder path with the
+/// non-linear fast oracle, fixed-step so election heavy-tails don't
+/// swamp the throughput comparison.
+fn bench_lanes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/lanes");
+    let token = TokenProtocol::all_candidates();
+    let token_graph = families::clique(1000);
+    let token_compiled = CompiledProtocol::compile_default(&token, 1000).unwrap();
+    let fast = FastProtocol::new(FastParams::new(8, 17, 4));
+    let fast_graph = families::cycle(1000);
+    let fast_compiled = CompiledProtocol::compile_default(&fast, 1000)
+        .expect("h=8, L=17 fast params must fit the AOT cap");
+    for (name, num_lanes) in LANE_WORKLOADS {
+        let trials = num_lanes * LANE_TRIAL_FACTOR;
+        if name.starts_with("token_clique") {
+            group.bench_with_input(BenchmarkId::new("dense", name), &token_graph, |b, g| {
+                let mut exec = DenseExecutor::new(g, &token_compiled, 0);
+                b.iter(|| black_box(scalar_elections(&mut exec, trials)));
+            });
+            group.bench_with_input(BenchmarkId::new("lanes", name), &token_graph, |b, g| {
+                let mut lanes = LaneDenseExecutor::new(g, &token_compiled, num_lanes);
+                b.iter(|| black_box(lane_elections(&mut lanes, trials)));
+            });
+        } else {
+            group.bench_with_input(BenchmarkId::new("dense", name), &fast_graph, |b, g| {
+                let mut exec = DenseExecutor::new(g, &fast_compiled, 0);
+                b.iter(|| {
+                    for seed in 1..=trials as u64 {
+                        exec.reset(seed);
+                        exec.run_steps(LANE_FIXED_STEPS);
+                    }
+                    black_box(exec.leader_count())
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("lanes", name), &fast_graph, |b, g| {
+                let mut lanes = LaneDenseExecutor::new(g, &fast_compiled, num_lanes);
+                b.iter(|| black_box(lane_fixed_steps(&mut lanes, trials)));
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Count-tier workloads: clique populations past every per-agent
 /// engine's reach. Elections run the fast protocol at its
 /// clique-tuned parameterization ([`FastParams::clique_tuned`] — the
@@ -334,6 +473,14 @@ fn json_workloads() -> Vec<(&'static str, String, &'static str)> {
     rows
 }
 
+/// Lane-tier rows, straight from the bench manifest: `(workload name,
+/// lane count)`. The scalar dense engine is the baseline of each row
+/// (racing against the *generic* engine would double-count the
+/// dense-vs-generic gain already reported above).
+fn lanes_workloads() -> Vec<(&'static str, usize)> {
+    LANE_WORKLOADS.to_vec()
+}
+
 /// Count-tier rows: `(workload name, population, interactions per
 /// iteration)` — `None` for full elections, whose step count is
 /// workload-determined rather than fixed.
@@ -385,6 +532,28 @@ fn render_json(ms: &[Measurement]) -> (String, Vec<String>) {
             generic.median_ns, fast_path.median_ns, speedup
         );
     }
+    for (name, num_lanes) in lanes_workloads() {
+        let dense = median_of(ms, &format!("engine/lanes/dense/{name}"));
+        let lanes = median_of(ms, &format!("engine/lanes/lanes/{name}"));
+        let (Some(dense), Some(lanes)) = (dense, lanes) else {
+            missing.push(format!("engine/lanes/{name} (lanes)"));
+            continue;
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        // Both sides run the identical trial set per iteration, so the
+        // median ratio is the aggregate trials/sec speedup.
+        let speedup = dense.median_ns / lanes.median_ns;
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"engine/lanes/{name}\", \"engine\": \"lanes\", \
+             \"num_lanes\": {num_lanes}, \"dense_median_ns\": {:.0}, \
+             \"lanes_median_ns\": {:.0}, \"speedup\": {:.2}}}",
+            dense.median_ns, lanes.median_ns, speedup
+        );
+    }
     for (name, agents, fixed_steps) in count_workloads() {
         let Some(m) = median_of(ms, &format!("engine/count/count/{name}")) else {
             missing.push(format!("engine/count/{name} (count)"));
@@ -417,6 +586,7 @@ fn main() {
         .sample_size(30);
     bench_elections(&mut c);
     bench_fixed_steps(&mut c);
+    bench_lanes(&mut c);
     bench_count(&mut c);
 
     let ms = take_measurements();

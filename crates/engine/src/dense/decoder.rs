@@ -248,9 +248,42 @@ impl EdgeDecoder {
                     *slot = orient(u, v, r);
                 });
             }
-            EdgeDecoder::Packed(packed) => {
+            EdgeDecoder::Packed(_) | EdgeDecoder::Csr { .. } => {
+                // Two-phase: the raw draws are batched first, then the
+                // gathers run as independent loads the memory system can
+                // overlap.
                 let raw = &mut raw[..pairs.len()];
                 scheduler.fill_raw(raw);
+                self.gather(&[], raw, pairs);
+            }
+            EdgeDecoder::Scheduler => scheduler.fill_pairs(pairs),
+        }
+    }
+
+    /// Resolves pre-drawn raw scheduler indices into ordered pairs — the
+    /// gather half of [`Self::fill_batch`], for callers that draw the
+    /// raw stream themselves (the lane engine interleaves its draws
+    /// across trials before gathering per lane). Produces exactly the
+    /// pairs [`EdgeScheduler::next_pair`] would for the same raws.
+    /// `edges` is the graph's canonical edge list, consulted only by the
+    /// [`EdgeDecoder::Scheduler`] fallback (the indexed decoders own
+    /// their tables).
+    pub(crate) fn gather(
+        &self,
+        edges: &[(NodeId, NodeId)],
+        raw: &[usize],
+        pairs: &mut [(NodeId, NodeId)],
+    ) {
+        debug_assert_eq!(raw.len(), pairs.len());
+        match self {
+            EdgeDecoder::Clique { n, shift, row_hint } => {
+                let n = *n as u32;
+                for (slot, &r) in pairs.iter_mut().zip(raw.iter()) {
+                    let (u, v) = clique_decode((r >> 1) as u32, n, *shift, row_hint);
+                    *slot = orient(u, v, r);
+                }
+            }
+            EdgeDecoder::Packed(packed) => {
                 for (slot, &r) in pairs.iter_mut().zip(raw.iter()) {
                     let e = packed[r >> 1];
                     *slot = orient(e >> 16, e & 0xFFFF, r);
@@ -262,13 +295,8 @@ impl EdgeDecoder {
                 row_delta,
                 col,
             } => {
-                // Two-phase like the packed decoder: the raw draws are
-                // batched first, then the delta/column gathers run as
-                // independent loads the memory system can overlap. The
-                // hint table stays cache-resident, so reconstructing the
-                // row costs one in-cache read and an add.
-                let raw = &mut raw[..pairs.len()];
-                scheduler.fill_raw(raw);
+                // The hint table stays cache-resident, so reconstructing
+                // the row costs one in-cache read and an add.
                 for (slot, &r) in pairs.iter_mut().zip(raw.iter()) {
                     let e = r >> 1;
                     let u = row_hint[e >> *shift] + u32::from(row_delta[e]);
@@ -276,7 +304,12 @@ impl EdgeDecoder {
                     *slot = orient(u, v, r);
                 }
             }
-            EdgeDecoder::Scheduler => scheduler.fill_pairs(pairs),
+            EdgeDecoder::Scheduler => {
+                for (slot, &r) in pairs.iter_mut().zip(raw.iter()) {
+                    let (u, v) = edges[r >> 1];
+                    *slot = orient(u, v, r);
+                }
+            }
         }
     }
 }

@@ -5,24 +5,32 @@
 //! Trial `i` of a given master seed always produces the same result
 //! regardless of thread count, so experiment outputs are reproducible.
 //!
-//! Five entry points share that contract:
+//! Six entry points share that contract:
 //!
 //! * [`run_trials`] — the generic reference engine ([`Executor`]);
 //! * [`run_trials_dense`] — the ahead-of-time compiled engine
 //!   ([`crate::DenseExecutor`]) over a shared [`CompiledProtocol`] table;
 //! * [`run_trials_lazy`] — the lazily-compiling dense engine
 //!   ([`crate::LazyDenseExecutor`]), one warm pair cache per worker;
+//! * [`run_trials_lanes`] — the lane-parallel dense engine
+//!   ([`crate::LaneDenseExecutor`]): 8–16 trials of one compiled cell
+//!   stepped in lockstep per worker, retire-and-refill as trials
+//!   finish. Per trial trace-identical to [`run_trials_dense`] — each
+//!   lane consumes exactly the RNG stream its trial seed would produce
+//!   scalar — and opt-in via [`TrialOptions::lanes`];
 //! * [`run_trials_count`] — the clique-only count-based batch engine
 //!   ([`crate::CountEngine`]), graph-free: the population size alone
 //!   describes the clique, which is what lets it reach `10⁷–10⁹`
 //!   agents. Deterministic per seed like the others, but exact in
 //!   *distribution* rather than trace-identical to them;
-//! * [`run_trials_auto`] — the three-way selection point over the
-//!   sequential engines (AOT-compiled → lazy-compiled → generic, see
-//!   [`select_engine`]); [`select_engine_clique`] extends the waterfall
-//!   with the count tier for graph-free clique populations. Among the
-//!   sequential engines the choice never changes the results, only the
-//!   wall-clock time; the choice made is recorded in
+//! * [`run_trials_auto`] — the selection point over the sequential
+//!   engines (AOT-compiled → lazy-compiled → generic, see
+//!   [`select_engine`]), plus the opt-in lane tier when the AOT path
+//!   wins a fault-free, census-free cell with at least
+//!   [`LANE_MIN_TRIALS`] trials; [`select_engine_clique`] extends the
+//!   waterfall with the count tier for graph-free clique populations.
+//!   Among the trace-identical engines the choice never changes the
+//!   results, only the wall-clock time; the choice made is recorded in
 //!   [`TrialResult::engine`].
 //!
 //! Each entry point has a `*_with_faults` counterpart taking a
@@ -35,7 +43,8 @@
 use crate::dense::table::{overflow_walk, WalkVerdict};
 use crate::dense::{
     compile_for_count, count_supported, CompiledProtocol, CountEngine, DenseExecutor,
-    LazyDenseExecutor, COUNT_MIN_AGENTS, DEFAULT_MAX_COMPILED_STATES, PROBE_EVAL_BUDGET,
+    LaneDenseExecutor, LazyDenseExecutor, COUNT_MIN_AGENTS, DEFAULT_MAX_COMPILED_STATES,
+    PROBE_EVAL_BUDGET,
 };
 use crate::executor::Executor;
 use crate::faults::{fault_seed, run_with_faults, FaultPlan, Recovery};
@@ -74,6 +83,12 @@ pub enum Engine {
     /// `O(√n)` interaction batches. Exact in distribution rather than
     /// trace-identical (see [`crate::dense::count`]).
     Count,
+    /// The lane-parallel dense engine ([`crate::LaneDenseExecutor`]):
+    /// 8–16 trials of one compiled cell stepped in lockstep, each lane
+    /// consuming exactly the RNG stream its trial seed would produce on
+    /// the scalar [`crate::DenseExecutor`] — per-trial trace-identical
+    /// to the sequential engines (see [`crate::dense::lanes`]).
+    Lanes,
 }
 
 impl Engine {
@@ -85,6 +100,7 @@ impl Engine {
             Engine::Dense => "dense",
             Engine::LazyDense => "lazy",
             Engine::Count => "count",
+            Engine::Lanes => "lanes",
         }
     }
 }
@@ -151,6 +167,14 @@ pub struct TrialOptions {
     pub max_steps: u64,
     /// Whether to record the distinct-state census (slower).
     pub census: bool,
+    /// Opt into the lane-parallel dense engine: when set,
+    /// [`run_trials_auto`] routes cells that win the AOT tier through
+    /// [`run_trials_lanes`] — provided the cell is fault-free, the
+    /// census is off, and at least [`LANE_MIN_TRIALS`] trials are
+    /// requested. Per-trial results are identical either way (the lane
+    /// engine is trace-identical to the scalar dense engine); only the
+    /// wall-clock time and the recorded [`TrialResult::engine`] differ.
+    pub lanes: bool,
     /// Worker threads; `0` = one per available core.
     pub threads: usize,
 }
@@ -162,6 +186,7 @@ impl Default for TrialOptions {
             first_trial: 0,
             max_steps: u64::MAX,
             census: false,
+            lanes: false,
             threads: 0,
         }
     }
@@ -477,6 +502,148 @@ pub fn run_trials_count<P: Protocol + Clone>(
     fan_out(options.trials, threads, fresh_engine, run_one)
 }
 
+/// Fewest remaining trials for which [`run_trials_auto`] considers the
+/// lane engine worth engaging: below a full minimum pack the lockstep
+/// interleave has too few independent chains to overlap and the scalar
+/// dense engine is at least as fast.
+pub const LANE_MIN_TRIALS: usize = 8;
+
+/// Most lanes [`run_trials_lanes`] packs into one
+/// [`LaneDenseExecutor`]: past 16 interleaved chains the per-lane state
+/// rows start spilling out of the close caches and the marginal overlap
+/// gain is gone (the executor itself accepts up to
+/// [`crate::dense::MAX_LANES`]).
+pub const LANE_MAX_LANES: usize = 16;
+
+/// Runs `options.trials` independent executions on the lane-parallel
+/// dense engine: each worker thread owns one [`LaneDenseExecutor`]
+/// pack of up to [`LANE_MAX_LANES`] lanes, claims global trial indices
+/// work-stealing style, and retire-and-refills lanes as trials finish —
+/// a lane that stabilizes frees its slot for the next `first_trial`
+/// offset instead of stalling the pack.
+///
+/// Seed derivation matches [`run_trials`] exactly (child seed
+/// `first_trial + i` of `master_seed`, one private scheduler per lane),
+/// and the lane engine is trace-identical to the scalar
+/// [`DenseExecutor`] per trial, so for any thread count, lane count and
+/// sharding the results equal [`run_trials_dense`]'s except for the
+/// [`TrialResult::engine`] tag (which equality ignores). The distinct
+/// states field is always `None`.
+///
+/// # Panics
+///
+/// Panics if `options.census` is set — the lane engine does not census
+/// (callers wanting the census take the scalar path, which is what
+/// [`run_trials_auto`] arranges).
+///
+/// # Examples
+///
+/// ```
+/// use popele_engine::monte_carlo::{run_trials_dense, run_trials_lanes, TrialOptions};
+/// use popele_engine::CompiledProtocol;
+/// # use popele_engine::{LeaderCountOracle, Protocol, Role};
+/// # #[derive(Clone, Copy)]
+/// # struct Absorb;
+/// # impl Protocol for Absorb {
+/// #     type State = bool;
+/// #     type Oracle = LeaderCountOracle;
+/// #     fn initial_state(&self, _node: u32) -> bool { true }
+/// #     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+/// #         if *a && *b { (true, false) } else { (*a, *b) }
+/// #     }
+/// #     fn output(&self, s: &bool) -> Role {
+/// #         if *s { Role::Leader } else { Role::Follower }
+/// #     }
+/// #     fn oracle(&self) -> LeaderCountOracle { LeaderCountOracle::new() }
+/// # }
+///
+/// let g = popele_graph::families::clique(12);
+/// let compiled = CompiledProtocol::compile_default(&Absorb, 12).unwrap();
+/// let opts = TrialOptions { trials: 9, max_steps: 1 << 22, ..TrialOptions::default() };
+/// // The lane engine is trace-identical to the scalar dense engine.
+/// assert_eq!(
+///     run_trials_lanes(&g, &compiled, 7, opts),
+///     run_trials_dense(&g, &compiled, 7, opts),
+/// );
+/// ```
+#[must_use]
+pub fn run_trials_lanes<P: Protocol>(
+    graph: &Graph,
+    compiled: &CompiledProtocol<P>,
+    master_seed: u64,
+    options: TrialOptions,
+) -> Vec<TrialResult> {
+    assert!(
+        !options.census,
+        "the lane engine does not support the state census"
+    );
+    let seq = SeedSeq::new(master_seed);
+    // One worker per prospective minimum pack, so every worker's
+    // executor has at least LANE_MIN_TRIALS trials to interleave.
+    let threads = resolve_threads(
+        options.threads,
+        options.trials.div_ceil(LANE_MIN_TRIALS).max(1),
+    );
+    let lanes = options.trials.clamp(2, LANE_MAX_LANES);
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<TrialResult>>> =
+        (0..options.trials).map(|_| Mutex::new(None)).collect();
+    let worker = || {
+        let mut exec = LaneDenseExecutor::new(graph, compiled, lanes);
+        loop {
+            // Refill free lanes from the shared trial counter. A trial
+            // that is stable at step 0 retires inside `load` without
+            // occupying the slot, so keep claiming while slots stay
+            // free.
+            while exec.has_free_lane() {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= options.trials {
+                    break;
+                }
+                let trial = options.first_trial + i;
+                exec.load(trial, seq.child(trial as u64));
+            }
+            while let Some(done) = exec.take_finished() {
+                let slot = done.trial - options.first_trial;
+                *results[slot].lock().expect("result slot poisoned") = Some(TrialResult {
+                    trial: done.trial,
+                    stabilization_step: done.stabilization_step,
+                    leader: done.leader,
+                    distinct_states: None,
+                    recovery: None,
+                    holding: None,
+                    engine: Engine::Lanes,
+                });
+            }
+            // The refill loop only leaves every lane idle once the trial
+            // counter is exhausted, so an empty pack means this worker
+            // is done.
+            if exec.num_active() == 0 {
+                break;
+            }
+            exec.run_block(options.max_steps);
+        }
+    };
+    if threads <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(worker);
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every trial completed")
+        })
+        .collect()
+}
+
 /// Outcome of the internal engine selection: the compiled table rides
 /// along when the AOT path won, so `run_trials_auto` never compiles
 /// twice. Shared with [`crate::stabilize`]'s seeded selection.
@@ -665,7 +832,17 @@ pub fn run_trials_auto<P: Protocol + Clone>(
     options: TrialOptions,
 ) -> Vec<TrialResult> {
     match select(protocol, graph.num_nodes()) {
-        Selected::Dense(compiled) => run_trials_dense(graph, &compiled, master_seed, options),
+        Selected::Dense(compiled) => {
+            // The opt-in fifth tier: lane-packed trials whenever the AOT
+            // path won and the cell qualifies (census off, enough trials
+            // to fill a minimum pack). Trace-identical to the scalar
+            // path per trial — only speed and the engine tag change.
+            if options.lanes && !options.census && options.trials >= LANE_MIN_TRIALS {
+                run_trials_lanes(graph, &compiled, master_seed, options)
+            } else {
+                run_trials_dense(graph, &compiled, master_seed, options)
+            }
+        }
         Selected::Lazy => run_trials_lazy(graph, protocol, master_seed, options),
         Selected::Generic => run_trials(graph, protocol, master_seed, options),
     }
@@ -812,6 +989,13 @@ pub fn run_trials_auto_with_faults<P: Protocol + Clone>(
     options: TrialOptions,
     plan: &FaultPlan,
 ) -> Vec<TrialResult> {
+    if plan.is_empty() {
+        // Bit-identical delegation (an empty plan resolves to nothing
+        // and `max_joins` is 0, so selection is unchanged) — and the
+        // only gate through which the fault-aware entry point reaches
+        // the lane tier: lane eligibility requires a fault-free cell.
+        return run_trials_auto(graph, protocol, master_seed, options);
+    }
     let max_nodes = graph.num_nodes() + plan.max_joins();
     match select(protocol, max_nodes) {
         Selected::Dense(compiled) => {
@@ -1052,6 +1236,7 @@ mod tests {
             first_trial,
             max_steps: 1 << 22,
             census: false,
+            lanes: false,
             threads: 2,
         };
         let whole = run_trials(&g, &Absorb, 77, opts(0, 9));

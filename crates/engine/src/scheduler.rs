@@ -136,6 +136,22 @@ impl<'g> EdgeScheduler<'g> {
         self.steps
     }
 
+    /// Crate-internal access to the generator for bulk steppers (the
+    /// lane engine's vectorized draw pass) that advance this
+    /// scheduler's stream out-of-band — reproducing it draw for draw —
+    /// and hand the state back via [`SmallRng::set_state`], accounting
+    /// the draws with [`Self::add_steps`].
+    pub(crate) fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Accounts `k` out-of-band draws taken through [`Self::rng_mut`],
+    /// keeping [`Self::steps`] equal to the number of pairs consumed
+    /// from the stream.
+    pub(crate) fn add_steps(&mut self, k: u64) {
+        self.steps += k;
+    }
+
     /// Number of undirected edges `m` of the underlying graph.
     #[must_use]
     pub fn num_edges(&self) -> usize {

@@ -43,6 +43,14 @@ pub struct CampaignOptions {
     pub interrupt_after: Option<usize>,
     /// Print per-shard progress to stderr.
     pub progress: bool,
+    /// Opt into the lane-parallel dense engine for eligible shards
+    /// (fault-free cells whose protocol wins the AOT tier, with at
+    /// least `popele_engine::monte_carlo::LANE_MIN_TRIALS` trials in
+    /// the shard — see [`TrialOptions::lanes`]). The engines are
+    /// trace-identical per trial, so `checkpoint.json` and
+    /// `summary.json` are byte-identical with the flag on or off; only
+    /// wall-clock time changes.
+    pub lanes: bool,
 }
 
 impl Default for CampaignOptions {
@@ -51,6 +59,7 @@ impl Default for CampaignOptions {
             out_dir: PathBuf::from("results"),
             interrupt_after: None,
             progress: false,
+            lanes: false,
         }
     }
 }
@@ -196,7 +205,14 @@ pub fn run_campaign(spec: &SweepSpec, options: &CampaignOptions) -> io::Result<C
                     n: graph.num_nodes(),
                     m: graph.num_edges() as u64,
                 });
-            run_shard(spec, &shard.cell, graph, shard.first_trial, shard.trials)
+            run_shard(
+                spec,
+                &shard.cell,
+                graph,
+                shard.first_trial,
+                shard.trials,
+                options.lanes,
+            )
         };
         checkpoint
             .shards
@@ -230,12 +246,14 @@ fn run_shard(
     graph: &Graph,
     first_trial: usize,
     trials: usize,
+    lanes: bool,
 ) -> Vec<TrialResult> {
     let options = TrialOptions {
         trials,
         first_trial,
         max_steps: spec.max_steps,
         census: false,
+        lanes,
         threads: spec.threads,
     };
     let seed = spec.cell_seed(cell);
@@ -308,6 +326,9 @@ fn run_shard_count(
         first_trial,
         max_steps: spec.max_steps,
         census: false,
+        // The count tier is distribution-exact, not trace-identical;
+        // the lane flag is meaningless there.
+        lanes: false,
         threads: spec.threads,
     };
     let seed = spec.cell_seed(cell);

@@ -898,6 +898,175 @@ mod tests {
         }
     }
 
+    /// Exact binomial pmf over `0..=n` via u128 binomial coefficients
+    /// (small parameters only).
+    fn exact_binom_pmf(n: u64, p: f64) -> Vec<f64> {
+        fn choose(n: u64, k: u64) -> u128 {
+            let k = k.min(n - k);
+            let mut acc: u128 = 1;
+            for i in 0..k {
+                acc = acc * u128::from(n - i) / u128::from(i + 1);
+            }
+            acc
+        }
+        (0..=n)
+            .map(|k| choose(n, k) as f64 * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32))
+            .collect()
+    }
+
+    #[test]
+    fn multinomial_marginals_match_exact_binomial_chi_square() {
+        // The chained-binomial sampler must give each category its
+        // exact marginal law Bin(trials, wᵢ/Σw) — not just the right
+        // aggregate frequencies. This pins the conditional chain itself:
+        // an error in the renormalization `wᵢ/Σ_{j≥i} wⱼ` preserves the
+        // aggregate means but skews the per-category histograms.
+        let weights = vec![0.2, 1.3, 2.5];
+        let total: f64 = weights.iter().sum();
+        let trials = 12u64;
+        let m = Multinomial::new(trials, weights.clone());
+        let mut rng = SmallRng::seed_from_u64(61);
+        let mut hists = vec![vec![0u64; trials as usize + 1]; weights.len()];
+        for _ in 0..30_000 {
+            for (hist, k) in hists.iter_mut().zip(m.sample(&mut rng)) {
+                hist[k as usize] += 1;
+            }
+        }
+        for (i, (hist, w)) in hists.iter().zip(&weights).enumerate() {
+            let pmf = exact_binom_pmf(trials, w / total);
+            let stat = chi_square(hist, &pmf);
+            // df ≤ 12; χ²₀.₉₉₉(12) ≈ 32.9 — allow slack for pooling.
+            assert!(stat < 36.0, "category {i}: χ² = {stat}, hist {hist:?}");
+        }
+    }
+
+    #[test]
+    fn multinomial_joint_chi_square_small_support() {
+        // Joint goodness of fit over *whole count vectors*: 3 draws
+        // into 3 categories has only 10 compositions, so the exact
+        // joint pmf trials!/(∏kᵢ!)·∏pᵢ^kᵢ is enumerable. Marginals
+        // cannot see a broken dependence structure between categories;
+        // this can.
+        let weights = [1.0f64, 2.0, 1.0];
+        let total: f64 = weights.iter().sum();
+        let m = Multinomial::new(3, weights.to_vec());
+        let mut support = Vec::new(); // (composition, probability)
+        for a in 0..=3u64 {
+            for b in 0..=(3 - a) {
+                let c = 3 - a - b;
+                let coeff = (6 / (fact(a) * fact(b) * fact(c))) as f64;
+                let p = coeff
+                    * (weights[0] / total).powi(a as i32)
+                    * (weights[1] / total).powi(b as i32)
+                    * (weights[2] / total).powi(c as i32);
+                support.push(([a, b, c], p));
+            }
+        }
+        fn fact(k: u64) -> u64 {
+            (1..=k).product::<u64>().max(1)
+        }
+        let mut rng = SmallRng::seed_from_u64(67);
+        let mut counts = vec![0u64; support.len()];
+        for _ in 0..40_000 {
+            let s = m.sample(&mut rng);
+            let idx = support
+                .iter()
+                .position(|(comp, _)| comp[..] == s[..])
+                .expect("sample outside enumerated support");
+            counts[idx] += 1;
+        }
+        let probs: Vec<f64> = support.iter().map(|&(_, p)| p).collect();
+        let stat = chi_square(&counts, &probs);
+        // df ≤ 9; χ²₀.₉₉₉(9) ≈ 27.9.
+        assert!(stat < 30.0, "joint χ² = {stat}, counts {counts:?}");
+    }
+
+    #[test]
+    fn multinomial_covariance_is_negative_product() {
+        // Cov(Xᵢ, Xⱼ) = −n·pᵢ·pⱼ for i ≠ j: the categories compete for
+        // the same draws. A sampler that drew categories independently
+        // (right marginals, zero covariance) passes every marginal test
+        // and fails this one.
+        let m = Multinomial::new(40, vec![1.0, 1.0, 2.0]);
+        let mut rng = SmallRng::seed_from_u64(71);
+        let samples = 40_000;
+        let (mut sx, mut sy, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..samples {
+            let s = m.sample(&mut rng);
+            let (x, y) = (s[0] as f64, s[1] as f64);
+            sx += x;
+            sy += y;
+            sxy += x * y;
+        }
+        let nf = samples as f64;
+        let cov = sxy / nf - (sx / nf) * (sy / nf);
+        let expected = -40.0 * 0.25 * 0.25; // = −2.5
+        assert!(
+            (cov - expected).abs() < 0.15,
+            "cov {cov}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn multinomial_interleaved_zero_weight_categories() {
+        // Zero-weight categories in leading, interior and trailing
+        // positions: the leading one exercises Bin(n, 0) draws, the
+        // trailing one the weight-exhaustion break — and none of them
+        // may ever receive a count or disturb their neighbours' means.
+        let m = Multinomial::new(50, vec![0.0, 2.0, 0.0, 1.0, 0.0]);
+        let mut rng = SmallRng::seed_from_u64(73);
+        let mut sums = [0u64; 5];
+        let draws = 20_000;
+        for _ in 0..draws {
+            let s = m.sample(&mut rng);
+            assert_eq!(s.iter().sum::<u64>(), 50);
+            for (acc, k) in sums.iter_mut().zip(s) {
+                *acc += k;
+            }
+        }
+        assert_eq!(sums[0], 0);
+        assert_eq!(sums[2], 0);
+        assert_eq!(sums[4], 0);
+        let mean1 = sums[1] as f64 / draws as f64;
+        let mean3 = sums[3] as f64 / draws as f64;
+        assert!((mean1 - 50.0 * 2.0 / 3.0).abs() < 0.2, "mean1 {mean1}");
+        assert!((mean3 - 50.0 / 3.0).abs() < 0.2, "mean3 {mean3}");
+    }
+
+    #[test]
+    fn multinomial_sample_into_matches_sample_and_resizes() {
+        // `sample_into` is the count engine's allocation-free entry
+        // point: same RNG stream ⇒ same counts as `sample`, and any
+        // stale buffer contents (wrong length, old values) are
+        // overwritten.
+        let m = Multinomial::new(33, vec![1.0, 4.0, 2.0]);
+        let mut a = SmallRng::seed_from_u64(79);
+        let mut b = SmallRng::seed_from_u64(79);
+        let mut out = vec![999u64; 7];
+        for _ in 0..100 {
+            m.sample_into(&mut a, &mut out);
+            assert_eq!(out, m.sample(&mut b));
+            assert_eq!(out.len(), 3);
+            out.push(999); // stale garbage for the next round
+        }
+    }
+
+    #[test]
+    fn multinomial_zero_trials_edge_cases() {
+        // trials = 0 across category shapes, including zero weights:
+        // every count vector is all-zero with the right length, and no
+        // RNG draws are consumed (the stream stays untouched).
+        let mut rng = SmallRng::seed_from_u64(83);
+        let before = rng.clone();
+        for weights in [vec![1.0], vec![0.0, 1.0], vec![2.0, 0.0, 5.0]] {
+            let len = weights.len();
+            let counts = Multinomial::new(0, weights).sample(&mut rng);
+            assert_eq!(counts, vec![0u64; len]);
+        }
+        let mut before = before;
+        assert_eq!(rng.random::<u64>(), before.random::<u64>());
+    }
+
     #[test]
     #[should_panic(expected = "nonempty")]
     fn multinomial_empty_weights_panics() {

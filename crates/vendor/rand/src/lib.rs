@@ -249,6 +249,31 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words — for bulk steppers that
+        /// reproduce this generator's stream exactly out-of-band (e.g.
+        /// lane-parallel engines stepping many generators at once) and
+        /// then restore the advanced state with [`Self::set_state`].
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Replaces the state words (the counterpart of
+        /// [`Self::state`]). The caller is responsible for handing back
+        /// a state reachable from this generator's seed if stream
+        /// reproducibility matters; an all-zero state is degenerate
+        /// (xoshiro maps it to itself) and is rejected.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `s` is all zeros.
+        pub fn set_state(&mut self, s: [u64; 4]) {
+            assert!(s != [0; 4], "the all-zero xoshiro state is degenerate");
+            self.s = s;
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut state = seed;

@@ -241,6 +241,7 @@ fn lazy_trials_bit_identical_across_threads_and_shards() {
         first_trial,
         max_steps: 1 << 22,
         census: false,
+        lanes: false,
         threads,
     };
     let generic = run_trials(&g, &p, 0xBEEF, opts(1, 0, 8));

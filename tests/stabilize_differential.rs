@@ -166,6 +166,7 @@ fn stabilize_trials_are_thread_and_shard_invariant() {
         first_trial,
         max_steps: 1 << 19,
         census: false,
+        lanes: false,
         threads,
     };
     let whole = run_trials_stabilize_auto(&g, &p, 9, opts(0, 9, 1), &FaultPlan::empty());

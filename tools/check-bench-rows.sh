@@ -21,6 +21,10 @@ expected=(
   "engine/steps/cycle_1000"
   "engine/steps/cycle_120000"
   "engine/steps/fast_cycle_120000"
+  "engine/lanes/token_clique_1000_8"
+  "engine/lanes/token_clique_1000_16"
+  "engine/lanes/fast_cycle_1000_8"
+  "engine/lanes/fast_cycle_1000_16"
   "engine/count/fast_clique_1e7"
   "engine/count/fast_clique_1e8"
   "engine/count/token_clique_1e9"
