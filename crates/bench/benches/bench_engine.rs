@@ -30,6 +30,16 @@
 //!   `n = 10⁷` has ~5·10¹³ edges, so the graph-backed engines cannot
 //!   even construct the workload. The JSON reports absolute medians and
 //!   interactions/second instead of a speedup.
+//! * **campaign scheduler** ([`run_campaign`]): end-to-end sweep
+//!   campaigns through the real runner — a 32-shard grid under the
+//!   serial scheduler vs a 4-worker pool (identical outputs by the
+//!   byte-identity contract, so the ratio is pure scheduling), and the
+//!   per-shard checkpoint save at 10³ completed shards: one journal
+//!   append (O(shard)) vs the full `checkpoint.json` rewrite
+//!   (O(campaign)) it replaces. On a single-core host the worker-pool
+//!   ratio measures scheduler overhead, not speedup — the workers
+//!   contend for one CPU; the `io_ratio` of the checkpoint row is
+//!   hardware-independent.
 //!
 //! All racing engines consume identical seed sequences, so they execute
 //! the exact same interaction sequences; the measured ratio is pure
@@ -49,6 +59,11 @@ use popele_engine::{
     LazyDenseExecutor, Protocol,
 };
 use popele_graph::{families, Graph};
+use popele_lab::sweep::{
+    run_campaign, CampaignOptions, CellMeta, Checkpoint, Journal, JournalEntry, ProtocolSpec,
+    SweepSpec, TrialRecord,
+};
+use popele_lab::workloads::Family;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -452,6 +467,146 @@ fn bench_count(c: &mut Criterion) {
     group.finish();
 }
 
+/// Campaign-tier workload names, shared with `render_json` for the same
+/// rename protection as [`FAST_STEPS_WORKLOAD`].
+const CAMPAIGN_GRID_WORKLOAD: &str = "grid_32shards";
+const CAMPAIGN_CHECKPOINT_WORKLOAD: &str = "checkpoint_1000";
+/// Worker-pool size raced against the serial scheduler.
+const CAMPAIGN_WORKERS: usize = 4;
+/// Completed shards in the synthetic checkpoint whose save cost the
+/// checkpoint workload measures — deep enough that the O(campaign)
+/// rewrite dwarfs an O(shard) append, shallow enough for sub-second
+/// iterations.
+const CAMPAIGN_CHECKPOINT_SHARDS: usize = 1_000;
+/// Journal appends per iteration of the journal side: amortizes the
+/// per-iteration journal reset (a header rewrite) across a batch, so
+/// the per-append median reported in the JSON is the steady-state
+/// append cost, not the reset.
+const CAMPAIGN_JOURNAL_BATCH: usize = 100;
+
+/// The grid the scheduler race runs: 8 cells × 4 single-trial shards —
+/// small enough for sub-second iterations, sharded enough that the
+/// worker pool has real stealing to do and the artifact cache sees
+/// repeated hits per cell.
+fn campaign_spec() -> SweepSpec {
+    SweepSpec {
+        name: "bench".into(),
+        protocols: vec![ProtocolSpec::Token, ProtocolSpec::Majority],
+        families: vec![Family::Clique, Family::Star],
+        sizes: vec![64, 128],
+        trials_per_cell: 4,
+        shard_trials: 1,
+        max_steps: 1 << 22,
+        master_seed: 0xBE7C4,
+        threads: 1,
+        max_edges: 1 << 20,
+        ..SweepSpec::default()
+    }
+}
+
+/// A synthetic completed-shard record: the fields are arbitrary but
+/// realistic (a stabilized trial), so rendered line lengths match real
+/// checkpoints.
+fn synth_record(trial: usize) -> TrialRecord {
+    TrialRecord {
+        trial,
+        steps: Some(123_456 + trial as u64),
+        leader: Some(7),
+        recovery: None,
+        holding: None,
+    }
+}
+
+/// A checkpoint holding `shards` completed shards (2 trials each), the
+/// save-cost baseline the journal replaces.
+fn synth_checkpoint(spec: &SweepSpec, shards: usize) -> Checkpoint {
+    let mut ckpt = Checkpoint::new(spec);
+    for s in 0..shards {
+        let cell = format!("token/clique/{}", 1000 + s / 4);
+        ckpt.cells
+            .entry(cell.clone())
+            .or_insert(CellMeta { n: 64, m: 2016 });
+        ckpt.shards.insert(
+            format!("{cell}/s{}", s % 4),
+            vec![synth_record(2 * (s % 4)), synth_record(2 * (s % 4) + 1)],
+        );
+    }
+    ckpt
+}
+
+/// Campaign-tier races. The grid workload runs the whole pipeline —
+/// graph builds, engine selection, trials, journal, compaction — with
+/// the scheduler as the only variable. The checkpoint workload isolates
+/// the per-shard save: appending one completed shard to the journal vs
+/// rewriting a `checkpoint.json` that already holds
+/// [`CAMPAIGN_CHECKPOINT_SHARDS`] shards, which is what *every* shard
+/// completion used to cost.
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep/campaign");
+    group.sample_size(10);
+    let spec = campaign_spec();
+    let out_dir = std::env::temp_dir().join("popele-bench-campaign");
+    for (label, workers) in [("serial", 1), ("workers4", CAMPAIGN_WORKERS)] {
+        group.bench_with_input(
+            BenchmarkId::new(label, CAMPAIGN_GRID_WORKLOAD),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    std::fs::remove_dir_all(&out_dir).ok();
+                    let outcome = run_campaign(
+                        &spec,
+                        &CampaignOptions {
+                            out_dir: out_dir.clone(),
+                            workers,
+                            ..CampaignOptions::default()
+                        },
+                    )
+                    .expect("bench campaign runs");
+                    assert!(outcome.completed);
+                    black_box(outcome.ran_shards)
+                });
+            },
+        );
+    }
+    std::fs::remove_dir_all(&out_dir).ok();
+
+    let dir = std::env::temp_dir().join("popele-bench-checkpoint");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = synth_checkpoint(&campaign_spec(), CAMPAIGN_CHECKPOINT_SHARDS);
+    let entry = JournalEntry {
+        shard_key: "token/clique/2000/s0".into(),
+        cell_key: "token/clique/2000".into(),
+        meta: CellMeta { n: 64, m: 2016 },
+        records: vec![synth_record(0), synth_record(1)],
+    };
+    group.bench_with_input(
+        BenchmarkId::new("rewrite", CAMPAIGN_CHECKPOINT_WORKLOAD),
+        &ckpt,
+        |b, ckpt| {
+            let path = dir.join("checkpoint.json");
+            b.iter(|| ckpt.save(&path).expect("checkpoint save"));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("journal", CAMPAIGN_CHECKPOINT_WORKLOAD),
+        &entry,
+        |b, entry| {
+            let (mut journal, _) =
+                Journal::open(&dir.join("checkpoint.log"), &ckpt.fingerprint).unwrap();
+            b.iter(|| {
+                journal.clear(&ckpt.fingerprint).expect("journal reset");
+                for _ in 0..CAMPAIGN_JOURNAL_BATCH {
+                    journal.append(entry).expect("journal append");
+                }
+                black_box(journal.len())
+            });
+        },
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    group.finish();
+}
+
 fn median_of<'a>(ms: &'a [Measurement], id: &str) -> Option<&'a Measurement> {
     ms.iter().find(|m| m.id == id)
 }
@@ -575,6 +730,65 @@ fn render_json(ms: &[Measurement]) -> (String, Vec<String>) {
         }
         out.push('}');
     }
+    // Campaign tier: the scheduler race reports the serial/pool ratio
+    // (≈1.0 on a single-core host — see the module doc); the checkpoint
+    // row reports the per-append journal cost (batch median divided by
+    // the batch size) and the I/O ratio a journaled save buys over the
+    // full rewrite.
+    {
+        let serial = median_of(
+            ms,
+            &format!("sweep/campaign/serial/{CAMPAIGN_GRID_WORKLOAD}"),
+        );
+        let pooled = median_of(
+            ms,
+            &format!("sweep/campaign/workers4/{CAMPAIGN_GRID_WORKLOAD}"),
+        );
+        if let (Some(serial), Some(pooled)) = (serial, pooled) {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let speedup = serial.median_ns / pooled.median_ns;
+            let _ = write!(
+                out,
+                "    {{\"workload\": \"sweep/campaign/{CAMPAIGN_GRID_WORKLOAD}\", \
+                 \"engine\": \"workers\", \"num_workers\": {CAMPAIGN_WORKERS}, \
+                 \"serial_median_ns\": {:.0}, \"workers_median_ns\": {:.0}, \
+                 \"speedup\": {:.2}}}",
+                serial.median_ns, pooled.median_ns, speedup
+            );
+        } else {
+            missing.push(format!("sweep/campaign/{CAMPAIGN_GRID_WORKLOAD} (workers)"));
+        }
+        let rewrite = median_of(
+            ms,
+            &format!("sweep/campaign/rewrite/{CAMPAIGN_CHECKPOINT_WORKLOAD}"),
+        );
+        let journal = median_of(
+            ms,
+            &format!("sweep/campaign/journal/{CAMPAIGN_CHECKPOINT_WORKLOAD}"),
+        );
+        if let (Some(rewrite), Some(journal)) = (rewrite, journal) {
+            if !first {
+                out.push_str(",\n");
+            }
+            let append_ns = journal.median_ns / CAMPAIGN_JOURNAL_BATCH as f64;
+            let _ = write!(
+                out,
+                "    {{\"workload\": \"sweep/campaign/{CAMPAIGN_CHECKPOINT_WORKLOAD}\", \
+                 \"engine\": \"journal\", \"num_shards\": {CAMPAIGN_CHECKPOINT_SHARDS}, \
+                 \"rewrite_median_ns\": {:.0}, \"journal_append_median_ns\": {append_ns:.0}, \
+                 \"io_ratio\": {:.1}}}",
+                rewrite.median_ns,
+                rewrite.median_ns / append_ns
+            );
+        } else {
+            missing.push(format!(
+                "sweep/campaign/{CAMPAIGN_CHECKPOINT_WORKLOAD} (journal)"
+            ));
+        }
+    }
     out.push_str("\n  ]\n}\n");
     (out, missing)
 }
@@ -588,6 +802,7 @@ fn main() {
     bench_fixed_steps(&mut c);
     bench_lanes(&mut c);
     bench_count(&mut c);
+    bench_campaign(&mut c);
 
     let ms = take_measurements();
     let (json, missing) = render_json(&ms);

@@ -118,7 +118,7 @@ pub use dense::{
 };
 pub use executor::{Executor, NotStabilized, Outcome};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, ResolvedFaultPlan};
-pub use monte_carlo::Engine;
+pub use monte_carlo::{Engine, EngineSelection};
 pub use protocol::{LeaderCountOracle, Protocol, Role, StabilityOracle, EFFECT_OPAQUE};
 pub use scheduler::EdgeScheduler;
 pub use stabilize::{ArbitraryInit, HoldingTime};

@@ -39,6 +39,13 @@
 //! contract — identical results across engines, thread counts and
 //! shardings — extends to fault-injected campaigns, and recovery
 //! metrics are attached to each [`TrialResult`].
+//!
+//! The selecting entry points additionally come in `*_prepared` form
+//! ([`run_trials_auto_prepared`], [`run_trials_auto_with_faults_prepared`],
+//! [`run_trials_count_prepared`]) taking an [`EngineSelection`] (or
+//! pre-compiled count table) the caller produced once and reuses across
+//! calls — the hook sweep campaigns use to pay selection and
+//! compilation once per *cell* instead of once per shard.
 
 use crate::dense::table::{overflow_walk, WalkVerdict};
 use crate::dense::{
@@ -55,7 +62,7 @@ use popele_math::rng::SeedSeq;
 use popele_math::stats::Summary;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Which simulation engine executed a trial (or batch of trials).
 ///
@@ -477,6 +484,31 @@ pub fn run_trials_count<P: Protocol + Clone>(
 ) -> Vec<TrialResult> {
     let compiled = compile_for_count(protocol, num_agents)
         .expect("protocol state space exceeds the count-engine compile cap");
+    run_trials_count_prepared(&compiled, num_agents, master_seed, options)
+}
+
+/// [`run_trials_count`] with the compile hoisted out: runs on a table
+/// the caller compiled once (via [`compile_for_count`]) and reuses
+/// across calls — the count tier's counterpart of the `*_prepared`
+/// sequential entry points, used by sweep campaigns to share one table
+/// across all shards of a count cell.
+///
+/// `compiled` must come from [`compile_for_count`] for this
+/// `num_agents` (the count closure seeds differ from the per-agent
+/// compile); given that, results are bit-identical to
+/// [`run_trials_count`].
+///
+/// # Panics
+///
+/// Panics if `num_agents` is below 2 or above `u32::MAX` (the
+/// [`CountEngine`] constructor's contract).
+#[must_use]
+pub fn run_trials_count_prepared<P: Protocol + Clone>(
+    compiled: &CompiledProtocol<P>,
+    num_agents: u64,
+    master_seed: u64,
+    options: TrialOptions,
+) -> Vec<TrialResult> {
     let seq = SeedSeq::new(master_seed);
     let threads = resolve_threads(options.threads, options.trials);
 
@@ -497,7 +529,7 @@ pub fn run_trials_count<P: Protocol + Clone>(
             engine: Engine::Count,
         }
     };
-    let fresh_engine = || CountEngine::new(&compiled, num_agents, 0);
+    let fresh_engine = || CountEngine::new(compiled, num_agents, 0);
 
     fan_out(options.trials, threads, fresh_engine, run_one)
 }
@@ -646,11 +678,134 @@ pub fn run_trials_lanes<P: Protocol>(
 
 /// Outcome of the internal engine selection: the compiled table rides
 /// along when the AOT path won, so `run_trials_auto` never compiles
-/// twice. Shared with [`crate::stabilize`]'s seeded selection.
+/// twice. Shared with [`crate::stabilize`]'s seeded selection. The
+/// table sits behind an [`Arc`] so an [`EngineSelection`] can be cloned
+/// across worker threads without recompiling.
 pub(crate) enum Selected<P: Protocol> {
-    Dense(CompiledProtocol<P>),
+    Dense(Arc<CompiledProtocol<P>>),
     Lazy,
     Generic,
+}
+
+/// A reusable engine selection for one *cell* — one `(protocol,
+/// maximum node count)` pair — produced by [`EngineSelection::prepare`]
+/// (or [`crate::stabilize::prepare_stabilize_engine`] for
+/// arbitrary-start workloads) and consumed by the `*_prepared` entry
+/// points.
+///
+/// Selection is not free: the rejection path runs a bounded state-space
+/// probe and the accept path compiles the full `|Λ|²` transition table.
+/// A sweep campaign that shards a cell into many independently
+/// checkpointable slices would otherwise pay that cost once *per
+/// shard*; preparing once per cell and handing the same selection to
+/// every shard pays it once, and the `Arc`-shared table makes the
+/// hand-off to concurrent shard workers allocation-free. Cloning an
+/// `EngineSelection` clones the `Arc`, never the table.
+///
+/// The selection is only valid for the node count it was prepared for:
+/// engine choice depends on the reachable state space, which grows with
+/// the population. Fault campaigns must prepare at the plan's maximum
+/// node count (`graph.num_nodes() + plan.max_joins()`), exactly as
+/// [`run_trials_auto_with_faults`] does internally.
+///
+/// # Examples
+///
+/// ```
+/// use popele_engine::monte_carlo::{
+///     run_trials_auto, run_trials_auto_prepared, EngineSelection, TrialOptions,
+/// };
+/// # use popele_engine::{LeaderCountOracle, Protocol, Role};
+/// # #[derive(Clone, Copy)]
+/// # struct Absorb;
+/// # impl Protocol for Absorb {
+/// #     type State = bool;
+/// #     type Oracle = LeaderCountOracle;
+/// #     fn initial_state(&self, _node: u32) -> bool { true }
+/// #     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+/// #         if *a && *b { (true, false) } else { (*a, *b) }
+/// #     }
+/// #     fn output(&self, s: &bool) -> Role {
+/// #         if *s { Role::Leader } else { Role::Follower }
+/// #     }
+/// #     fn oracle(&self) -> LeaderCountOracle { LeaderCountOracle::new() }
+/// # }
+///
+/// let g = popele_graph::families::clique(12);
+/// let opts = TrialOptions { trials: 4, max_steps: 1 << 22, ..TrialOptions::default() };
+/// let selection = EngineSelection::prepare(&Absorb, g.num_nodes());
+/// // The prepared path is bit-identical to the self-selecting one.
+/// assert_eq!(
+///     run_trials_auto_prepared(&g, &Absorb, &selection, 7, opts),
+///     run_trials_auto(&g, &Absorb, 7, opts),
+/// );
+/// ```
+pub struct EngineSelection<P: Protocol> {
+    pub(crate) kind: Selected<P>,
+}
+
+impl<P: Protocol> Clone for EngineSelection<P> {
+    fn clone(&self) -> Self {
+        Self {
+            kind: match &self.kind {
+                Selected::Dense(compiled) => Selected::Dense(Arc::clone(compiled)),
+                Selected::Lazy => Selected::Lazy,
+                Selected::Generic => Selected::Generic,
+            },
+        }
+    }
+}
+
+impl<P: Protocol> fmt::Debug for EngineSelection<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineSelection")
+            .field("engine", &self.engine())
+            .finish()
+    }
+}
+
+impl<P: Protocol> EngineSelection<P> {
+    /// Selects the engine for `protocol` on a graph of `num_nodes`
+    /// nodes, compiling the AOT table when that tier wins — the
+    /// reusable form of the selection [`run_trials_auto`] performs
+    /// internally (same waterfall, same verdict, bit for bit).
+    #[must_use]
+    pub fn prepare(protocol: &P, num_nodes: u32) -> Self
+    where
+        P: Clone,
+    {
+        Self {
+            kind: select(protocol, num_nodes),
+        }
+    }
+
+    /// The sequential-tier engine this selection resolved to —
+    /// [`Engine::Dense`], [`Engine::LazyDense`] or [`Engine::Generic`]
+    /// (never the opt-in lane tier; see [`Self::engine_for`]).
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        match &self.kind {
+            Selected::Dense(_) => Engine::Dense,
+            Selected::Lazy => Engine::LazyDense,
+            Selected::Generic => Engine::Generic,
+        }
+    }
+
+    /// The engine [`run_trials_auto_prepared`] will actually run under
+    /// `options`: [`Self::engine`] upgraded to [`Engine::Lanes`] when
+    /// the AOT tier won and the options qualify for the lane pack
+    /// (lanes opted in, census off, at least [`LANE_MIN_TRIALS`]
+    /// trials) — the exact gate the run path applies.
+    #[must_use]
+    pub fn engine_for(&self, options: &TrialOptions) -> Engine {
+        match self.engine() {
+            Engine::Dense
+                if options.lanes && !options.census && options.trials >= LANE_MIN_TRIALS =>
+            {
+                Engine::Lanes
+            }
+            engine => engine,
+        }
+    }
 }
 
 /// Picks the engine for `protocol` on an `num_nodes`-node graph:
@@ -692,7 +847,7 @@ fn select<P: Protocol + Clone>(protocol: &P, num_nodes: u32) -> Selected<P> {
         }
     };
     match aot {
-        Some(compiled) => Selected::Dense(compiled),
+        Some(compiled) => Selected::Dense(Arc::new(compiled)),
         None if protocol.state_space_bound().is_some() => Selected::Lazy,
         None => Selected::Generic,
     }
@@ -831,16 +986,39 @@ pub fn run_trials_auto<P: Protocol + Clone>(
     master_seed: u64,
     options: TrialOptions,
 ) -> Vec<TrialResult> {
-    match select(protocol, graph.num_nodes()) {
+    let selection = EngineSelection::prepare(protocol, graph.num_nodes());
+    run_trials_auto_prepared(graph, protocol, &selection, master_seed, options)
+}
+
+/// [`run_trials_auto`] with the engine selection hoisted out: runs on
+/// whatever `selection` resolved to instead of re-probing and
+/// re-compiling per call.
+///
+/// `selection` must have been prepared for this protocol at
+/// `graph.num_nodes()` (see [`EngineSelection::prepare`]); given that,
+/// results are bit-identical to [`run_trials_auto`] — including the
+/// opt-in lane upgrade, which applies exactly when
+/// [`EngineSelection::engine_for`] says [`Engine::Lanes`]. This is the
+/// entry point sweep campaigns use to run many shards of one cell
+/// against a single prepared selection.
+#[must_use]
+pub fn run_trials_auto_prepared<P: Protocol + Clone>(
+    graph: &Graph,
+    protocol: &P,
+    selection: &EngineSelection<P>,
+    master_seed: u64,
+    options: TrialOptions,
+) -> Vec<TrialResult> {
+    match &selection.kind {
         Selected::Dense(compiled) => {
             // The opt-in fifth tier: lane-packed trials whenever the AOT
             // path won and the cell qualifies (census off, enough trials
             // to fill a minimum pack). Trace-identical to the scalar
             // path per trial — only speed and the engine tag change.
             if options.lanes && !options.census && options.trials >= LANE_MIN_TRIALS {
-                run_trials_lanes(graph, &compiled, master_seed, options)
+                run_trials_lanes(graph, compiled, master_seed, options)
             } else {
-                run_trials_dense(graph, &compiled, master_seed, options)
+                run_trials_dense(graph, compiled, master_seed, options)
             }
         }
         Selected::Lazy => run_trials_lazy(graph, protocol, master_seed, options),
@@ -997,9 +1175,34 @@ pub fn run_trials_auto_with_faults<P: Protocol + Clone>(
         return run_trials_auto(graph, protocol, master_seed, options);
     }
     let max_nodes = graph.num_nodes() + plan.max_joins();
-    match select(protocol, max_nodes) {
+    let selection = EngineSelection::prepare(protocol, max_nodes);
+    run_trials_auto_with_faults_prepared(graph, protocol, &selection, master_seed, options, plan)
+}
+
+/// [`run_trials_auto_with_faults`] with the engine selection hoisted
+/// out.
+///
+/// `selection` must have been prepared for this protocol at the plan's
+/// maximum node count — `graph.num_nodes() + plan.max_joins()`, which
+/// equals `graph.num_nodes()` for an empty plan; given that, results
+/// are bit-identical to [`run_trials_auto_with_faults`]. An empty plan
+/// delegates to [`run_trials_auto_prepared`] (the fault-free path,
+/// including its lane gate), mirroring the unprepared entry point.
+#[must_use]
+pub fn run_trials_auto_with_faults_prepared<P: Protocol + Clone>(
+    graph: &Graph,
+    protocol: &P,
+    selection: &EngineSelection<P>,
+    master_seed: u64,
+    options: TrialOptions,
+    plan: &FaultPlan,
+) -> Vec<TrialResult> {
+    if plan.is_empty() {
+        return run_trials_auto_prepared(graph, protocol, selection, master_seed, options);
+    }
+    match &selection.kind {
         Selected::Dense(compiled) => {
-            run_trials_dense_with_faults(graph, &compiled, master_seed, options, plan)
+            run_trials_dense_with_faults(graph, compiled, master_seed, options, plan)
         }
         Selected::Lazy => run_trials_lazy_with_faults(graph, protocol, master_seed, options, plan),
         Selected::Generic => run_trials_with_faults(graph, protocol, master_seed, options, plan),
@@ -1248,6 +1451,92 @@ mod tests {
         }
         assert_eq!(whole, sharded);
         assert_eq!(whole[5].trial, 5);
+    }
+
+    #[test]
+    fn prepared_selection_matches_self_selecting_paths() {
+        // One selection, reused across shards and a fault plan: every
+        // prepared entry point must be bit-identical to its
+        // self-selecting counterpart.
+        let g = families::clique(12);
+        let selection = EngineSelection::prepare(&Absorb, g.num_nodes());
+        assert_eq!(selection.engine(), Engine::Dense);
+        let opts = |first_trial| TrialOptions {
+            trials: 3,
+            first_trial,
+            max_steps: 1 << 22,
+            census: false,
+            lanes: false,
+            threads: 2,
+        };
+        for first_trial in [0, 3] {
+            assert_eq!(
+                run_trials_auto_prepared(&g, &Absorb, &selection, 77, opts(first_trial)),
+                run_trials_auto(&g, &Absorb, 77, opts(first_trial)),
+            );
+        }
+        let plan = FaultPlan::at(4, crate::faults::FaultKind::CorruptNodes { count: 1 });
+        assert_eq!(
+            run_trials_auto_with_faults_prepared(&g, &Absorb, &selection, 77, opts(0), &plan),
+            run_trials_auto_with_faults(&g, &Absorb, 77, opts(0), &plan),
+        );
+        // An empty plan must flow through the prepared fault-free path.
+        assert_eq!(
+            run_trials_auto_with_faults_prepared(
+                &g,
+                &Absorb,
+                &selection,
+                77,
+                opts(0),
+                &FaultPlan::empty()
+            ),
+            run_trials_auto(&g, &Absorb, 77, opts(0)),
+        );
+    }
+
+    #[test]
+    fn engine_for_mirrors_lane_gate() {
+        let selection = EngineSelection::prepare(&Absorb, 64);
+        let base = TrialOptions {
+            trials: LANE_MIN_TRIALS,
+            max_steps: 1 << 22,
+            ..TrialOptions::default()
+        };
+        assert_eq!(selection.engine_for(&base), Engine::Dense);
+        let lanes = TrialOptions {
+            lanes: true,
+            ..base
+        };
+        assert_eq!(selection.engine_for(&lanes), Engine::Lanes);
+        let few = TrialOptions {
+            trials: LANE_MIN_TRIALS - 1,
+            ..lanes
+        };
+        assert_eq!(selection.engine_for(&few), Engine::Dense);
+        let census = TrialOptions {
+            census: true,
+            ..lanes
+        };
+        assert_eq!(selection.engine_for(&census), Engine::Dense);
+    }
+
+    #[test]
+    fn count_prepared_matches_self_compiling_path() {
+        // A tight step budget keeps the quadratic duel endgame of the
+        // absorb protocol out of the test: both paths walk the same
+        // batch stream to the same deterministic timeout.
+        let num_agents = 200_000;
+        let compiled = compile_for_count(&Absorb, num_agents).unwrap();
+        let opts = TrialOptions {
+            trials: 2,
+            max_steps: 100_000,
+            threads: 1,
+            ..TrialOptions::default()
+        };
+        assert_eq!(
+            run_trials_count_prepared(&compiled, num_agents, 5, opts),
+            run_trials_count(&Absorb, num_agents, 5, opts),
+        );
     }
 
     #[test]

@@ -107,7 +107,9 @@ use crate::dense::{
 };
 use crate::executor::{Executor, NotStabilized, Outcome};
 use crate::faults::{drive_ops, fault_seed, FaultPlan, FaultTarget, Recovery, ResolvedFaultPlan};
-use crate::monte_carlo::{fan_out, resolve_threads, Engine, Selected, TrialOptions, TrialResult};
+use crate::monte_carlo::{
+    fan_out, resolve_threads, Engine, EngineSelection, Selected, TrialOptions, TrialResult,
+};
 use crate::protocol::Protocol;
 use popele_graph::Graph;
 use popele_math::rng::SeedSeq;
@@ -657,9 +659,31 @@ fn select_stabilize<P: ArbitraryInit + Clone>(protocol: &P, num_nodes: u32) -> S
         DEFAULT_MAX_COMPILED_STATES,
         &support,
     ) {
-        Ok(compiled) => Selected::Dense(compiled),
+        Ok(compiled) => Selected::Dense(std::sync::Arc::new(compiled)),
         Err(_) if protocol.state_space_bound().is_some() => Selected::Lazy,
         Err(_) => Selected::Generic,
+    }
+}
+
+/// Seeded engine selection for arbitrary-start workloads, in reusable
+/// form: the counterpart of [`EngineSelection::prepare`] that compiles
+/// over the protocol's arbitrary support (see
+/// [`select_stabilize_engine`] for the waterfall).
+///
+/// A selection prepared here is **not** interchangeable with one from
+/// [`EngineSelection::prepare`] — the AOT table is seeded with the
+/// arbitrary support, which the fixed-start closure does not contain —
+/// so hand it only to [`run_trials_stabilize_auto_prepared`]. Fault
+/// campaigns prepare at the plan's maximum node count
+/// (`graph.num_nodes() + plan.max_joins()`), exactly as
+/// [`run_trials_stabilize_auto`] does internally.
+#[must_use]
+pub fn prepare_stabilize_engine<P: ArbitraryInit + Clone>(
+    protocol: &P,
+    num_nodes: u32,
+) -> EngineSelection<P> {
+    EngineSelection {
+        kind: select_stabilize(protocol, num_nodes),
     }
 }
 
@@ -722,9 +746,32 @@ pub fn run_trials_stabilize_auto<P: ArbitraryInit + Clone>(
     plan: &FaultPlan,
 ) -> Vec<TrialResult> {
     let max_nodes = graph.num_nodes() + plan.max_joins();
-    match select_stabilize(protocol, max_nodes) {
+    let selection = prepare_stabilize_engine(protocol, max_nodes);
+    run_trials_stabilize_auto_prepared(graph, protocol, &selection, master_seed, options, plan)
+}
+
+/// [`run_trials_stabilize_auto`] with the engine selection hoisted out:
+/// runs on whatever `selection` resolved to instead of re-seeding and
+/// re-compiling per call.
+///
+/// `selection` must come from [`prepare_stabilize_engine`] for this
+/// protocol at the plan's maximum node count (`graph.num_nodes() +
+/// plan.max_joins()`); given that, results are bit-identical to
+/// [`run_trials_stabilize_auto`]. This is the entry point sweep
+/// campaigns use to run many shards of one loosely-stabilizing cell
+/// against a single prepared selection.
+#[must_use]
+pub fn run_trials_stabilize_auto_prepared<P: ArbitraryInit + Clone>(
+    graph: &Graph,
+    protocol: &P,
+    selection: &EngineSelection<P>,
+    master_seed: u64,
+    options: TrialOptions,
+    plan: &FaultPlan,
+) -> Vec<TrialResult> {
+    match &selection.kind {
         Selected::Dense(compiled) => {
-            run_trials_stabilize_dense(graph, &compiled, master_seed, options, plan)
+            run_trials_stabilize_dense(graph, compiled, master_seed, options, plan)
         }
         Selected::Lazy => run_trials_stabilize_lazy(graph, protocol, master_seed, options, plan),
         Selected::Generic => run_trials_stabilize(graph, protocol, master_seed, options, plan),

@@ -5,8 +5,8 @@
 //! popele-lab [EXPERIMENT ...] [--quick|--full] [--seed N] [--threads N] [--out DIR]
 //! popele-lab sweep [--quick|--full] [--name NAME] [--protocols P,..] [--families F,..]
 //!                  [--sizes N,..] [--faults F,..] [--trials N] [--shard N] [--max-steps N]
-//!                  [--max-edges N] [--seed N] [--threads N] [--out DIR] [--max-shards N]
-//!                  [--lanes] [--fresh]
+//!                  [--max-edges N] [--seed N] [--threads N] [--workers N] [--out DIR]
+//!                  [--max-shards N] [--lanes] [--fresh]
 //! ```
 //!
 //! The experiment, protocol, family and fault-profile vocabularies are
@@ -32,7 +32,8 @@ fn usage() -> ! {
          \x20      popele-lab sweep [--quick|--full] [--name NAME] [--protocols P,..]\n\
          \x20                       [--families F,..] [--sizes N,..] [--faults F,..] [--trials N]\n\
          \x20                       [--shard N] [--max-steps N] [--max-edges N] [--seed N]\n\
-         \x20                       [--threads N] [--out DIR] [--max-shards N] [--lanes] [--fresh]\n\
+         \x20                       [--threads N] [--workers N] [--out DIR] [--max-shards N]\n\
+         \x20                       [--lanes] [--fresh]\n\
          experiments: all {}\n\
          sweep protocols: {}\n\
          sweep families: {}\n\
@@ -169,6 +170,10 @@ fn sweep_main(mut args: impl Iterator<Item = String>) -> ExitCode {
             }
             "--seed" => spec.master_seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--threads" => spec.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            // Concurrent shard workers (0 = one per core). Outputs are
+            // byte-identical for every worker count; see
+            // `CampaignOptions::workers`.
+            "--workers" => options.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--out" => options.out_dir = PathBuf::from(value("--out")),
             "--max-shards" => {
                 options.interrupt_after =

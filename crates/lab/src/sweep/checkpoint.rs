@@ -152,54 +152,7 @@ impl Checkpoint {
             .shards
             .iter()
             .map(|(key, records)| {
-                let rows = records
-                    .iter()
-                    .map(|r| {
-                        let mut members = vec![
-                            ("trial".into(), Json::from_u64(r.trial as u64)),
-                            ("steps".into(), Json::from_opt_u64(r.steps)),
-                            ("leader".into(), Json::from_opt_u64(r.leader.map(u64::from))),
-                        ];
-                        if let Some(rec) = &r.recovery {
-                            members.push((
-                                "recovery".into(),
-                                Json::Obj(vec![
-                                    (
-                                        "last_fault_step".into(),
-                                        Json::from_u64(rec.last_fault_step),
-                                    ),
-                                    (
-                                        "faults_applied".into(),
-                                        Json::from_u64(u64::from(rec.faults_applied)),
-                                    ),
-                                    (
-                                        "reconvergence".into(),
-                                        Json::from_opt_u64(rec.reconvergence),
-                                    ),
-                                    (
-                                        "peak_leaders".into(),
-                                        Json::from_u64(u64::from(rec.peak_leaders)),
-                                    ),
-                                    (
-                                        "final_leaders".into(),
-                                        Json::from_u64(u64::from(rec.final_leaders)),
-                                    ),
-                                    ("leader_lost".into(), Json::Bool(rec.leader_lost)),
-                                ]),
-                            ));
-                        }
-                        if let Some(h) = &r.holding {
-                            members.push((
-                                "holding".into(),
-                                Json::Obj(vec![
-                                    ("hold".into(), Json::from_opt_u64(h.hold)),
-                                    ("held_to_budget".into(), Json::Bool(h.held_to_budget)),
-                                ]),
-                            ));
-                        }
-                        Json::Obj(members)
-                    })
-                    .collect();
+                let rows = records.iter().map(record_to_json).collect();
                 (key.clone(), Json::Arr(rows))
             })
             .collect();
@@ -260,79 +213,10 @@ impl Checkpoint {
         if let Some(Json::Obj(members)) = root.get("shards") {
             for (key, rows) in members {
                 let rows = rows.as_arr().ok_or("shard records must be an array")?;
-                let mut records = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let trial = row
-                        .get("trial")
-                        .and_then(Json::as_u64)
-                        .ok_or("record missing trial")?;
-                    let steps = match row.get("steps") {
-                        Some(Json::Null) | None => None,
-                        Some(v) => Some(v.as_u64().ok_or("steps must be an integer")?),
-                    };
-                    let leader = match row.get("leader") {
-                        Some(Json::Null) | None => None,
-                        Some(v) => {
-                            let raw = v.as_u64().ok_or("leader must be an integer")?;
-                            Some(u32::try_from(raw).map_err(|e| e.to_string())?)
-                        }
-                    };
-                    let recovery = match row.get("recovery") {
-                        Some(Json::Null) | None => None,
-                        Some(rec) => {
-                            let u64_field = |name: &str| {
-                                rec.get(name)
-                                    .and_then(Json::as_u64)
-                                    .ok_or(format!("recovery missing {name}"))
-                            };
-                            let u32_field = |name: &str| -> Result<u32, String> {
-                                u32::try_from(u64_field(name)?).map_err(|e| e.to_string())
-                            };
-                            let reconvergence = match rec.get("reconvergence") {
-                                Some(Json::Null) | None => None,
-                                Some(v) => {
-                                    Some(v.as_u64().ok_or("reconvergence must be an integer")?)
-                                }
-                            };
-                            let leader_lost = match rec.get("leader_lost") {
-                                Some(Json::Bool(b)) => *b,
-                                _ => return Err("recovery missing leader_lost".into()),
-                            };
-                            Some(RecoveryRecord {
-                                last_fault_step: u64_field("last_fault_step")?,
-                                faults_applied: u32_field("faults_applied")?,
-                                reconvergence,
-                                peak_leaders: u32_field("peak_leaders")?,
-                                final_leaders: u32_field("final_leaders")?,
-                                leader_lost,
-                            })
-                        }
-                    };
-                    let holding = match row.get("holding") {
-                        Some(Json::Null) | None => None,
-                        Some(h) => {
-                            let hold = match h.get("hold") {
-                                Some(Json::Null) | None => None,
-                                Some(v) => Some(v.as_u64().ok_or("hold must be an integer")?),
-                            };
-                            let held_to_budget = match h.get("held_to_budget") {
-                                Some(Json::Bool(b)) => *b,
-                                _ => return Err("holding missing held_to_budget".into()),
-                            };
-                            Some(HoldingRecord {
-                                hold,
-                                held_to_budget,
-                            })
-                        }
-                    };
-                    records.push(TrialRecord {
-                        trial: trial as usize,
-                        steps,
-                        leader,
-                        recovery,
-                        holding,
-                    });
-                }
+                let records = rows
+                    .iter()
+                    .map(record_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
                 shards.insert(key.clone(), records);
             }
         }
@@ -371,6 +255,17 @@ impl Checkpoint {
         std::fs::rename(&tmp, path)
     }
 
+    /// Merges one journal entry into the checkpoint — the replay step
+    /// of journaled checkpointing. Idempotent: re-applying an entry a
+    /// compaction already folded in rewrites the same key with the same
+    /// value, which is what makes a crash *between* compacting and
+    /// clearing the journal harmless.
+    pub fn apply_entry(&mut self, entry: &JournalEntry) {
+        self.cells.insert(entry.cell_key.clone(), entry.meta);
+        self.shards
+            .insert(entry.shard_key.clone(), entry.records.clone());
+    }
+
     /// All records of a cell, in ascending trial order, assembled from
     /// its shards.
     #[must_use]
@@ -384,6 +279,359 @@ impl Checkpoint {
             .collect();
         records.sort_by_key(|r| r.trial);
         records
+    }
+}
+
+/// One trial record as a JSON object — the row format shared by the
+/// canonical checkpoint and the journal lines. The optional recovery
+/// and holding objects are appended only when present, so fault-free
+/// checkpoints keep their exact pre-fault-axis byte format.
+fn record_to_json(r: &TrialRecord) -> Json {
+    let mut members = vec![
+        ("trial".into(), Json::from_u64(r.trial as u64)),
+        ("steps".into(), Json::from_opt_u64(r.steps)),
+        ("leader".into(), Json::from_opt_u64(r.leader.map(u64::from))),
+    ];
+    if let Some(rec) = &r.recovery {
+        members.push((
+            "recovery".into(),
+            Json::Obj(vec![
+                (
+                    "last_fault_step".into(),
+                    Json::from_u64(rec.last_fault_step),
+                ),
+                (
+                    "faults_applied".into(),
+                    Json::from_u64(u64::from(rec.faults_applied)),
+                ),
+                (
+                    "reconvergence".into(),
+                    Json::from_opt_u64(rec.reconvergence),
+                ),
+                (
+                    "peak_leaders".into(),
+                    Json::from_u64(u64::from(rec.peak_leaders)),
+                ),
+                (
+                    "final_leaders".into(),
+                    Json::from_u64(u64::from(rec.final_leaders)),
+                ),
+                ("leader_lost".into(), Json::Bool(rec.leader_lost)),
+            ]),
+        ));
+    }
+    if let Some(h) = &r.holding {
+        members.push((
+            "holding".into(),
+            Json::Obj(vec![
+                ("hold".into(), Json::from_opt_u64(h.hold)),
+                ("held_to_budget".into(), Json::Bool(h.held_to_budget)),
+            ]),
+        ));
+    }
+    Json::Obj(members)
+}
+
+/// Parses one trial-record row (the inverse of [`record_to_json`]).
+fn record_from_json(row: &Json) -> Result<TrialRecord, String> {
+    let trial = row
+        .get("trial")
+        .and_then(Json::as_u64)
+        .ok_or("record missing trial")?;
+    let steps = match row.get("steps") {
+        Some(Json::Null) | None => None,
+        Some(v) => Some(v.as_u64().ok_or("steps must be an integer")?),
+    };
+    let leader = match row.get("leader") {
+        Some(Json::Null) | None => None,
+        Some(v) => {
+            let raw = v.as_u64().ok_or("leader must be an integer")?;
+            Some(u32::try_from(raw).map_err(|e| e.to_string())?)
+        }
+    };
+    let recovery = match row.get("recovery") {
+        Some(Json::Null) | None => None,
+        Some(rec) => {
+            let u64_field = |name: &str| {
+                rec.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("recovery missing {name}"))
+            };
+            let u32_field = |name: &str| -> Result<u32, String> {
+                u32::try_from(u64_field(name)?).map_err(|e| e.to_string())
+            };
+            let reconvergence = match rec.get("reconvergence") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v.as_u64().ok_or("reconvergence must be an integer")?),
+            };
+            let leader_lost = match rec.get("leader_lost") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("recovery missing leader_lost".into()),
+            };
+            Some(RecoveryRecord {
+                last_fault_step: u64_field("last_fault_step")?,
+                faults_applied: u32_field("faults_applied")?,
+                reconvergence,
+                peak_leaders: u32_field("peak_leaders")?,
+                final_leaders: u32_field("final_leaders")?,
+                leader_lost,
+            })
+        }
+    };
+    let holding = match row.get("holding") {
+        Some(Json::Null) | None => None,
+        Some(h) => {
+            let hold = match h.get("hold") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v.as_u64().ok_or("hold must be an integer")?),
+            };
+            let held_to_budget = match h.get("held_to_budget") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("holding missing held_to_budget".into()),
+            };
+            Some(HoldingRecord {
+                hold,
+                held_to_budget,
+            })
+        }
+    };
+    Ok(TrialRecord {
+        trial: trial as usize,
+        steps,
+        leader,
+        recovery,
+        holding,
+    })
+}
+
+/// One completed shard as journaled: everything [`Checkpoint::apply_entry`]
+/// needs to reconstruct the checkpoint's view of that shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Stable shard key (`cell/sN`).
+    pub shard_key: String,
+    /// Stable key of the cell the shard belongs to.
+    pub cell_key: String,
+    /// Graph metadata of the cell (re-journaled with every shard; tiny,
+    /// and it keeps each line self-contained).
+    pub meta: CellMeta,
+    /// Trial records of the shard (ascending trials).
+    pub records: Vec<TrialRecord>,
+}
+
+impl JournalEntry {
+    /// Renders the entry as one compact JSONL line (no trailing
+    /// newline). Deterministic, like the checkpoint rendering.
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        Json::Obj(vec![
+            ("shard".into(), Json::Str(self.shard_key.clone())),
+            ("cell".into(), Json::Str(self.cell_key.clone())),
+            ("n".into(), Json::from_u64(u64::from(self.meta.n))),
+            ("m".into(), Json::from_u64(self.meta.m)),
+            (
+                "records".into(),
+                Json::Arr(self.records.iter().map(record_to_json).collect()),
+            ),
+        ])
+        .render_compact()
+    }
+
+    /// Parses one journal line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a missing/mistyped field.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let root = Json::parse(line)?;
+        let shard_key = root
+            .get("shard")
+            .and_then(Json::as_str)
+            .ok_or("journal entry missing shard")?
+            .to_string();
+        let cell_key = root
+            .get("cell")
+            .and_then(Json::as_str)
+            .ok_or("journal entry missing cell")?
+            .to_string();
+        let n = root
+            .get("n")
+            .and_then(Json::as_u64)
+            .ok_or("journal entry missing n")?;
+        let m = root
+            .get("m")
+            .and_then(Json::as_u64)
+            .ok_or("journal entry missing m")?;
+        let records = root
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or("journal entry missing records")?
+            .iter()
+            .map(record_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            shard_key,
+            cell_key,
+            meta: CellMeta {
+                n: u32::try_from(n).map_err(|e| e.to_string())?,
+                m,
+            },
+            records,
+        })
+    }
+}
+
+/// Append-only shard journal (`checkpoint.log`), the O(shard) half of
+/// journaled checkpointing.
+///
+/// The file is JSONL: a header line carrying the campaign fingerprint,
+/// then one [`JournalEntry`] line per completed shard. Completing a
+/// shard appends one line (and flushes) instead of rewriting the whole
+/// `checkpoint.json`; a periodic *compaction* folds the journal into
+/// the canonical checkpoint ([`Checkpoint::save`]) and [`Journal::clear`]s
+/// the file. On load, surviving lines are replayed through
+/// [`Checkpoint::apply_entry`], which keeps resume byte-exact.
+///
+/// Crash story: a kill mid-append can leave a truncated last line —
+/// [`Journal::open`] drops exactly that line (the shard in flight, same
+/// loss as the pre-journal design) and rewrites the file; a kill
+/// between compaction's save and clear leaves already-folded entries in
+/// the journal, which replay idempotently. A malformed line *before* a
+/// valid one is real corruption and is refused.
+#[derive(Debug)]
+pub struct Journal {
+    path: std::path::PathBuf,
+    file: std::fs::File,
+    entries: usize,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for a campaign with
+    /// `fingerprint`, returning the journal and the entries that
+    /// survive from a previous run, in file order.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors propagate. A header fingerprint mismatch and
+    /// mid-file corruption surface as [`io::ErrorKind::InvalidData`]
+    /// (mirroring the checkpoint's fingerprint policy).
+    pub fn open(path: &Path, fingerprint: &str) -> io::Result<(Self, Vec<JournalEntry>)> {
+        let invalid = |e: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        };
+        let mut entries = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let mut lines = text.split_inclusive('\n');
+            match lines.next() {
+                Some(header) if header.ends_with('\n') => {
+                    let header = Json::parse(header).map_err(&invalid)?;
+                    let found = header.get("fingerprint").and_then(Json::as_str);
+                    if found != Some(fingerprint) {
+                        return Err(invalid(format!(
+                            "journal fingerprint {found:?} does not match the campaign"
+                        )));
+                    }
+                }
+                // A header without its newline is a kill during journal
+                // creation: nothing was journaled yet, start over.
+                _ => lines = "".split_inclusive('\n'),
+            }
+            for line in lines {
+                match line.strip_suffix('\n') {
+                    Some(complete) => entries.push(
+                        JournalEntry::from_line(complete)
+                            .map_err(|e| invalid(format!("corrupt journal line: {e}")))?,
+                    ),
+                    // An unterminated tail is the append in flight when
+                    // the previous run died; drop it. (A malformed
+                    // *terminated* line above is refused instead.)
+                    None => break,
+                }
+            }
+        }
+        // Rewrite rather than append-after-truncation: this atomically
+        // discards any dropped tail and recreates a missing or
+        // headerless file.
+        let mut journal = Self::create(path, fingerprint)?;
+        for entry in &entries {
+            journal.append(entry)?;
+        }
+        Ok((journal, entries))
+    }
+
+    /// Creates a fresh journal containing only the header line
+    /// (atomically: temp file + rename, like [`Checkpoint::save`]).
+    fn create(path: &Path, fingerprint: &str) -> io::Result<Self> {
+        let tmp = path.with_extension("log.tmp");
+        let header = Json::Obj(vec![(
+            "fingerprint".into(),
+            Json::Str(fingerprint.to_string()),
+        )])
+        .render_compact();
+        std::fs::write(&tmp, format!("{header}\n"))?;
+        std::fs::rename(&tmp, path)?;
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            entries: 0,
+        })
+    }
+
+    /// Appends one completed shard and flushes — the O(shard) save.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut line = entry.render_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Entries currently in the journal (i.e. appended since the last
+    /// compaction, plus any replayed at open).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the journal holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Empties the journal back to its header line — called right after
+    /// a compaction folded the entries into `checkpoint.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn clear(&mut self, fingerprint: &str) -> io::Result<()> {
+        let fresh = Self::create(&self.path, fingerprint)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// Removes the journal file entirely — called when a campaign
+    /// completes and the canonical checkpoint is the whole story.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (a missing file is fine).
+    pub fn remove(self) -> io::Result<()> {
+        match std::fs::remove_file(&self.path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -478,6 +726,121 @@ mod tests {
         let ck = sample();
         ck.save(&path).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn entries() -> Vec<JournalEntry> {
+        let ck = sample();
+        ck.shards
+            .iter()
+            .map(|(key, records)| JournalEntry {
+                shard_key: key.clone(),
+                cell_key: "token/cycle/2000".into(),
+                meta: ck.cells["token/cycle/2000"],
+                records: records.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn journal_entry_line_roundtrip() {
+        for entry in entries() {
+            let line = entry.render_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(JournalEntry::from_line(&line).unwrap(), entry);
+        }
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_checkpoint() {
+        let dir = std::env::temp_dir().join("popele-journal-replay");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.log");
+        let reference = sample();
+
+        let (mut journal, replayed) = Journal::open(&path, &reference.fingerprint).unwrap();
+        assert!(replayed.is_empty());
+        for entry in entries() {
+            journal.append(&entry).unwrap();
+        }
+        assert_eq!(journal.len(), 2);
+        drop(journal);
+
+        // Reopen: every appended entry survives, and replaying them into
+        // an empty checkpoint reconstructs the reference byte for byte.
+        let (journal, replayed) = Journal::open(&path, &reference.fingerprint).unwrap();
+        assert_eq!(journal.len(), 2);
+        let mut rebuilt = Checkpoint {
+            fingerprint: reference.fingerprint.clone(),
+            shards: BTreeMap::new(),
+            cells: BTreeMap::new(),
+        };
+        for entry in &replayed {
+            rebuilt.apply_entry(entry);
+        }
+        assert_eq!(rebuilt.render(), reference.render());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_drops_truncated_tail_and_refuses_mid_file_corruption() {
+        let dir = std::env::temp_dir().join("popele-journal-tail");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.log");
+        let fp = sample().fingerprint;
+        let all = entries();
+
+        let (mut journal, _) = Journal::open(&path, &fp).unwrap();
+        for entry in &all {
+            journal.append(entry).unwrap();
+        }
+        drop(journal);
+
+        // Simulate a kill mid-append: chop the file inside its last line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let (journal, replayed) = Journal::open(&path, &fp).unwrap();
+        assert_eq!(replayed.len(), all.len() - 1);
+        assert_eq!(replayed, all[..all.len() - 1]);
+        assert_eq!(journal.len(), all.len() - 1);
+        drop(journal);
+        // The rewrite discarded the partial tail on disk too.
+        let rewritten = std::fs::read_to_string(&path).unwrap();
+        assert!(rewritten.ends_with('\n'));
+        assert_eq!(rewritten.lines().count(), all.len());
+
+        // A malformed line *before* a valid one is corruption, not a
+        // tail, and must be refused.
+        let mut lines: Vec<&str> = rewritten.lines().collect();
+        lines.insert(1, "{\"shard\": 12}");
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = Journal::open(&path, &fp).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_refuses_foreign_fingerprint_and_clears_to_header() {
+        let dir = std::env::temp_dir().join("popele-journal-fp");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.log");
+
+        let (mut journal, _) = Journal::open(&path, "v1;real").unwrap();
+        for entry in entries() {
+            journal.append(&entry).unwrap();
+        }
+        let err = Journal::open(&path, "v1;other").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        journal.clear("v1;real").unwrap();
+        assert!(journal.is_empty());
+        let (journal, replayed) = Journal::open(&path, "v1;real").unwrap();
+        assert!(replayed.is_empty());
+        journal.remove().unwrap();
+        assert!(!path.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -117,6 +117,49 @@ impl Json {
         out
     }
 
+    /// Renders the value as compact single-line JSON (no whitespace, no
+    /// trailing newline) — the journal-line form: one value per line of
+    /// a JSONL file. As deterministic as [`Json::render`] (same number
+    /// and string rendering, members in insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite numbers (JSON cannot represent them).
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.render_into(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(out, k);
+                    out.push(':');
+                    v.render_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn render_into(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -380,6 +423,21 @@ mod tests {
         // Render ∘ parse is the identity on rendered output: the
         // byte-identity guarantee of checkpoint resume rests on this.
         assert_eq!(reparsed.render(), text);
+    }
+
+    #[test]
+    fn compact_roundtrip_is_single_line() {
+        let v = sample();
+        let line = v.render_compact();
+        // Newlines inside strings stay escaped, so a value never spills
+        // past its journal line.
+        assert!(!line.contains('\n'));
+        assert_eq!(Json::parse(&line).unwrap(), v);
+        let small = Json::Obj(vec![(
+            "a".into(),
+            Json::Arr(vec![Json::from_u64(1), Json::Null]),
+        )]);
+        assert_eq!(small.render_compact(), r#"{"a":[1,null]}"#);
     }
 
     #[test]

@@ -1,18 +1,35 @@
-//! Campaign execution: shards through `run_trials_auto`, checkpoint
-//! after every shard, outputs at the end.
+//! Campaign execution: a work-stealing shard scheduler over prepared
+//! per-cell artifacts, with journaled checkpoints.
 //!
-//! The runner is deliberately boring: enumerate the spec's shards in
-//! their deterministic order, skip the ones the checkpoint already
-//! holds, run the rest (each through the engine-selecting, fault-aware
-//! [`run_trials_auto_with_faults`] with a globally-indexed
-//! `first_trial`), and save
-//! the checkpoint atomically after each one. All the reproducibility
-//! guarantees live below (seed derivation in the spec, trace-identical
-//! engines, canonical serialization); the runner just never reorders or
-//! re-derives anything.
+//! The runner stays deliberately boring about *results*: enumerate the
+//! spec's shards in their deterministic order, skip the ones the
+//! checkpoint already holds, run the rest (each through the prepared,
+//! fault-aware Monte-Carlo entry points with a globally-indexed
+//! `first_trial`). All the reproducibility guarantees live below (seed
+//! derivation in the spec, trace-identical engines, canonical
+//! serialization); the runner never reorders or re-derives anything
+//! that could affect a trial. What *is* engineered here is throughput:
+//!
+//! * **Work-stealing shard execution** — [`CampaignOptions::workers`]
+//!   worker threads claim shards from the deterministic shard list via
+//!   an atomic cursor. Results land in [`Checkpoint`]'s sorted maps, so
+//!   `checkpoint.json` and `summary.json` are byte-identical to the
+//!   serial run no matter which worker finishes which shard when.
+//! * **A cross-shard artifact cache** ([`ArtifactCache`]) — graphs and
+//!   per-cell prepared engines (compiled tables, engine-selection
+//!   verdicts, resolved fault plans, derived protocol parameters) are
+//!   built once per (family, size) or cell, shared across workers
+//!   behind `Arc`s, and evicted as soon as their last pending shard
+//!   completes.
+//! * **Journaled checkpointing** — completing a shard appends one line
+//!   to `checkpoint.log` (O(shard)) instead of rewriting the whole
+//!   `checkpoint.json` (O(campaign)); the journal is periodically
+//!   compacted into the canonical checkpoint, always compacted before
+//!   returning, and replayed on load, so resume stays byte-exact even
+//!   after a kill mid-campaign (see [`super::checkpoint::Journal`]).
 
-use super::checkpoint::{CellMeta, Checkpoint};
-use super::spec::{CellSpec, ProtocolSpec, SweepSpec};
+use super::checkpoint::{CellMeta, Checkpoint, Journal, JournalEntry};
+use super::spec::{CellSpec, ProtocolSpec, ShardSpec, SweepSpec};
 use super::summary;
 use crate::report::Table;
 use crate::workloads::{broadcast_guess, Family};
@@ -23,12 +40,19 @@ use popele_core::{
 };
 use popele_engine::faults::FaultPlan;
 use popele_engine::monte_carlo::{
-    run_trials_auto_with_faults, run_trials_count, TrialOptions, TrialResult,
+    run_trials_auto_with_faults_prepared, run_trials_count_prepared, Engine, EngineSelection,
+    TrialOptions, TrialResult,
 };
-use popele_engine::stabilize::run_trials_stabilize_auto;
+use popele_engine::stabilize::{
+    prepare_stabilize_engine, run_trials_stabilize_auto_prepared, ArbitraryInit,
+};
+use popele_engine::{compile_for_count, CompiledProtocol, Protocol};
 use popele_graph::Graph;
+use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Execution options orthogonal to the grid itself.
 #[derive(Debug, Clone)]
@@ -41,7 +65,7 @@ pub struct CampaignOptions {
     /// campaign across invocations — and how the resume tests simulate
     /// a kill.
     pub interrupt_after: Option<usize>,
-    /// Print per-shard progress to stderr.
+    /// Print per-shard progress (with the selected engine) to stderr.
     pub progress: bool,
     /// Opt into the lane-parallel dense engine for eligible shards
     /// (fault-free cells whose protocol wins the AOT tier, with at
@@ -51,6 +75,15 @@ pub struct CampaignOptions {
     /// `summary.json` are byte-identical with the flag on or off; only
     /// wall-clock time changes.
     pub lanes: bool,
+    /// Concurrent shard workers; `1` (the default) runs shards
+    /// serially, `0` uses one worker per available core. Workers steal
+    /// shards from the deterministic shard list and merge results into
+    /// the checkpoint's sorted maps, so outputs are byte-identical for
+    /// every worker count — only wall-clock time changes. Composes
+    /// with [`SweepSpec::threads`] (intra-shard trial parallelism);
+    /// campaigns of many small shards want workers, campaigns of few
+    /// huge cells want threads.
+    pub workers: usize,
 }
 
 impl Default for CampaignOptions {
@@ -60,6 +93,7 @@ impl Default for CampaignOptions {
             interrupt_after: None,
             progress: false,
             lanes: false,
+            workers: 1,
         }
     }
 }
@@ -72,7 +106,8 @@ pub struct CampaignOutcome {
     pub completed: bool,
     /// Shards executed by this call.
     pub ran_shards: usize,
-    /// Shards already present in the checkpoint (resumed work).
+    /// Shards already present in the checkpoint (resumed work,
+    /// including shards replayed from the journal).
     pub resumed_shards: usize,
     /// Campaign directory (`out_dir/<name>`).
     pub dir: PathBuf,
@@ -86,30 +121,61 @@ pub fn checkpoint_path(dir: &Path) -> PathBuf {
     dir.join("checkpoint.json")
 }
 
+/// Path of a campaign's shard journal (see
+/// [`super::checkpoint::Journal`]).
+#[must_use]
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("checkpoint.log")
+}
+
 /// Path of a campaign's summary JSON.
 #[must_use]
 pub fn summary_path(dir: &Path) -> PathBuf {
     dir.join("summary.json")
 }
 
+/// Journal length below which compaction is never worth a full
+/// checkpoint rewrite.
+const COMPACT_MIN_ENTRIES: usize = 32;
+
+/// Whether the journal has grown enough (relative to the campaign) to
+/// fold into the canonical checkpoint. The `shards / 4` term keeps the
+/// *amortized* per-shard save cost flat in campaign size: each O(n)
+/// rewrite is paid for by the Ω(n/4) appended shards that triggered it.
+fn compaction_due(journal_entries: usize, checkpoint_shards: usize) -> bool {
+    journal_entries >= COMPACT_MIN_ENTRIES.max(checkpoint_shards / 4)
+}
+
+fn resolve_workers(requested: usize, shards: usize) -> usize {
+    let workers = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    };
+    workers.min(shards.max(1))
+}
+
 /// Runs (or resumes) a campaign.
 ///
 /// If a checkpoint with the spec's fingerprint exists under the
-/// campaign directory its shards are reused; a checkpoint from a
-/// *different* grid is an error (use a different campaign name, or
-/// delete the directory). On completion, `summary.json` plus per-table
-/// CSVs are written next to the checkpoint and the summary tables are
-/// returned.
+/// campaign directory its shards are reused (journaled shards a
+/// previous run had not yet compacted are replayed first); a checkpoint
+/// from a *different* grid is an error (use a different campaign name,
+/// or delete the directory). On completion, `summary.json` plus
+/// per-table CSVs are written next to the checkpoint and the summary
+/// tables are returned.
 ///
 /// For a fixed spec the bytes of `checkpoint.json` and `summary.json`
-/// are identical regardless of thread count and of how often the run
-/// was interrupted and resumed.
+/// are identical regardless of worker count, thread count, shard
+/// completion order, and of how often the run was interrupted and
+/// resumed.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors; an incompatible existing checkpoint or an
-/// invalid campaign name (see [`SweepSpec::valid_name`]) surfaces as
-/// [`io::ErrorKind::InvalidInput`].
+/// Propagates I/O errors; an incompatible existing checkpoint (or
+/// journal) or an invalid campaign name (see [`SweepSpec::valid_name`])
+/// surfaces as [`io::ErrorKind::InvalidInput`] /
+/// [`io::ErrorKind::InvalidData`].
 pub fn run_campaign(spec: &SweepSpec, options: &CampaignOptions) -> io::Result<CampaignOutcome> {
     if !SweepSpec::valid_name(&spec.name) {
         return Err(io::Error::new(
@@ -138,88 +204,110 @@ pub fn run_campaign(spec: &SweepSpec, options: &CampaignOptions) -> io::Result<C
     } else {
         Checkpoint::new(spec)
     };
+    let fingerprint = checkpoint.fingerprint.clone();
+
+    // Replay shards a previous run journaled but never compacted (e.g.
+    // it was killed): after this, the in-memory checkpoint is the union
+    // of checkpoint.json and checkpoint.log, exactly as if every one of
+    // those shards had been compacted in.
+    let (journal, replayed) = Journal::open(&journal_path(&dir), &fingerprint)?;
+    for entry in &replayed {
+        checkpoint.apply_entry(entry);
+    }
 
     let shards = spec.shards();
     let total = shards.len();
-    let mut ran = 0usize;
-    let mut resumed = 0usize;
-    // Consecutive shards share their (family, size) graph; build it once.
-    let mut cached: Option<(Family, u32, Graph)> = None;
+    let pending: Vec<(usize, &ShardSpec)> = shards
+        .iter()
+        .enumerate()
+        .filter(|(_, shard)| !checkpoint.shards.contains_key(&shard.key()))
+        .collect();
+    let resumed = total - pending.len();
+    let to_run = options
+        .interrupt_after
+        .map_or(pending.len(), |cap| pending.len().min(cap));
+    let completed = to_run == pending.len();
+    let batch = &pending[..to_run];
 
-    for (i, shard) in shards.iter().enumerate() {
-        let key = shard.key();
-        if checkpoint.shards.contains_key(&key) {
-            resumed += 1;
-            continue;
-        }
-        if options.interrupt_after == Some(ran) {
-            return Ok(CampaignOutcome {
-                completed: false,
-                ran_shards: ran,
-                resumed_shards: resumed,
-                dir,
-                tables: Vec::new(),
+    let cache = ArtifactCache::plan(spec, batch);
+    let workers = resolve_workers(options.workers, to_run);
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let sink = Mutex::new(Sink {
+        checkpoint,
+        journal,
+        error: None,
+        ran: 0,
+    });
+
+    // One worker body for every worker count: serial is the pool of
+    // one, so there is no second code path to drift.
+    let worker = || {
+        loop {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
+            let slot = next.fetch_add(1, Ordering::Relaxed);
+            if slot >= batch.len() {
+                return;
+            }
+            let (display, shard) = batch[slot];
+            let entry = run_one_shard(spec, options, &cache, shard, display, total);
+            cache.release(spec, shard);
+            let mut sink = sink.lock().expect("sink poisoned");
+            sink.checkpoint.apply_entry(&entry);
+            sink.ran += 1;
+            // O(shard) save: append to the journal; fold into the
+            // canonical checkpoint only when compaction is due.
+            let saved = sink.journal.append(&entry).and_then(|()| {
+                if compaction_due(sink.journal.len(), sink.checkpoint.shards.len()) {
+                    sink.checkpoint.save(&ckpt_path)?;
+                    sink.journal.clear(&fingerprint)?;
+                }
+                Ok(())
             });
+            if let Err(e) = saved {
+                sink.error.get_or_insert(e);
+                failed.store(true, Ordering::Relaxed);
+                return;
+            }
         }
-        let (family, size) = (shard.cell.family, shard.cell.size);
-        let results = if spec.cell_is_count(&shard.cell) {
-            // Count cells never materialize a graph: the clique is
-            // fully described by its size, and its edge count is
-            // analytic — n(n−1)/2.
-            let m = u64::from(size) * (u64::from(size) - 1) / 2;
-            if options.progress {
-                eprintln!(
-                    "[sweep {}] shard {}/{total}: {key} (n={size}, m={m}, count engine)",
-                    spec.name,
-                    i + 1,
-                );
+    };
+    if workers <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(worker);
             }
-            checkpoint
-                .cells
-                .entry(shard.cell.key())
-                .or_insert(CellMeta { n: size, m });
-            run_shard_count(spec, &shard.cell, shard.first_trial, shard.trials)
-        } else {
-            let graph_is_cached = matches!(&cached, Some((f, s, _)) if *f == family && *s == size);
-            if !graph_is_cached {
-                cached = Some((
-                    family,
-                    size,
-                    family.generate(size, spec.graph_seed(family, size)),
-                ));
-            }
-            let graph = &cached.as_ref().expect("just cached").2;
-            if options.progress {
-                eprintln!(
-                    "[sweep {}] shard {}/{total}: {key} (n={}, m={})",
-                    spec.name,
-                    i + 1,
-                    graph.num_nodes(),
-                    graph.num_edges()
-                );
-            }
-            checkpoint
-                .cells
-                .entry(shard.cell.key())
-                .or_insert(CellMeta {
-                    n: graph.num_nodes(),
-                    m: graph.num_edges() as u64,
-                });
-            run_shard(
-                spec,
-                &shard.cell,
-                graph,
-                shard.first_trial,
-                shard.trials,
-                options.lanes,
-            )
-        };
-        checkpoint
-            .shards
-            .insert(key, results.iter().map(Into::into).collect());
-        checkpoint.save(&ckpt_path)?;
-        ran += 1;
+        });
     }
+
+    let Sink {
+        checkpoint,
+        mut journal,
+        error,
+        ran,
+    } = sink.into_inner().expect("sink poisoned");
+    if let Some(e) = error {
+        return Err(e);
+    }
+
+    // Graceful exits always compact, so checkpoint.json alone carries
+    // every completed shard (resume tooling and the tests read it
+    // directly); the journal only outlives a *kill*.
+    checkpoint.save(&ckpt_path)?;
+    if !completed {
+        journal.clear(&fingerprint)?;
+        return Ok(CampaignOutcome {
+            completed: false,
+            ran_shards: ran,
+            resumed_shards: resumed,
+            dir,
+            tables: Vec::new(),
+        });
+    }
+    journal.remove()?;
 
     let tables = summary::tables(spec, &checkpoint);
     std::fs::write(summary_path(&dir), summary::render(spec, &checkpoint))?;
@@ -235,36 +323,368 @@ pub fn run_campaign(spec: &SweepSpec, options: &CampaignOptions) -> io::Result<C
     })
 }
 
-/// Runs one shard of a cell: instantiates the protocol for the concrete
-/// graph (deterministically), derives the cell's fault plan from its
-/// profile, and hands both to the engine-selecting, fault-aware
-/// Monte-Carlo entry point (a fault-free cell's empty plan delegates to
-/// the plain path, bit for bit).
-fn run_shard(
+/// Shared mutable tail of the pipeline: workers funnel completed shards
+/// through one lock into the in-memory checkpoint and the journal.
+struct Sink {
+    checkpoint: Checkpoint,
+    journal: Journal,
+    error: Option<io::Error>,
+    ran: usize,
+}
+
+/// Runs one claimed shard end to end: fetch (or build) the cell's
+/// shared artifacts, print progress with the engine that will run, run
+/// the trials, and pack the results as a journal entry.
+fn run_one_shard(
     spec: &SweepSpec,
-    cell: &CellSpec,
-    graph: &Graph,
-    first_trial: usize,
-    trials: usize,
-    lanes: bool,
-) -> Vec<TrialResult> {
-    let options = TrialOptions {
-        trials,
-        first_trial,
+    options: &CampaignOptions,
+    cache: &ArtifactCache,
+    shard: &ShardSpec,
+    display: usize,
+    total: usize,
+) -> JournalEntry {
+    let key = shard.key();
+    let (family, size) = (shard.cell.family, shard.cell.size);
+    // Count cells never materialize a graph: the clique is fully
+    // described by its size, and its edge count is analytic — n(n−1)/2.
+    let graph = if spec.cell_is_count(&shard.cell) {
+        None
+    } else {
+        Some(cache.graph(spec, family, size))
+    };
+    let runner = cache.cell(spec, &shard.cell, graph.as_deref());
+    let trial_options = TrialOptions {
+        trials: shard.trials,
+        first_trial: shard.first_trial,
         max_steps: spec.max_steps,
         census: false,
-        lanes,
+        lanes: options.lanes,
         threads: spec.threads,
     };
-    let seed = spec.cell_seed(cell);
+    let meta = match graph.as_deref() {
+        Some(g) => CellMeta {
+            n: g.num_nodes(),
+            m: g.num_edges() as u64,
+        },
+        None => CellMeta {
+            n: size,
+            m: u64::from(size) * (u64::from(size) - 1) / 2,
+        },
+    };
+    if options.progress {
+        eprintln!(
+            "[sweep {}] shard {}/{total}: {key} (n={}, m={}, engine={})",
+            spec.name,
+            display + 1,
+            meta.n,
+            meta.m,
+            runner.engine(&trial_options).label(),
+        );
+    }
+    let results = runner.run(graph.as_deref(), spec.cell_seed(&shard.cell), trial_options);
+    JournalEntry {
+        shard_key: key,
+        cell_key: shard.cell.key(),
+        meta,
+        records: results.iter().map(Into::into).collect(),
+    }
+}
+
+/// A cache slot plus the number of still-pending shards that will read
+/// it — the eviction countdown.
+struct CacheSlot<T> {
+    value: T,
+    remaining: usize,
+}
+
+/// Keyed artifacts shared across workers for the duration of their
+/// shards: graphs per (family, size) and prepared runners per cell.
+///
+/// Entries are built lazily by the first worker that needs them
+/// (outside the lock, so a slow graph build never blocks workers on
+/// *other* cells; a rare duplicate build is discarded by first-insert-
+/// wins and both copies are identical, since construction is
+/// deterministic) and evicted when their last planned shard completes,
+/// so peak memory tracks the *active* cells, not the whole campaign —
+/// the keyed generalization of the old single-entry consecutive-shard
+/// graph cache.
+struct ArtifactCache {
+    graphs: Mutex<HashMap<GraphKey, CacheSlot<Arc<Graph>>>>,
+    cells: Mutex<HashMap<String, CacheSlot<SharedRunner>>>,
+    graph_uses: HashMap<GraphKey, usize>,
+    cell_uses: HashMap<String, usize>,
+}
+
+/// One generated graph per (family, size) — the graph-cache key.
+type GraphKey = (Family, u32);
+/// A prepared cell runner as the cache (and every worker) holds it.
+type SharedRunner = Arc<dyn PreparedRunner>;
+
+impl ArtifactCache {
+    /// Counts, per graph key and per cell key, how many of the shards
+    /// about to run will read it — the initial eviction countdowns.
+    fn plan(spec: &SweepSpec, batch: &[(usize, &ShardSpec)]) -> Self {
+        let mut graph_uses = HashMap::new();
+        let mut cell_uses = HashMap::new();
+        for (_, shard) in batch {
+            *cell_uses.entry(shard.cell.key()).or_insert(0) += 1;
+            if !spec.cell_is_count(&shard.cell) {
+                *graph_uses
+                    .entry((shard.cell.family, shard.cell.size))
+                    .or_insert(0) += 1;
+            }
+        }
+        Self {
+            graphs: Mutex::new(HashMap::new()),
+            cells: Mutex::new(HashMap::new()),
+            graph_uses,
+            cell_uses,
+        }
+    }
+
+    /// The shared graph of a (family, size), building it on first use.
+    fn graph(&self, spec: &SweepSpec, family: Family, size: u32) -> Arc<Graph> {
+        if let Some(slot) = self
+            .graphs
+            .lock()
+            .expect("cache poisoned")
+            .get(&(family, size))
+        {
+            return Arc::clone(&slot.value);
+        }
+        let built = Arc::new(family.generate(size, spec.graph_seed(family, size)));
+        let remaining = self.graph_uses[&(family, size)];
+        let mut map = self.graphs.lock().expect("cache poisoned");
+        Arc::clone(
+            &map.entry((family, size))
+                .or_insert(CacheSlot {
+                    value: built,
+                    remaining,
+                })
+                .value,
+        )
+    }
+
+    /// The shared prepared runner of a cell, building it on first use
+    /// (`graph` must be `Some` exactly for non-count cells).
+    fn cell(
+        &self,
+        spec: &SweepSpec,
+        cell: &CellSpec,
+        graph: Option<&Graph>,
+    ) -> Arc<dyn PreparedRunner> {
+        let key = cell.key();
+        if let Some(slot) = self.cells.lock().expect("cache poisoned").get(&key) {
+            return Arc::clone(&slot.value);
+        }
+        let built = prepare_cell(spec, cell, graph);
+        let remaining = self.cell_uses[&key];
+        let mut map = self.cells.lock().expect("cache poisoned");
+        Arc::clone(
+            &map.entry(key)
+                .or_insert(CacheSlot {
+                    value: built,
+                    remaining,
+                })
+                .value,
+        )
+    }
+
+    /// Counts one completed shard down, evicting artifacts whose last
+    /// planned reader is done.
+    fn release(&self, spec: &SweepSpec, shard: &ShardSpec) {
+        let key = shard.cell.key();
+        let mut cells = self.cells.lock().expect("cache poisoned");
+        if let Some(slot) = cells.get_mut(&key) {
+            slot.remaining -= 1;
+            if slot.remaining == 0 {
+                cells.remove(&key);
+            }
+        }
+        drop(cells);
+        if !spec.cell_is_count(&shard.cell) {
+            let graph_key = (shard.cell.family, shard.cell.size);
+            let mut graphs = self.graphs.lock().expect("cache poisoned");
+            if let Some(slot) = graphs.get_mut(&graph_key) {
+                slot.remaining -= 1;
+                if slot.remaining == 0 {
+                    graphs.remove(&graph_key);
+                }
+            }
+        }
+    }
+}
+
+/// One cell's prepared execution artifacts, behind an object-safe
+/// facade so the cache can hold heterogeneous protocol types: the
+/// instantiated protocol (with its graph-derived parameters), the
+/// resolved fault plan, and the engine selection (with any compiled
+/// table) — everything shards of the cell would otherwise re-derive.
+trait PreparedRunner: Send + Sync {
+    /// The engine a shard will run on under `options` (including the
+    /// opt-in lane upgrade, which requires a fault-free cell).
+    fn engine(&self, options: &TrialOptions) -> Engine;
+    /// Runs one shard's trials; `graph` is `Some` exactly for
+    /// non-count cells.
+    fn run(&self, graph: Option<&Graph>, seed: u64, options: TrialOptions) -> Vec<TrialResult>;
+}
+
+/// Fixed-start cells: the fault-aware selecting path.
+struct PreparedCell<P: Protocol + Clone> {
+    protocol: P,
+    plan: FaultPlan,
+    selection: EngineSelection<P>,
+}
+
+impl<P: Protocol + Clone + Send> PreparedRunner for PreparedCell<P> {
+    fn engine(&self, options: &TrialOptions) -> Engine {
+        if self.plan.is_empty() {
+            self.selection.engine_for(options)
+        } else {
+            self.selection.engine()
+        }
+    }
+
+    fn run(&self, graph: Option<&Graph>, seed: u64, options: TrialOptions) -> Vec<TrialResult> {
+        let graph = graph.expect("fixed-start cells run on a graph");
+        run_trials_auto_with_faults_prepared(
+            graph,
+            &self.protocol,
+            &self.selection,
+            seed,
+            options,
+            &self.plan,
+        )
+    }
+}
+
+/// Self-stabilization cells: arbitrary per-trial start configurations,
+/// election + holding metrics — same determinism contract, different
+/// entry point (and a support-seeded compile, see
+/// [`prepare_stabilize_engine`]).
+struct PreparedStabCell<P: ArbitraryInit + Clone> {
+    protocol: P,
+    plan: FaultPlan,
+    selection: EngineSelection<P>,
+}
+
+impl<P: ArbitraryInit + Clone + Send> PreparedRunner for PreparedStabCell<P> {
+    fn engine(&self, _options: &TrialOptions) -> Engine {
+        // The stabilize path has no lane tier; the selection is final.
+        self.selection.engine()
+    }
+
+    fn run(&self, graph: Option<&Graph>, seed: u64, options: TrialOptions) -> Vec<TrialResult> {
+        let graph = graph.expect("stabilizing cells run on a graph");
+        run_trials_stabilize_auto_prepared(
+            graph,
+            &self.protocol,
+            &self.selection,
+            seed,
+            options,
+            &self.plan,
+        )
+    }
+}
+
+/// Count cells: graph-free clique batches over one shared compiled
+/// table (see [`run_trials_count_prepared`]).
+struct PreparedCountCell<P: Protocol + Clone> {
+    compiled: CompiledProtocol<P>,
+    num_agents: u64,
+}
+
+impl<P: Protocol + Clone + Send> PreparedRunner for PreparedCountCell<P> {
+    fn engine(&self, _options: &TrialOptions) -> Engine {
+        Engine::Count
+    }
+
+    fn run(&self, _graph: Option<&Graph>, seed: u64, options: TrialOptions) -> Vec<TrialResult> {
+        run_trials_count_prepared(&self.compiled, self.num_agents, seed, options)
+    }
+}
+
+fn prepared<P: Protocol + Clone + Send + 'static>(
+    protocol: P,
+    plan: FaultPlan,
+    max_nodes: u32,
+) -> Arc<dyn PreparedRunner> {
+    let selection = EngineSelection::prepare(&protocol, max_nodes);
+    Arc::new(PreparedCell {
+        protocol,
+        plan,
+        selection,
+    })
+}
+
+fn prepared_stab<P: ArbitraryInit + Clone + Send + 'static>(
+    protocol: P,
+    plan: FaultPlan,
+    max_nodes: u32,
+) -> Arc<dyn PreparedRunner> {
+    let selection = prepare_stabilize_engine(&protocol, max_nodes);
+    Arc::new(PreparedStabCell {
+        protocol,
+        plan,
+        selection,
+    })
+}
+
+fn prepared_count<P: Protocol + Clone + Send + 'static>(
+    protocol: P,
+    num_agents: u64,
+) -> Arc<dyn PreparedRunner> {
+    let compiled = compile_for_count(&protocol, num_agents)
+        .expect("protocol state space exceeds the count-engine compile cap");
+    Arc::new(PreparedCountCell {
+        compiled,
+        num_agents,
+    })
+}
+
+/// Builds a cell's prepared artifacts: instantiates the protocol for
+/// the concrete graph (deterministically), derives the cell's fault
+/// plan from its profile, and runs engine selection once — repeated
+/// shards of the cell reuse all of it. Count cells (see
+/// [`SweepSpec::cell_is_count`]) derive parameters analytically from
+/// the clique instead — the fast protocol runs its clique
+/// specialization [`FastParams::clique_tuned`] (the waiting phase
+/// guards against degree spread, which a clique does not have;
+/// collapsing it is what makes `10⁷`–`10⁹` elections land in `Θ(log n)`
+/// parallel time instead of the waiting phase's
+/// `⌈log₂ n⌉·2^h`-parallel-unit climb).
+fn prepare_cell(
+    spec: &SweepSpec,
+    cell: &CellSpec,
+    graph: Option<&Graph>,
+) -> Arc<dyn PreparedRunner> {
+    if spec.cell_is_count(cell) {
+        let n = cell.size;
+        let num_agents = u64::from(n);
+        return match cell.protocol {
+            ProtocolSpec::Token => prepared_count(TokenProtocol::all_candidates(), num_agents),
+            ProtocolSpec::Fast => {
+                prepared_count(FastProtocol::new(FastParams::clique_tuned(n)), num_agents)
+            }
+            ProtocolSpec::Majority => prepared_count(
+                MajorityProtocol::new(crate::workloads::majority_split(n), n),
+                num_agents,
+            ),
+            other => unreachable!("{other} is not count-capable; cell_is_count gates this path"),
+        };
+    }
+    let graph = graph.expect("non-count cells carry a graph");
     let plan: FaultPlan = cell.fault.plan(graph.num_nodes());
-    let run = |p: &dyn DynProtocolRunner| p.run(graph, seed, options, &plan);
+    // Selection (and any AOT compile) happens at the plan's maximum
+    // node count, exactly as the self-selecting entry points do.
+    let max_nodes = graph.num_nodes() + plan.max_joins();
     match cell.protocol {
-        ProtocolSpec::Token => run(&TokenProtocol::all_candidates()),
-        ProtocolSpec::Identifier => run(&IdentifierProtocol::new(identifier_bits(
-            graph.num_nodes(),
-            false,
-        ))),
+        ProtocolSpec::Token => prepared(TokenProtocol::all_candidates(), plan, max_nodes),
+        ProtocolSpec::Identifier => prepared(
+            IdentifierProtocol::new(identifier_bits(graph.num_nodes(), false)),
+            plan,
+            max_nodes,
+        ),
         ProtocolSpec::Fast => {
             // The a-priori broadcast guess is deterministic in the
             // graph, keeping the cell self-contained (no measurement
@@ -275,107 +695,25 @@ fn run_shard(
                 graph.num_edges(),
                 graph.num_nodes(),
             );
-            run(&FastProtocol::new(params))
+            prepared(FastProtocol::new(params), plan, max_nodes)
         }
-        ProtocolSpec::Star => run(&StarProtocol::new()),
+        ProtocolSpec::Star => prepared(StarProtocol::new(), plan, max_nodes),
         ProtocolSpec::Majority => {
             let n = graph.num_nodes();
-            run(&MajorityProtocol::new(
-                crate::workloads::majority_split(n),
-                n,
-            ))
+            prepared(
+                MajorityProtocol::new(crate::workloads::majority_split(n), n),
+                plan,
+                max_nodes,
+            )
         }
-        // The self-stabilization cells: arbitrary per-trial start
-        // configurations, election + holding metrics — same engine
-        // selection and determinism contract, different entry point.
-        ProtocolSpec::Loose => run_trials_stabilize_auto(
-            graph,
-            &LooseProtocol::practical(graph.num_nodes()),
-            seed,
-            options,
-            &plan,
-        ),
-        ProtocolSpec::RingLoose => run_trials_stabilize_auto(
-            graph,
-            &RingLooseProtocol::for_ring(graph.num_nodes()),
-            seed,
-            options,
-            &plan,
-        ),
-    }
-}
-
-/// Runs one shard of a **count cell** (see [`SweepSpec::cell_is_count`]):
-/// same seed derivation and trial indexing as [`run_shard`], but through
-/// the graph-free [`run_trials_count`] entry point. Protocol parameters
-/// that [`run_shard`] derives from the concrete graph are derived
-/// analytically from the clique instead — the fast protocol runs its
-/// clique specialization [`FastParams::clique_tuned`] (the waiting
-/// phase guards against degree spread, which a clique does not have;
-/// collapsing it is what makes `10⁷`–`10⁹` elections land in `Θ(log n)`
-/// parallel time instead of the waiting phase's
-/// `⌈log₂ n⌉·2^h`-parallel-unit climb).
-fn run_shard_count(
-    spec: &SweepSpec,
-    cell: &CellSpec,
-    first_trial: usize,
-    trials: usize,
-) -> Vec<TrialResult> {
-    let options = TrialOptions {
-        trials,
-        first_trial,
-        max_steps: spec.max_steps,
-        census: false,
-        // The count tier is distribution-exact, not trace-identical;
-        // the lane flag is meaningless there.
-        lanes: false,
-        threads: spec.threads,
-    };
-    let seed = spec.cell_seed(cell);
-    let n = cell.size;
-    let num_agents = u64::from(n);
-    match cell.protocol {
-        ProtocolSpec::Token => {
-            run_trials_count(&TokenProtocol::all_candidates(), num_agents, seed, options)
+        ProtocolSpec::Loose => {
+            prepared_stab(LooseProtocol::practical(graph.num_nodes()), plan, max_nodes)
         }
-        ProtocolSpec::Fast => run_trials_count(
-            &FastProtocol::new(FastParams::clique_tuned(n)),
-            num_agents,
-            seed,
-            options,
+        ProtocolSpec::RingLoose => prepared_stab(
+            RingLooseProtocol::for_ring(graph.num_nodes()),
+            plan,
+            max_nodes,
         ),
-        ProtocolSpec::Majority => run_trials_count(
-            &MajorityProtocol::new(crate::workloads::majority_split(n), n),
-            num_agents,
-            seed,
-            options,
-        ),
-        other => unreachable!("{other} is not count-capable; cell_is_count gates this path"),
-    }
-}
-
-/// Object-safe shim dispatching a concrete protocol into the generic
-/// fault-aware Monte-Carlo entry point (keeps `run_shard`'s per-protocol
-/// match to one line each).
-trait DynProtocolRunner {
-    fn run(
-        &self,
-        graph: &Graph,
-        seed: u64,
-        options: TrialOptions,
-        plan: &FaultPlan,
-    ) -> Vec<TrialResult>;
-}
-
-impl<P: popele_engine::Protocol + Clone> DynProtocolRunner for P {
-    fn run(
-        &self,
-        graph: &Graph,
-        seed: u64,
-        options: TrialOptions,
-        plan: &FaultPlan,
-    ) -> Vec<TrialResult> {
-        run_trials_auto_with_faults(graph, self, seed, options, plan)
     }
 }
 
@@ -424,6 +762,8 @@ mod tests {
         assert_eq!(outcome.resumed_shards, 0);
         assert!(checkpoint_path(&outcome.dir).exists());
         assert!(summary_path(&outcome.dir).exists());
+        // A completed campaign leaves no journal behind.
+        assert!(!journal_path(&outcome.dir).exists());
         assert!(!outcome.tables.is_empty());
         // Re-running resumes everything and reruns nothing.
         let again = run_campaign(
@@ -437,6 +777,34 @@ mod tests {
         assert_eq!(again.ran_shards, 0);
         assert_eq!(again.resumed_shards, 16);
         std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn worker_pool_output_is_byte_identical_to_serial() {
+        let serial_out = temp_dir("workers-serial");
+        let pooled_out = temp_dir("workers-pooled");
+        let spec = tiny_spec("tw");
+        for (out, workers) in [(&serial_out, 1), (&pooled_out, 4)] {
+            let outcome = run_campaign(
+                &spec,
+                &CampaignOptions {
+                    out_dir: out.clone(),
+                    workers,
+                    ..CampaignOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(outcome.completed);
+            assert_eq!(outcome.ran_shards, 16);
+        }
+        let a = std::fs::read(checkpoint_path(&serial_out.join("tw"))).unwrap();
+        let b = std::fs::read(checkpoint_path(&pooled_out.join("tw"))).unwrap();
+        assert_eq!(a, b);
+        let a = std::fs::read(summary_path(&serial_out.join("tw"))).unwrap();
+        let b = std::fs::read(summary_path(&pooled_out.join("tw"))).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&serial_out).ok();
+        std::fs::remove_dir_all(&pooled_out).ok();
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! The concurrent scheduler's side of the reproducibility contract:
+//! worker counts, shard completion orders, and journal replay after a
+//! kill must all leave `checkpoint.json` and `summary.json`
+//! **byte**-identical to the serial, uninterrupted run.
+//!
+//! `sweep_resume.rs` covers interrupt/resume and intra-shard thread
+//! counts; this file covers the PR-orthogonal axes: the work-stealing
+//! worker pool (real out-of-order completion), adversarial completion
+//! orders (every permutation class, via direct journal-entry replay),
+//! and crash recovery from a stale checkpoint plus a journal with a
+//! torn tail.
+
+use popele_lab::sweep::{
+    checkpoint_path, journal_path, run_campaign, summary_path, CampaignOptions, Checkpoint,
+    FaultSpec, Journal, JournalEntry, ProtocolSpec, SweepSpec,
+};
+use popele_lab::workloads::Family;
+use std::path::{Path, PathBuf};
+
+/// A grid that exercises every runner path at once: fixed-start and
+/// self-stabilizing protocols, a nonzero fault axis, shards small
+/// enough that cells split across several of them.
+fn mixed_spec() -> SweepSpec {
+    SweepSpec {
+        name: "mixed".into(),
+        protocols: vec![
+            ProtocolSpec::Token,
+            ProtocolSpec::Majority,
+            ProtocolSpec::Loose,
+        ],
+        families: vec![Family::Clique, Family::Cycle],
+        sizes: vec![8, 16],
+        faults: vec![FaultSpec::None, FaultSpec::Corrupt],
+        trials_per_cell: 3,
+        shard_trials: 2,
+        max_steps: 1 << 21,
+        master_seed: 0x30B5EED,
+        threads: 1,
+        max_edges: 1 << 20,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("popele-sweep-workers-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn output_bytes(dir: &Path, name: &str) -> (String, String) {
+    let campaign = dir.join(name);
+    (
+        std::fs::read_to_string(checkpoint_path(&campaign)).unwrap(),
+        std::fs::read_to_string(summary_path(&campaign)).unwrap(),
+    )
+}
+
+/// Runs the reference serially, then the same grid under a 4-worker
+/// pool (genuine out-of-order completion) and under a pool that is
+/// additionally killed mid-grid and resumed with a different worker
+/// count — all three must produce the same bytes.
+#[test]
+fn worker_pool_and_resume_are_byte_identical_to_serial() {
+    let spec = mixed_spec();
+
+    let serial_dir = temp_dir("serial");
+    let outcome = run_campaign(
+        &spec,
+        &CampaignOptions {
+            out_dir: serial_dir.clone(),
+            workers: 1,
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(outcome.completed);
+    let reference = output_bytes(&serial_dir, "mixed");
+
+    let pooled_dir = temp_dir("pooled");
+    let pooled = run_campaign(
+        &spec,
+        &CampaignOptions {
+            out_dir: pooled_dir.clone(),
+            workers: 4,
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(pooled.completed);
+    assert_eq!(pooled.ran_shards, outcome.ran_shards);
+    assert_eq!(output_bytes(&pooled_dir, "mixed"), reference);
+
+    // Interrupt a 4-worker run mid-grid, finish with 2 workers: the
+    // journal compacts on the graceful stop, and the resumed pool picks
+    // up exactly the missing shards.
+    let resumed_dir = temp_dir("pool-resumed");
+    let first = run_campaign(
+        &spec,
+        &CampaignOptions {
+            out_dir: resumed_dir.clone(),
+            workers: 4,
+            interrupt_after: Some(9),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!first.completed);
+    assert_eq!(first.ran_shards, 9);
+    let last = run_campaign(
+        &spec,
+        &CampaignOptions {
+            out_dir: resumed_dir.clone(),
+            workers: 2,
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(last.completed);
+    assert_eq!(last.resumed_shards, 9);
+    assert_eq!(last.ran_shards, outcome.ran_shards - 9);
+    assert_eq!(output_bytes(&resumed_dir, "mixed"), reference);
+
+    std::fs::remove_dir_all(&serial_dir).ok();
+    std::fs::remove_dir_all(&pooled_dir).ok();
+    std::fs::remove_dir_all(&resumed_dir).ok();
+}
+
+/// Reconstructs each shard's journal entry from a completed campaign.
+fn entries_of(spec: &SweepSpec, ckpt: &Checkpoint) -> Vec<JournalEntry> {
+    spec.shards()
+        .iter()
+        .map(|shard| JournalEntry {
+            shard_key: shard.key(),
+            cell_key: shard.cell.key(),
+            meta: ckpt.cells[&shard.cell.key()],
+            records: ckpt.shards[&shard.key()].clone(),
+        })
+        .collect()
+}
+
+/// The checkpoint is an order-free merge: applying the same shard
+/// results in *any* completion order — forward, reversed, or an
+/// adversarial interleave no thread schedule is even likely to produce
+/// — renders the same bytes. This is the invariant that lets the
+/// worker pool skip all result reordering.
+#[test]
+fn shard_completion_order_cannot_change_checkpoint_bytes() {
+    let spec = mixed_spec();
+    let dir = temp_dir("permuted");
+    let outcome = run_campaign(
+        &spec,
+        &CampaignOptions {
+            out_dir: dir.clone(),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(outcome.completed);
+    let reference = std::fs::read_to_string(checkpoint_path(&dir.join("mixed"))).unwrap();
+    let ckpt = Checkpoint::from_text(&reference).unwrap();
+    let entries = entries_of(&spec, &ckpt);
+
+    let mut reversed: Vec<&JournalEntry> = entries.iter().collect();
+    reversed.reverse();
+    // A deterministic shuffle: stride through the list by a step
+    // coprime to its length, hitting every index exactly once.
+    let stride = (0..entries.len())
+        .map(|i| &entries[(i * 17 + 5) % entries.len()])
+        .collect::<Vec<_>>();
+    // 17 is prime, so the stride is a permutation as long as the list
+    // length is not a multiple of it.
+    assert_ne!(entries.len() % 17, 0, "pick a different stride");
+    for order in [reversed, stride] {
+        let mut rebuilt = Checkpoint::new(&spec);
+        for entry in order {
+            rebuilt.apply_entry(entry);
+        }
+        assert_eq!(rebuilt.render(), reference, "order leaked into bytes");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash recovery, end to end: a stale `checkpoint.json`, a journal
+/// holding shards completed after the last compaction, and a torn
+/// final line (the kill landed mid-append). Resuming must replay the
+/// journal, rerun only what was genuinely lost, and converge to the
+/// reference bytes.
+#[test]
+fn resume_replays_journal_with_torn_tail_byte_exact() {
+    let spec = mixed_spec();
+    let reference_dir = temp_dir("journal-ref");
+    let outcome = run_campaign(
+        &spec,
+        &CampaignOptions {
+            out_dir: reference_dir.clone(),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(outcome.completed);
+    let reference = output_bytes(&reference_dir, "mixed");
+    let ckpt = Checkpoint::from_text(&reference.0).unwrap();
+    let entries = entries_of(&spec, &ckpt);
+    let total = entries.len();
+
+    // Stage the kill scene: checkpoint.json knows the first 6 shards,
+    // the journal adds 3 more, and a 4th append was cut off mid-line.
+    let crashed_dir = temp_dir("journal-crashed");
+    let campaign = crashed_dir.join("mixed");
+    std::fs::create_dir_all(&campaign).unwrap();
+    let mut stale = Checkpoint::new(&spec);
+    for entry in &entries[..6] {
+        stale.apply_entry(entry);
+    }
+    stale.save(&checkpoint_path(&campaign)).unwrap();
+    let (mut journal, replayed) =
+        Journal::open(&journal_path(&campaign), &stale.fingerprint).unwrap();
+    assert!(replayed.is_empty());
+    for entry in &entries[6..9] {
+        journal.append(entry).unwrap();
+    }
+    drop(journal);
+    let torn = &entries[9].render_line()[..25];
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(journal_path(&campaign))
+        .unwrap();
+    file.write_all(torn.as_bytes()).unwrap();
+    drop(file);
+
+    // Resume: the 3 journaled shards count as resumed (not rerun), the
+    // torn one is lost and rerun, and the outputs match the reference.
+    let resumed = run_campaign(
+        &spec,
+        &CampaignOptions {
+            out_dir: crashed_dir.clone(),
+            workers: 2,
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(resumed.completed);
+    assert_eq!(resumed.resumed_shards, 9);
+    assert_eq!(resumed.ran_shards, total - 9);
+    assert_eq!(output_bytes(&crashed_dir, "mixed"), reference);
+    // The completed campaign cleans its journal up.
+    assert!(!journal_path(&campaign).exists());
+
+    std::fs::remove_dir_all(&reference_dir).ok();
+    std::fs::remove_dir_all(&crashed_dir).ok();
+}

@@ -28,6 +28,8 @@ expected=(
   "engine/count/fast_clique_1e7"
   "engine/count/fast_clique_1e8"
   "engine/count/token_clique_1e9"
+  "sweep/campaign/grid_32shards"
+  "sweep/campaign/checkpoint_1000"
 )
 
 fail=0
