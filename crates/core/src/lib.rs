@@ -30,7 +30,14 @@
 //!   2024; Yokota et al. 2020) started from *arbitrary* configurations,
 //!   with a ring-specialized distance-invalidation variant — measured
 //!   by election time and holding time via
-//!   [`popele_engine::stabilize`].
+//!   [`popele_engine::stabilize`];
+//! * [`spaceopt`] — the space-optimal corner of the states-vs-time
+//!   tradeoff: the Gąsieniec–Stachowiak junta race with a junta-driven
+//!   leaderless phase clock (`O(log log n)` junta levels, exact
+//!   stability oracle; clique-model);
+//! * [`ringtime`] — the time-optimal self-stabilizing ring corner:
+//!   bounded-timer token circulation (arXiv 2009.10926 regime), run
+//!   from arbitrary starts like the [`loose`] family.
 //!
 //! # Examples
 //!
@@ -54,6 +61,8 @@ pub mod identifier;
 pub mod loose;
 pub mod majority;
 pub mod params;
+pub mod ringtime;
+pub mod spaceopt;
 pub mod star;
 pub mod token;
 
@@ -61,5 +70,7 @@ pub use fast::FastProtocol;
 pub use identifier::IdentifierProtocol;
 pub use loose::{LooseProtocol, RingLooseProtocol};
 pub use majority::MajorityProtocol;
+pub use ringtime::TimeOptimalRingProtocol;
+pub use spaceopt::SpaceOptimalProtocol;
 pub use star::StarProtocol;
 pub use token::TokenProtocol;

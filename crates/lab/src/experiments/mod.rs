@@ -9,6 +9,7 @@ pub mod engine;
 pub mod faults;
 pub mod lowerbound;
 pub mod majority;
+pub mod pareto;
 pub mod propagation;
 pub mod renitent;
 pub mod stabilize;

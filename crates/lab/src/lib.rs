@@ -22,6 +22,7 @@
 //! | `engine` | generic vs compiled engine equivalence/throughput | [`experiments::engine`] |
 //! | `faults` | recovery under corruption/churn/rewiring (beyond the paper's model) | [`experiments::faults`] |
 //! | `stabilize` | loose stabilization: elect-vs-hold tradeoff, re-election under bursts | [`experiments::stabilize`] |
+//! | `pareto` | states-vs-time frontier across all protocol families (ROADMAP item 4) | [`experiments::pareto`] |
 //!
 //! Run everything with the CLI:
 //!
@@ -115,6 +116,9 @@ pub enum ExperimentId {
     /// Loose stabilization: the elect-vs-hold tradeoff from arbitrary
     /// starts, and re-election times under corrupt bursts.
     Stabilize,
+    /// States-vs-time Pareto frontier across every protocol family on
+    /// its home graph (ROADMAP item 4).
+    Pareto,
 }
 
 impl ExperimentId {
@@ -122,7 +126,7 @@ impl ExperimentId {
     /// the experiment registry: CLI parsing and the `--help` listing
     /// derive from it, so a new experiment registered here shows up in
     /// both automatically.
-    pub const ALL: [ExperimentId; 14] = [
+    pub const ALL: [ExperimentId; 15] = [
         ExperimentId::Engine,
         ExperimentId::Clocks,
         ExperimentId::Broadcast,
@@ -136,6 +140,7 @@ impl ExperimentId {
         ExperimentId::Majority,
         ExperimentId::Faults,
         ExperimentId::Stabilize,
+        ExperimentId::Pareto,
         ExperimentId::Table1,
     ];
 
@@ -164,6 +169,7 @@ impl ExperimentId {
             Self::Engine => "engine",
             Self::Faults => "faults",
             Self::Stabilize => "stabilize",
+            Self::Pareto => "pareto",
         }
     }
 
@@ -185,6 +191,7 @@ impl ExperimentId {
             Self::Engine => experiments::engine::run(cfg),
             Self::Faults => experiments::faults::run(cfg),
             Self::Stabilize => experiments::stabilize::run(cfg),
+            Self::Pareto => experiments::pareto::run(cfg),
         }
     }
 }

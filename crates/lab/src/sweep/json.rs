@@ -9,10 +9,13 @@
 //!   always renders to the same bytes. Sweep resume tests assert
 //!   checkpoint and summary files are *byte*-identical across
 //!   interruptions and thread counts; this is what makes that hold.
-//! * **Exact integers** — trial counts and step numbers are `u64`s
-//!   stored in the `f64` payload. [`Json::from_u64`] refuses values
-//!   beyond 2⁵³ (where `f64` stops being exact) instead of silently
-//!   corrupting them; simulation step counts sit far below that.
+//! * **Exact integers** — trial counts, step numbers and edge counts
+//!   are `u64`s. Up to 2⁵³ they live in the `f64` payload (where `f64`
+//!   is exact); beyond that [`Json::from_u64`] switches to a dedicated
+//!   [`Json::Uint`] variant that renders and reparses the full decimal
+//!   digits, so even astronomical values — a 10⁹-clique has
+//!   ~5·10¹⁷ edges — survive a checkpoint roundtrip bit-exactly
+//!   instead of being silently rounded.
 
 use std::fmt::Write as _;
 
@@ -25,6 +28,11 @@ pub enum Json {
     Bool(bool),
     /// A finite number.
     Num(f64),
+    /// An integer beyond 2⁵³, kept exact as full decimal digits.
+    /// Produced only by [`Json::from_u64`] and the parser for values
+    /// `f64` cannot represent; smaller integers stay [`Json::Num`] so
+    /// every value has exactly one canonical form.
+    Uint(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -34,22 +42,18 @@ pub enum Json {
 }
 
 impl Json {
-    /// Wraps a `u64` exactly.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `v` exceeds 2⁵³ (not exactly representable in `f64`).
+    /// Wraps a `u64` exactly: values up to 2⁵³ as [`Json::Num`] (where
+    /// `f64` is exact), larger ones as [`Json::Uint`].
     #[must_use]
     pub fn from_u64(v: u64) -> Self {
-        assert!(v <= 1 << 53, "{v} is not exactly representable in JSON");
-        Json::Num(v as f64)
+        if v <= 1 << 53 {
+            Json::Num(v as f64)
+        } else {
+            Json::Uint(v)
+        }
     }
 
     /// Wraps an optional `u64` as a number or `null`.
-    ///
-    /// # Panics
-    ///
-    /// As [`Json::from_u64`].
     #[must_use]
     pub fn from_opt_u64(v: Option<u64>) -> Self {
         v.map_or(Json::Null, Json::from_u64)
@@ -71,15 +75,18 @@ impl Json {
             Json::Num(x) if x.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(x) => {
                 Some(*x as u64)
             }
+            Json::Uint(v) => Some(*v),
             _ => None,
         }
     }
 
-    /// The value as `f64`, if numeric.
+    /// The value as `f64`, if numeric. A [`Json::Uint`] rounds to the
+    /// nearest `f64` — use [`Json::as_u64`] where exactness matters.
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
+            Json::Uint(v) => Some(*v as f64),
             _ => None,
         }
     }
@@ -134,7 +141,9 @@ impl Json {
 
     fn render_compact_into(&self, out: &mut String) {
         match self {
-            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.render_into(out, 0),
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Uint(_) | Json::Str(_) => {
+                self.render_into(out, 0);
+            }
             Json::Arr(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
@@ -171,6 +180,9 @@ impl Json {
                 } else {
                     let _ = write!(out, "{x}");
                 }
+            }
+            Json::Uint(v) => {
+                let _ = write!(out, "{v}");
             }
             Json::Str(s) => render_string(out, s),
             Json::Arr(items) => {
@@ -389,6 +401,15 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    // Plain decimal integers beyond 2⁵³ keep their exact value (the
+    // canonical form `Json::from_u64` produces); everything else —
+    // signs, fractions, exponents, digits past `u64::MAX` — takes the
+    // `f64` path.
+    if let Ok(v) = text.parse::<u64>() {
+        if v > 1 << 53 {
+            return Ok(Json::Uint(v));
+        }
+    }
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| format!("invalid number '{text}' at byte {start}"))
@@ -448,9 +469,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not exactly representable")]
-    fn refuses_inexact_u64() {
-        let _ = Json::from_u64((1 << 53) + 1);
+    fn big_integers_stay_exact() {
+        // A 10⁹-clique's edge count — the largest integer a default
+        // sweep grid writes into a checkpoint — is far beyond 2⁵³.
+        let big: u64 = 499_999_999_500_000_000;
+        for v in [(1 << 53) + 1, big, u64::MAX] {
+            let j = Json::from_u64(v);
+            assert_eq!(j, Json::Uint(v));
+            assert_eq!(j.as_u64(), Some(v), "{v}");
+            let text = j.render();
+            assert_eq!(text, format!("{v}\n"));
+            assert_eq!(Json::parse(text.trim()).unwrap(), j, "{v}");
+        }
+        // The canonical split: at and below 2⁵³ the payload stays a
+        // `Num`, and the parser reproduces that form.
+        assert_eq!(Json::from_u64(1 << 53), Json::Num((1u64 << 53) as f64));
+        assert_eq!(
+            Json::parse(&format!("{}", 1u64 << 53)).unwrap(),
+            Json::from_u64(1 << 53)
+        );
+        // Digits past `u64::MAX` fall back to the lossy `f64` path
+        // rather than erroring out.
+        assert!(matches!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Num(_)
+        ));
     }
 
     #[test]

@@ -71,7 +71,9 @@ pub mod runner;
 pub mod spec;
 pub mod summary;
 
-pub use checkpoint::{CellMeta, Checkpoint, Journal, JournalEntry, RecoveryRecord, TrialRecord};
+pub use checkpoint::{
+    CellMeta, Checkpoint, HoldingRecord, Journal, JournalEntry, RecoveryRecord, TrialRecord,
+};
 pub use runner::{
     checkpoint_path, journal_path, run_campaign, summary_path, CampaignOptions, CampaignOutcome,
 };

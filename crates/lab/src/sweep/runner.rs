@@ -15,7 +15,8 @@
 //!   an atomic cursor. Results land in [`Checkpoint`]'s sorted maps, so
 //!   `checkpoint.json` and `summary.json` are byte-identical to the
 //!   serial run no matter which worker finishes which shard when.
-//! * **A cross-shard artifact cache** ([`ArtifactCache`]) — graphs and
+//! * **A cross-shard artifact cache** (`ArtifactCache`, private to this
+//!   module) — graphs and
 //!   per-cell prepared engines (compiled tables, engine-selection
 //!   verdicts, resolved fault plans, derived protocol parameters) are
 //!   built once per (family, size) or cell, shared across workers
@@ -36,7 +37,7 @@ use crate::workloads::{broadcast_guess, Family};
 use popele_core::params::{identifier_bits, FastParams};
 use popele_core::{
     FastProtocol, IdentifierProtocol, LooseProtocol, MajorityProtocol, RingLooseProtocol,
-    StarProtocol, TokenProtocol,
+    SpaceOptimalProtocol, StarProtocol, TimeOptimalRingProtocol, TokenProtocol,
 };
 use popele_engine::faults::FaultPlan;
 use popele_engine::monte_carlo::{
@@ -670,6 +671,9 @@ fn prepare_cell(
                 MajorityProtocol::new(crate::workloads::majority_split(n), n),
                 num_agents,
             ),
+            ProtocolSpec::SpaceOpt => {
+                prepared_count(SpaceOptimalProtocol::practical(n), num_agents)
+            }
             other => unreachable!("{other} is not count-capable; cell_is_count gates this path"),
         };
     }
@@ -711,6 +715,16 @@ fn prepare_cell(
         }
         ProtocolSpec::RingLoose => prepared_stab(
             RingLooseProtocol::for_ring(graph.num_nodes()),
+            plan,
+            max_nodes,
+        ),
+        ProtocolSpec::SpaceOpt => prepared(
+            SpaceOptimalProtocol::practical(graph.num_nodes()),
+            plan,
+            max_nodes,
+        ),
+        ProtocolSpec::RingTimeOpt => prepared_stab(
+            TimeOptimalRingProtocol::for_ring(graph.num_nodes()),
             plan,
             max_nodes,
         ),
@@ -848,6 +862,56 @@ mod tests {
             assert!(r.steps.is_some(), "majority did not elect");
         }
         std::fs::remove_dir_all(&out).ok();
+    }
+
+    /// The two states-vs-time corner protocols land on the tiers their
+    /// state-space bounds dictate: space-opt's `O(log log n)`-level
+    /// table AOT-compiles on small cliques and is count-eligible at
+    /// batch scale, while ring-time-opt's `Θ(n)` timer space overflows
+    /// the AOT cap and takes the lazy tier.
+    #[test]
+    fn corner_protocol_cells_select_the_expected_tiers() {
+        let spec = SweepSpec {
+            name: "tiers".into(),
+            protocols: vec![ProtocolSpec::SpaceOpt, ProtocolSpec::RingTimeOpt],
+            families: vec![Family::Clique, Family::Cycle],
+            sizes: vec![64, 2000, 40_000],
+            max_edges: 1 << 20,
+            ..SweepSpec::default()
+        };
+        let options = TrialOptions::default();
+        let cell = |protocol, family, size| CellSpec {
+            protocol,
+            family,
+            size,
+            fault: super::super::spec::FaultSpec::None,
+        };
+
+        let aot = cell(ProtocolSpec::SpaceOpt, Family::Clique, 64);
+        assert!(spec.cell_skip_reason(&aot).is_none());
+        let graph = Family::Clique.generate(64, 1);
+        let runner = prepare_cell(&spec, &aot, Some(&graph));
+        assert_eq!(runner.engine(&options), Engine::Dense);
+
+        let count = cell(ProtocolSpec::SpaceOpt, Family::Clique, 40_000);
+        assert!(spec.cell_is_count(&count));
+        assert!(spec.cell_skip_reason(&count).is_none());
+        let runner = prepare_cell(&spec, &count, None);
+        assert_eq!(runner.engine(&options), Engine::Count);
+
+        let lazy = cell(ProtocolSpec::RingTimeOpt, Family::Cycle, 2000);
+        assert!(spec.cell_skip_reason(&lazy).is_none());
+        let graph = Family::Cycle.generate(2000, 1);
+        let runner = prepare_cell(&spec, &lazy, Some(&graph));
+        assert_eq!(runner.engine(&options), Engine::LazyDense);
+
+        // Off their home families both protocols are skipped, not run.
+        assert!(spec
+            .cell_skip_reason(&cell(ProtocolSpec::SpaceOpt, Family::Cycle, 64))
+            .is_some());
+        assert!(spec
+            .cell_skip_reason(&cell(ProtocolSpec::RingTimeOpt, Family::Clique, 64))
+            .is_some());
     }
 
     #[test]

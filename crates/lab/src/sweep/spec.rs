@@ -45,6 +45,17 @@ pub enum ProtocolSpec {
     /// (distance-to-leader invalidation with `B = 2n`); restricted to
     /// the cycle family, whose hop distances its bound is derived for.
     RingLoose,
+    /// Space-optimal junta race with a leaderless phase clock
+    /// (Gąsieniec–Stachowiak) at `practical(n)` parameters — `O(log
+    /// log n)` candidate levels, so it compiles for the AOT and count
+    /// tiers at every sweep size; restricted to the clique family,
+    /// whose interaction model its duel rule assumes.
+    SpaceOpt,
+    /// Time-optimal self-stabilizing ring election via bounded-timer
+    /// token circulation (arXiv 2009.10926 regime) at `for_ring(n)`
+    /// timers — runs the arbitrary-start stabilization workload like
+    /// [`ProtocolSpec::RingLoose`] and is likewise cycle-only.
+    RingTimeOpt,
 }
 
 impl ProtocolSpec {
@@ -52,7 +63,7 @@ impl ProtocolSpec {
     /// the protocol registry: the CLI `--help` enumeration, label
     /// parsing and the usage lists all derive from it, so a protocol
     /// added here shows up everywhere automatically.
-    pub const ALL: [ProtocolSpec; 7] = [
+    pub const ALL: [ProtocolSpec; 9] = [
         ProtocolSpec::Token,
         ProtocolSpec::Identifier,
         ProtocolSpec::Fast,
@@ -60,6 +71,8 @@ impl ProtocolSpec {
         ProtocolSpec::Majority,
         ProtocolSpec::Loose,
         ProtocolSpec::RingLoose,
+        ProtocolSpec::SpaceOpt,
+        ProtocolSpec::RingTimeOpt,
     ];
 
     /// CLI / key name.
@@ -73,6 +86,8 @@ impl ProtocolSpec {
             ProtocolSpec::Majority => "majority",
             ProtocolSpec::Loose => "loose",
             ProtocolSpec::RingLoose => "ring-loose",
+            ProtocolSpec::SpaceOpt => "space-opt",
+            ProtocolSpec::RingTimeOpt => "ring-time-opt",
         }
     }
 
@@ -89,7 +104,10 @@ impl ProtocolSpec {
     /// holding column set in checkpoints and summaries.
     #[must_use]
     pub fn is_stabilizing(self) -> bool {
-        matches!(self, ProtocolSpec::Loose | ProtocolSpec::RingLoose)
+        matches!(
+            self,
+            ProtocolSpec::Loose | ProtocolSpec::RingLoose | ProtocolSpec::RingTimeOpt
+        )
     }
 
     /// Whether this protocol can run on the count-based batch engine
@@ -105,7 +123,10 @@ impl ProtocolSpec {
     pub fn is_count_capable(self) -> bool {
         matches!(
             self,
-            ProtocolSpec::Token | ProtocolSpec::Fast | ProtocolSpec::Majority
+            ProtocolSpec::Token
+                | ProtocolSpec::Fast
+                | ProtocolSpec::Majority
+                | ProtocolSpec::SpaceOpt
         )
     }
 }
@@ -523,6 +544,18 @@ impl SweepSpec {
         if cell.protocol == ProtocolSpec::RingLoose && cell.family != Family::Cycle {
             return Some(
                 "the ring variant's distance bound is derived for cycle hop distances".into(),
+            );
+        }
+        if cell.protocol == ProtocolSpec::SpaceOpt && cell.family != Family::Clique {
+            return Some(
+                "the junta duel rule assumes the clique interaction model; sparse graphs \
+                 can strand two ceiling-level candidates with no adjacent duel"
+                    .into(),
+            );
+        }
+        if cell.protocol == ProtocolSpec::RingTimeOpt && cell.family != Family::Cycle {
+            return Some(
+                "token circulation and its timer bounds are derived for the ring topology".into(),
             );
         }
         None

@@ -11,7 +11,8 @@
 
 use popele_engine::faults::{fault_seed, FaultEvent, FaultKind, FaultPlan};
 use popele_lab::sweep::{
-    fault_plan_from_json, fault_plan_to_json, CellSpec, FaultSpec, ProtocolSpec, SweepSpec,
+    fault_plan_from_json, fault_plan_to_json, CellMeta, CellSpec, FaultSpec, HoldingRecord,
+    JournalEntry, ProtocolSpec, SweepSpec, TrialRecord,
 };
 use popele_lab::workloads::Family;
 use popele_math::rng::SeedSeq;
@@ -39,6 +40,31 @@ fn arbitrary_plan() -> impl Strategy<Value = FaultPlan> {
             .map(|(step, kind)| FaultEvent { step, kind })
             .collect(),
     })
+}
+
+/// Strategy: one trial record as a sweep shard produces it (fault-free
+/// cell, so no recovery block; holding attached per the protocol's
+/// workload by the caller).
+fn arbitrary_record() -> impl Strategy<Value = TrialRecord> {
+    // The vendored proptest shim has no `prop::option`; draw a presence
+    // bit next to each value instead.
+    (
+        0usize..1 << 16,
+        (any::<bool>(), 0u64..1 << 40),
+        (any::<bool>(), 0u32..1 << 20),
+        (any::<bool>(), 0u64..1 << 40),
+        any::<bool>(),
+    )
+        .prop_map(|(trial, steps, leader, hold, held_to_budget)| TrialRecord {
+            trial,
+            steps: steps.0.then_some(steps.1),
+            leader: leader.0.then_some(leader.1),
+            recovery: None,
+            holding: Some(HoldingRecord {
+                hold: hold.0.then_some(hold.1),
+                held_to_budget,
+            }),
+        })
 }
 
 proptest! {
@@ -116,5 +142,51 @@ proptest! {
         let trial_seed = SeedSeq::new(cell_seed).child(0);
         prop_assert_eq!(fault_seed(trial_seed), fault_seed(trial_seed));
         prop_assert_ne!(fault_seed(trial_seed), trial_seed);
+    }
+
+    /// Journal lines for the two states-vs-time corner protocols
+    /// (`space-opt`, `ring-time-opt`) round-trip byte-identically
+    /// through `sweep/json.rs` — including the holding block the
+    /// stabilizing ring cells attach — and their cell keys parse back
+    /// to the right [`ProtocolSpec`] variant. This is the resume path:
+    /// a checkpoint written by a campaign over the new protocols must
+    /// reload value-identical.
+    #[test]
+    fn corner_protocol_journal_lines_roundtrip(
+        which in 0usize..2,
+        size in 4u32..1_000_000,
+        shard in 0usize..64,
+        records in prop::collection::vec(arbitrary_record(), 0..12),
+    ) {
+        let (protocol, family) = [
+            (ProtocolSpec::SpaceOpt, Family::Clique),
+            (ProtocolSpec::RingTimeOpt, Family::Cycle),
+        ][which];
+        // Holding metrics exist exactly on the stabilizing workload.
+        let records: Vec<TrialRecord> = records
+            .into_iter()
+            .map(|mut r| {
+                if !protocol.is_stabilizing() {
+                    r.holding = None;
+                }
+                r
+            })
+            .collect();
+        let cell = CellSpec { protocol, family, size, fault: FaultSpec::None };
+        let entry = JournalEntry {
+            shard_key: format!("{}/s{shard}", cell.key()),
+            cell_key: cell.key(),
+            meta: CellMeta { n: size, m: u64::from(size) * 3 },
+            records,
+        };
+        let line = entry.render_line();
+        let back = JournalEntry::from_line(&line).expect("canonical journal line parses");
+        prop_assert_eq!(back.render_line(), line, "rendering drifted");
+        prop_assert_eq!(back, entry);
+        // The key's protocol segment is the stable label: it must parse
+        // back to the same variant (checkpoint ↔ spec addressing).
+        let segment = cell.key();
+        let segment = segment.split('/').next().unwrap().to_string();
+        prop_assert_eq!(ProtocolSpec::parse(&segment), Some(protocol));
     }
 }

@@ -13,45 +13,20 @@
 //!    families, and the compiled Monte-Carlo path must be bit-identical
 //!    regardless of thread count.
 
+mod harness;
+
+use harness::{assert_table_agrees, diff_outcomes};
 use popele::engine::monte_carlo::{run_trials, run_trials_auto, run_trials_dense, TrialOptions};
 use popele::engine::{
     CompiledProtocol, DenseExecutor, Executor, LeaderCountOracle, Protocol, Role,
 };
-use popele::graph::{families, Graph};
+use popele::graph::families;
 use popele::protocols::clock::StreakClock;
 use popele::protocols::params::FastParams;
 use popele::protocols::{
     FastProtocol, IdentifierProtocol, MajorityProtocol, StarProtocol, TokenProtocol,
 };
 use proptest::prelude::*;
-
-/// Exhaustively checks every enumerated state pair of `compiled`
-/// against the trait implementation.
-fn assert_table_agrees<P: Protocol + Clone>(protocol: &P, compiled: &CompiledProtocol<P>) {
-    let states = compiled.states();
-    assert!(!states.is_empty());
-    for (a, sa) in states.iter().enumerate() {
-        assert_eq!(
-            compiled.role(a as u16),
-            protocol.output(sa),
-            "role table disagrees on {sa:?}"
-        );
-        for (b, sb) in states.iter().enumerate() {
-            let (na, nb) = protocol.transition(sa, sb);
-            let na = compiled
-                .state_id(&na)
-                .expect("successor must be enumerated");
-            let nb = compiled
-                .state_id(&nb)
-                .expect("successor must be enumerated");
-            assert_eq!(
-                compiled.successor(a as u16, b as u16),
-                (na, nb),
-                "transition table disagrees on ({sa:?}, {sb:?})"
-            );
-        }
-    }
-}
 
 /// The streak clock of Section 5.1 wrapped as a `Protocol`, so the
 /// clock subroutine's compiled table is validated like the full
@@ -143,19 +118,6 @@ proptest! {
         let p = FastProtocol::new(FastParams::new(h, big_l, alpha));
         let c = CompiledProtocol::compile(&p, 6, 4096).unwrap();
         assert_table_agrees(&p, &c);
-    }
-}
-
-fn diff_outcomes<P: Protocol + Clone>(p: &P, g: &Graph, seeds: &[u64], max_steps: u64) {
-    let compiled = CompiledProtocol::compile(p, g.num_nodes(), 4096).unwrap();
-    for &seed in seeds {
-        let mut generic = Executor::new(g, p, seed);
-        generic.enable_state_census();
-        let mut dense = DenseExecutor::new(g, &compiled, seed);
-        dense.enable_state_census();
-        let a = generic.run_until_stable(max_steps);
-        let b = dense.run_until_stable(max_steps);
-        assert_eq!(a, b, "engines diverged on {g} with seed {seed}");
     }
 }
 

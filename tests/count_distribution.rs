@@ -26,97 +26,13 @@
 //! Exact per-epoch mechanics are documented and unit-tested in
 //! `crates/engine/src/dense/count.rs`.
 
-use popele::engine::monte_carlo::{
-    run_trials_auto, run_trials_count, Engine, TrialOptions, TrialResult,
-};
-use popele::engine::{compile_for_count, CountEngine, Protocol};
-use popele::graph::families;
-use popele::math::stats::Summary;
+mod harness;
+
+use harness::assert_distributions_match;
+use popele::engine::monte_carlo::{run_trials_count, TrialOptions};
+use popele::engine::{compile_for_count, CountEngine};
 use popele::protocols::params::FastParams;
 use popele::protocols::{FastProtocol, TokenProtocol};
-
-/// Election times in parallel time (steps / n) from a trial batch;
-/// panics if any trial exhausted its budget (these workloads stabilize
-/// well within `u64::MAX`).
-fn parallel_times(results: &[TrialResult], n: u64) -> Summary {
-    Summary::from_slice(
-        &results
-            .iter()
-            .map(|r| {
-                let steps = r.stabilization_step.expect("trial must stabilize");
-                steps as f64 / n as f64
-            })
-            .collect::<Vec<f64>>(),
-    )
-}
-
-/// Asserts `a` and `b` agree within `tol` relative error.
-fn assert_close(what: &str, a: f64, b: f64, tol: f64) {
-    let rel = (a - b).abs() / b.abs().max(f64::EPSILON);
-    assert!(
-        rel <= tol,
-        "{what}: count {a:.4} vs sequential {b:.4} (rel diff {rel:.4} > {tol})"
-    );
-}
-
-/// Runs clique elections of `protocol` through the sequential waterfall
-/// (`dense_trials` trials on a materialized clique) and the count tier
-/// (`count_trials` trials, graph-free — the count engine is an order of
-/// magnitude cheaper here, so it gets the larger sample) and compares
-/// mean, median and 0.9-quantile of the election-time distributions.
-/// The master seeds differ so the samples are independent.
-fn assert_distributions_match<P: Protocol + Clone>(
-    protocol: &P,
-    n: u64,
-    (dense_trials, count_trials): (usize, usize),
-    (tol_mean, tol_q): (f64, f64),
-) {
-    let graph = families::clique(u32::try_from(n).unwrap());
-    let dense = run_trials_auto(
-        &graph,
-        protocol,
-        0xD0_0D5,
-        TrialOptions {
-            trials: dense_trials,
-            ..TrialOptions::default()
-        },
-    );
-    let count = run_trials_count(
-        protocol,
-        n,
-        0xC0_0475,
-        TrialOptions {
-            trials: count_trials,
-            ..TrialOptions::default()
-        },
-    );
-
-    assert_eq!(dense.len(), dense_trials);
-    assert_eq!(count.len(), count_trials);
-    for r in &dense {
-        assert_ne!(r.engine, Engine::Count, "baseline must be sequential");
-    }
-    for r in &count {
-        assert_eq!(r.engine, Engine::Count);
-        assert_eq!(r.leader, None, "count trials have no agent identity");
-    }
-
-    let dense = parallel_times(&dense, n);
-    let count = parallel_times(&count, n);
-    assert_close("mean parallel time", count.mean(), dense.mean(), tol_mean);
-    assert_close(
-        "median parallel time",
-        count.median(),
-        dense.median(),
-        tol_q,
-    );
-    assert_close(
-        "0.9-quantile parallel time",
-        count.quantile(0.9),
-        dense.quantile(0.9),
-        tol_q,
-    );
-}
 
 /// The fast protocol at the clique's analytic *practical*
 /// parameterization (broadcast time is the coupon-collector bound

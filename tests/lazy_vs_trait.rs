@@ -18,6 +18,9 @@
 //!    sizes, record that choice in `TrialResult::engine`, and reach the
 //!    cap-overflow verdict through the bounded probe (cheap selection).
 
+mod harness;
+
+use harness::{assert_trace_identical, small_families};
 use popele::engine::dense::PROBE_EVAL_BUDGET;
 use popele::engine::dense::{probe_state_space, SpaceProbe, DEFAULT_MAX_COMPILED_STATES};
 use popele::engine::faults::{fault_seed, run_with_faults, FaultKind, FaultPlan};
@@ -28,24 +31,11 @@ use popele::engine::monte_carlo::{
 use popele::engine::{
     CompiledProtocol, Executor, LazyDenseExecutor, LeaderCountOracle, Protocol, Role,
 };
-use popele::graph::{families, random, Graph};
+use popele::graph::families;
 use popele::protocols::params::{identifier_bits, FastParams};
 use popele::protocols::{
     FastProtocol, IdentifierProtocol, MajorityProtocol, StarProtocol, TokenProtocol,
 };
-
-/// The five graph families of the acceptance grid at a small size
-/// (clique → arithmetic decoder, the rest → packed decoder).
-fn small_families(n: u32) -> Vec<Graph> {
-    let side = (f64::from(n).sqrt().round()) as u32;
-    vec![
-        families::clique(n),
-        families::cycle(n),
-        families::star(n),
-        families::torus(side, side),
-        random::random_regular_connected(n, 4, 11, 200),
-    ]
-}
 
 /// Identifier protocol at the simulation-realistic bit count for `n` —
 /// the parameterization every sweep cell uses, whose state space
@@ -63,35 +53,6 @@ fn realistic_identifier(n: u32) -> IdentifierProtocol {
 /// sparse families.)
 fn full_scale_fast() -> FastProtocol {
     FastProtocol::new(FastParams::new(17, 17, 4))
-}
-
-/// Steps both engines in lockstep, comparing sampled pairs and
-/// stability verdicts, then pushes both through their batched paths and
-/// compares the full configurations.
-fn assert_trace_identical<P: Protocol + Clone>(
-    p: &P,
-    g: &Graph,
-    seed: u64,
-    lockstep: usize,
-    batched: u64,
-) {
-    let mut generic = Executor::new(g, p, seed);
-    let mut lazy = LazyDenseExecutor::new(g, p, seed);
-    for i in 0..lockstep {
-        assert_eq!(generic.step(), lazy.step(), "{g} diverged at step {i}");
-        assert_eq!(generic.is_stable(), lazy.is_stable(), "{g} step {i}");
-    }
-    generic.run_steps(batched);
-    lazy.run_steps(batched);
-    for v in 0..g.num_nodes() {
-        assert_eq!(
-            generic.states()[v as usize],
-            *lazy.state_of(v),
-            "{g} diverged at node {v}"
-        );
-    }
-    assert_eq!(generic.is_stable(), lazy.is_stable(), "{g} after batch");
-    assert_eq!(generic.outcome(), lazy.outcome(), "{g} outcome");
 }
 
 #[test]

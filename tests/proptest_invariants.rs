@@ -166,6 +166,115 @@ proptest! {
     }
 }
 
+mod space_opt_props {
+    use super::*;
+    use popele::protocols::spaceopt::{SpaceOptState, SpaceOptimalProtocol};
+
+    /// An arbitrary in-range state for a `(max_level, phase_len)`
+    /// parameterization — raw draws folded into range so shrinking
+    /// stays meaningful.
+    fn state(
+        raw_level: u8,
+        candidate: bool,
+        raw_clock: u8,
+        p: &SpaceOptimalProtocol,
+    ) -> SpaceOptState {
+        SpaceOptState {
+            level: raw_level % (p.max_level() + 1),
+            candidate,
+            clock: raw_clock % p.phase_len(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The junta-race safety invariants the oracle-exactness
+        /// argument rests on (see `crates/core/src/spaceopt.rs`), under
+        /// *arbitrary* interaction schedules on arbitrary connected
+        /// graphs — not just the clique home model: the candidate set
+        /// only shrinks and never empties, the global maximum level is
+        /// always held by a candidate, and every agent stays inside the
+        /// declared level/clock ranges (the census bound).
+        #[test]
+        fn junta_race_safety(g in connected_graph(), seed in any::<u64>(),
+                             max_level in 1u8..4, phase_len in 2u8..12) {
+            let p = SpaceOptimalProtocol::new(max_level, phase_len);
+            let mut exec = Executor::new(&g, &p, seed);
+            let mut last = g.num_nodes() as usize;
+            for _ in 0..400 {
+                exec.step();
+                let states = exec.states();
+                let count = states.iter().filter(|s| s.candidate).count();
+                prop_assert!(count >= 1, "the race lost every candidate");
+                prop_assert!(count <= last, "candidate count increased");
+                last = count;
+                let max = states.iter().map(|s| s.level).max().unwrap();
+                prop_assert!(
+                    states.iter().any(|s| s.candidate && s.level == max),
+                    "no candidate at the global max level {}", max
+                );
+                for s in states {
+                    prop_assert!(s.level <= max_level);
+                    prop_assert!(s.clock < phase_len);
+                }
+            }
+        }
+
+        /// The same monotonicity laws at the single-interaction level,
+        /// over *arbitrary* (possibly unreachable) state pairs: one
+        /// meeting never mints a candidate, never lowers the pairwise
+        /// maximum level, and lands both parties back in range.
+        #[test]
+        fn pairwise_interaction_monotone(
+            max_level in 1u8..6, phase_len in 2u8..16,
+            al in any::<u8>(), ac in any::<bool>(), ak in any::<u8>(),
+            bl in any::<u8>(), bc in any::<bool>(), bk in any::<u8>(),
+        ) {
+            let p = SpaceOptimalProtocol::new(max_level, phase_len);
+            let a = state(al, ac, ak, &p);
+            let b = state(bl, bc, bk, &p);
+            let (na, nb) = p.interact(&a, &b);
+            let cands = |x: &SpaceOptState, y: &SpaceOptState| {
+                usize::from(x.candidate) + usize::from(y.candidate)
+            };
+            prop_assert!(cands(&na, &nb) <= cands(&a, &b), "a meeting minted a candidate");
+            prop_assert!(na.level.max(nb.level) >= a.level.max(b.level), "max level dropped");
+            for s in [&na, &nb] {
+                prop_assert!(s.level <= max_level);
+                prop_assert!(s.clock < phase_len);
+            }
+            // Followers are passive: a follower pair only synchronizes.
+            if !a.candidate && !b.candidate {
+                prop_assert_eq!(cands(&na, &nb), 0);
+                prop_assert_eq!(na.clock, nb.clock);
+            }
+        }
+
+        /// The phase-clock join algebra: `clock_max` is a symmetric,
+        /// idempotent selection of one of its arguments, and the gating
+        /// distance is a symmetric cyclic metric bounded by `⌊m/2⌋` —
+        /// the properties that make the clock-gated duel rule a well
+        /// defined (initiator/responder-symmetric) transition.
+        #[test]
+        fn clock_join_algebra(phase_len in 2u8..32, xr in any::<u8>(), yr in any::<u8>()) {
+            let p = SpaceOptimalProtocol::new(1, phase_len);
+            let (x, y) = (xr % phase_len, yr % phase_len);
+            let j = p.clock_max(x, y);
+            prop_assert!(j == x || j == y, "join invented a reading");
+            prop_assert_eq!(j, p.clock_max(y, x));
+            prop_assert_eq!(p.clock_max(x, x), x);
+            prop_assert_eq!(p.clock_dist(x, y), p.clock_dist(y, x));
+            prop_assert!(p.clock_dist(x, y) <= phase_len / 2);
+            prop_assert_eq!(p.clock_dist(x, y) == 0, x == y);
+            // The join never moves a clock backwards past the other:
+            // the loser reaches the winner in at most ⌊m/2⌋ forward
+            // ticks, which is exactly the dist bound above.
+            prop_assert!(p.clock_dist(j, x).max(p.clock_dist(j, y)) <= phase_len / 2);
+        }
+    }
+}
+
 mod fast_protocol_props {
     use super::*;
     use popele::protocols::fast::{FastProtocol, Status};

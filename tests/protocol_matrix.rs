@@ -1,0 +1,217 @@
+//! The protocol × family × engine-tier acceptance matrix.
+//!
+//! Every protocol family the workspace ships — the paper's clean-start
+//! protocols, the loosely-stabilizing timeout family, and the two
+//! states-vs-time corner protocols (space-optimal junta race,
+//! time-optimal ring circulation) — is pushed through the shared
+//! cross-tier differential harness (`tests/harness/mod.rs`) on the
+//! clique/cycle/torus acceptance trio:
+//!
+//! * **Trace identity** generic ↔ lazy ↔ AOT-dense from clean starts
+//!   (the AOT leg demanded wherever the protocol compiles under the
+//!   default cap), and from shared *arbitrary* starts for every
+//!   `ArbitraryInit` family.
+//! * **Distribution agreement** with the count tier for the
+//!   count-eligible newcomer (space-opt), mirroring the established
+//!   token/fast/majority contracts in `tests/count_distribution.rs`.
+//! * **Exhaustive fast-path agreement**: the compiled variants of the
+//!   reachability validators must return verdict-for-verdict what the
+//!   typed variants return on the space-optimal protocol at n ≤ 8 —
+//!   the compiled twin of the trait-side exhaustive suite in
+//!   `crates/core/src/spaceopt.rs`.
+//!
+//! Per-engine deep dives (fault plans, thread/shard invariance, CSR
+//! scale, probe budgets) stay in the dedicated suites; this file is the
+//! breadth axis those suites don't sweep.
+
+mod harness;
+
+use harness::{
+    assert_distributions_match, assert_table_agrees, assert_trace_identical,
+    assert_trace_identical_from, matrix_families,
+};
+use popele::engine::exhaustive::{
+    check_stable_and_correct, check_stable_and_correct_compiled, validate_oracle_on_execution,
+    validate_oracle_on_execution_compiled, DEFAULT_CONFIG_LIMIT,
+};
+use popele::engine::stabilize::ArbitraryInit;
+use popele::engine::{CompiledProtocol, Protocol};
+use popele::graph::families;
+use popele::protocols::params::{identifier_bits, FastParams};
+use popele::protocols::{
+    FastProtocol, IdentifierProtocol, LooseProtocol, MajorityProtocol, RingLooseProtocol,
+    SpaceOptimalProtocol, StarProtocol, TimeOptimalRingProtocol, TokenProtocol,
+};
+
+/// Matrix size: 36 nodes keeps the torus square (6 × 6) and every
+/// compiled table small while still exercising all three edge decoders.
+const N: u32 = 36;
+
+#[test]
+fn space_opt_trace_identity_across_all_three_tiers() {
+    let p = SpaceOptimalProtocol::practical(N);
+    for g in matrix_families(N) {
+        let seed = 0x50AC ^ u64::from(g.num_edges() as u32);
+        let dense = assert_trace_identical(&p, &g, seed, 2000, 10_000);
+        assert!(
+            dense,
+            "{g}: space-opt must AOT-compile under the default cap"
+        );
+    }
+}
+
+#[test]
+fn ring_time_opt_trace_identity_across_all_three_tiers() {
+    let p = TimeOptimalRingProtocol::for_ring(N);
+    for g in matrix_families(N) {
+        let seed = 0x217 ^ u64::from(g.num_edges() as u32);
+        let dense = assert_trace_identical(&p, &g, seed, 2000, 10_000);
+        assert!(
+            dense,
+            "{g}: for_ring({N}) timers must AOT-compile under the default cap"
+        );
+    }
+}
+
+#[test]
+fn ring_time_opt_trace_identity_from_arbitrary_starts() {
+    // The protocol's actual operating mode: arbitrary start
+    // configurations (unreachable from the clean start) interned on
+    // first sight by the lazy engine and seeded into the AOT closure.
+    let p = TimeOptimalRingProtocol::for_ring(N);
+    for g in matrix_families(N) {
+        for seed in [3u64, 29] {
+            assert_trace_identical_from(&p, &g, seed, 1500, 8_000);
+        }
+    }
+}
+
+#[test]
+fn the_established_registry_rides_the_same_matrix() {
+    // The seven pre-existing protocols through the identical harness
+    // call, replacing their per-suite copy-paste differentials: the
+    // AOT leg is demanded exactly where the state space fits the cap.
+    for g in matrix_families(N) {
+        let seed = 0xA11 ^ u64::from(g.num_edges() as u32);
+        for (label, ran_dense) in [
+            (
+                "token",
+                assert_trace_identical(&TokenProtocol::all_candidates(), &g, seed, 1500, 8_000),
+            ),
+            (
+                "star",
+                assert_trace_identical(&StarProtocol::new(), &g, seed, 1500, 8_000),
+            ),
+            (
+                "majority",
+                assert_trace_identical(&MajorityProtocol::new(22, N), &g, seed, 1500, 8_000),
+            ),
+            (
+                "identifier-small-k",
+                assert_trace_identical(&IdentifierProtocol::new(2), &g, seed, 1500, 8_000),
+            ),
+            (
+                "fast",
+                assert_trace_identical(
+                    &FastProtocol::new(FastParams::new(1, 1, 2)),
+                    &g,
+                    seed,
+                    1500,
+                    8_000,
+                ),
+            ),
+        ] {
+            assert!(ran_dense, "{label} must AOT-compile on {g}");
+        }
+        // The stabilizing families run the arbitrary-start variant.
+        assert_trace_identical_from(&LooseProtocol::new(24), &g, seed, 1500, 8_000);
+        assert_trace_identical_from(&RingLooseProtocol::for_ring(N), &g, seed, 1500, 8_000);
+    }
+    // The realistic-k identifier is the deliberate cap-overflow row:
+    // the harness degrades to the generic ↔ lazy comparison.
+    let g = families::cycle(64);
+    let p = IdentifierProtocol::new(identifier_bits(64, false));
+    assert!(
+        !assert_trace_identical(&p, &g, 0x1D0, 1000, 6_000),
+        "realistic k must overflow the AOT cap"
+    );
+}
+
+#[test]
+fn space_opt_compiled_table_agrees_with_the_trait() {
+    let p = SpaceOptimalProtocol::practical(N);
+    let c = CompiledProtocol::compile_default(&p, N).unwrap();
+    assert!(c.num_states() as u64 <= p.state_space_bound().unwrap());
+    assert_table_agrees(&p, &c);
+}
+
+#[test]
+fn ring_time_opt_compiled_table_agrees_with_the_trait() {
+    let p = TimeOptimalRingProtocol::for_ring(N);
+    let c = CompiledProtocol::compile_with_seeds(&p, N, 1 << 14, &p.arbitrary_support()).unwrap();
+    assert!(c.num_states() as u64 <= p.state_space_bound().unwrap());
+    assert_table_agrees(&p, &c);
+}
+
+#[test]
+fn space_opt_election_distribution_matches_sequential() {
+    // The count-eligibility claim made by the sweep layer, backed the
+    // same way as token/fast/majority: exactness in distribution
+    // against the sequential waterfall on the clique workload. The
+    // junta race's endgame (the last two ceiling-level candidates
+    // waiting for a clock-aligned meeting) makes election time very
+    // heavy-tailed — measured relative standard deviation ≈ 2 — so
+    // this row needs the large samples and the token-like tolerances
+    // (~4 standard errors of the difference at these trial counts).
+    let p = SpaceOptimalProtocol::practical(128);
+    assert_distributions_match(&p, 128, (768, 1536), (0.35, 0.35));
+}
+
+#[test]
+fn space_opt_exhaustive_fast_path_agrees_with_the_trait_path() {
+    // The compiled twin of the trait-side exhaustive suite in
+    // crates/core/src/spaceopt.rs: identical seeds drive identical
+    // executions, so the step-by-step oracle-vs-reachability validation
+    // must agree step for step.
+    let p = SpaceOptimalProtocol::new(1, 2);
+    for n in [4u32, 5, 6] {
+        let g = families::clique(n);
+        let compiled = CompiledProtocol::compile_default(&p, n).unwrap();
+        let typed = validate_oracle_on_execution(&p, &g, 3, 4000, DEFAULT_CONFIG_LIMIT);
+        let fast =
+            validate_oracle_on_execution_compiled(&compiled, &g, 3, 4000, DEFAULT_CONFIG_LIMIT);
+        assert_eq!(typed, fast, "clique({n})");
+        assert!(typed < 4000, "should elect quickly on clique({n})");
+    }
+}
+
+#[test]
+fn space_opt_exhaustive_verdicts_agree_on_every_reachable_configuration() {
+    // Every configuration over the reachable state set of the minimal
+    // parameterization on clique(3): the typed and compiled stability
+    // judges must return the same verdict, configuration for
+    // configuration.
+    let p = SpaceOptimalProtocol::new(1, 2);
+    let n = 3u32;
+    let g = families::clique(n);
+    let compiled = CompiledProtocol::compile_default(&p, n).unwrap();
+    let states = compiled.states();
+    let k = states.len();
+    for code in 0..k.pow(n) {
+        let mut code = code;
+        let mut typed = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            typed.push(states[code % k]);
+            code /= k;
+        }
+        let ids: Vec<_> = typed
+            .iter()
+            .map(|s| compiled.state_id(s).unwrap())
+            .collect();
+        assert_eq!(
+            check_stable_and_correct(&p, &g, &typed, DEFAULT_CONFIG_LIMIT),
+            check_stable_and_correct_compiled(&compiled, &g, &ids, DEFAULT_CONFIG_LIMIT),
+            "verdicts diverged on {typed:?}"
+        );
+    }
+}

@@ -13,73 +13,17 @@
 //! needs its closure seeded with the sampler's support
 //! (`CompiledProtocol::compile_with_seeds`).
 
+mod harness;
+
+use harness::{assert_trace_identical_from, small_families};
 use popele::engine::monte_carlo::{Engine, TrialOptions};
 use popele::engine::stabilize::{
     arbitrary_config, arbitrary_seed, run_to_hold, run_trials_stabilize, run_trials_stabilize_auto,
     run_trials_stabilize_dense, run_trials_stabilize_lazy, select_stabilize_engine, ArbitraryInit,
 };
 use popele::engine::{CompiledProtocol, Executor, FaultKind, FaultPlan, LazyDenseExecutor};
-use popele::graph::{families, random, Graph};
+use popele::graph::families;
 use popele::protocols::{LooseProtocol, RingLooseProtocol};
-
-/// The five graph families of the acceptance grid at a small size.
-fn small_families(n: u32) -> Vec<Graph> {
-    let side = (f64::from(n).sqrt().round()) as u32;
-    vec![
-        families::clique(n),
-        families::cycle(n),
-        families::star(n),
-        families::torus(side, side),
-        random::random_regular_connected(n, 4, 11, 200),
-    ]
-}
-
-/// Steps all three engines in lockstep from one shared arbitrary
-/// configuration, comparing sampled pairs, per-node states and
-/// stability verdicts, then pushes all three through their batched
-/// paths and compares outcomes.
-fn assert_trace_identical_from<P: ArbitraryInit + Clone>(
-    p: &P,
-    g: &Graph,
-    seed: u64,
-    lockstep: usize,
-    batched: u64,
-) {
-    let config = arbitrary_config(p, g.num_nodes(), arbitrary_seed(seed));
-    let compiled =
-        CompiledProtocol::compile_with_seeds(p, g.num_nodes(), 1 << 14, &p.arbitrary_support())
-            .expect("test support fits a large cap");
-    let mut generic = Executor::new(g, p, seed);
-    let mut dense = popele::engine::DenseExecutor::new(g, &compiled, seed);
-    let mut lazy = LazyDenseExecutor::new(g, p, seed);
-    generic.set_configuration(&config);
-    dense.set_configuration(&config);
-    lazy.set_configuration(&config);
-    for i in 0..lockstep {
-        let step = generic.step();
-        assert_eq!(step, dense.step(), "{g} dense diverged at step {i}");
-        assert_eq!(step, lazy.step(), "{g} lazy diverged at step {i}");
-        assert_eq!(generic.is_stable(), dense.is_stable(), "{g} step {i}");
-        assert_eq!(generic.is_stable(), lazy.is_stable(), "{g} step {i}");
-    }
-    generic.run_steps(batched);
-    dense.run_steps(batched);
-    lazy.run_steps(batched);
-    for v in 0..g.num_nodes() {
-        assert_eq!(
-            generic.states()[v as usize],
-            *dense.state_of(v),
-            "{g} dense diverged at node {v}"
-        );
-        assert_eq!(
-            generic.states()[v as usize],
-            *lazy.state_of(v),
-            "{g} lazy diverged at node {v}"
-        );
-    }
-    assert_eq!(generic.outcome(), dense.outcome(), "{g} dense outcome");
-    assert_eq!(generic.outcome(), lazy.outcome(), "{g} lazy outcome");
-}
 
 #[test]
 fn loose_trace_identical_from_arbitrary_starts_on_all_families() {
